@@ -1,0 +1,651 @@
+// Package clsacim is the public API of the CLSA-CIM reproduction: a
+// compiler and system-level simulator for neural-network inference on
+// tiled RRAM computing-in-memory (CIM) architectures, implementing the
+// cross-layer scheduling algorithm and weight-duplication mapping of
+//
+//	Pelke et al., "CLSA-CIM: A Cross-Layer Scheduling Approach for
+//	Computing-in-Memory Architectures", DATE 2024.
+//
+// The typical flow is:
+//
+//	model, _ := clsacim.LoadModel("tinyyolov4", clsacim.ModelOptions{})
+//	compiled, _ := clsacim.Compile(model, clsacim.Config{
+//		ExtraPEs:          32,   // x: F = PEmin + x
+//		WeightDuplication: true, // wdup mapping
+//	})
+//	report, _ := compiled.Schedule(clsacim.ModeCrossLayer) // xinf
+//	fmt.Println(report.Utilization, report.MakespanCycles)
+//
+// Compile canonicalizes the network (BN folding, padding/bias
+// partitioning, weight quantization), maps base layers onto crossbar PEs
+// (optionally solving the weight-duplication problem), and runs CLSA-CIM
+// Stages I-II (set and dependency determination). Schedule runs Stages
+// III-IV (or the layer-by-layer baseline) and reports the paper's
+// metrics.
+package clsacim
+
+import (
+	"fmt"
+	"io"
+
+	"clsacim/internal/cim"
+	"clsacim/internal/deps"
+	"clsacim/internal/frontend"
+	"clsacim/internal/gantt"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/metrics"
+	"clsacim/internal/nn"
+	"clsacim/internal/schedule"
+	"clsacim/internal/sets"
+	"clsacim/internal/sim"
+)
+
+// ScheduleMode selects the scheduling strategy.
+type ScheduleMode int
+
+// Scheduling strategies: the paper's layer-by-layer baseline (§II-B) and
+// CLSA-CIM cross-layer inference ("xinf", §IV).
+const (
+	ModeLayerByLayer ScheduleMode = iota
+	ModeCrossLayer
+)
+
+// String names the mode as in the paper's plots.
+func (m ScheduleMode) String() string {
+	if m == ModeCrossLayer {
+		return "xinf"
+	}
+	return "layer-by-layer"
+}
+
+// Config controls compilation. The zero value reproduces the paper's
+// case-study architecture: 256x256 crossbars, tMVM = 1400 ns, F = PEmin,
+// no weight duplication, idealized (zero-cost) data movement.
+type Config struct {
+	// PERows and PECols are the crossbar dimensions (default 256x256).
+	PERows, PECols int
+	// TMVMNanos is the MVM latency of one cycle (default 1400 ns).
+	TMVMNanos float64
+	// ExtraPEs is the paper's x: the architecture provides
+	// F = PEmin + x crossbars. Ignored when TotalPEs is set.
+	ExtraPEs int
+	// TotalPEs overrides the PE count F when positive.
+	TotalPEs int
+	// WeightDuplication enables the wdup mapping (paper §III-C):
+	// Optimization Problem 1 decides which layers to replicate.
+	WeightDuplication bool
+	// Solver picks the duplication solver: "dp" (exact for the paper's
+	// Optimization Problem 1, default), "greedy", "minmax" (bottleneck
+	// objective, extension), or "none".
+	Solver string
+	// TargetSets is the Stage I granularity (sets per layer). The
+	// default is the finest alignment-respecting partition, which
+	// realizes the paper's "maximum achievable utilization and minimum
+	// inference latency". Use small values (e.g. 26) for coarse
+	// scheduling experiments.
+	TargetSets int
+	// WeightBits quantizes base-layer weights (default 8; negative
+	// disables quantization).
+	WeightBits int
+	// NoCCyclesPerHop charges data movement per mesh hop on dependency
+	// edges (extension of paper §V-C; 0 = idealized).
+	NoCCyclesPerHop float64
+	// GPEUCyclesPerKElem charges non-base-layer processing per 1024
+	// transferred elements on dependency edges (0 = idealized).
+	GPEUCyclesPerKElem float64
+	// PEsPerTile groups PEs into NoC tiles (default 4).
+	PEsPerTile int
+	// WeightVirtualization permits architectures with fewer PEs than
+	// the network needs (TotalPEs < PEmin): swapped layers time-share a
+	// PE pool and are reprogrammed before execution (the paper's §V-C
+	// future-work scenario). Only layer-by-layer scheduling is possible
+	// in this regime.
+	WeightVirtualization bool
+	// WriteCyclesPerCrossbar is the RRAM programming time per crossbar
+	// in MVM cycles (default 512) when virtualization is active.
+	WriteCyclesPerCrossbar int64
+	// WriteParallelism is the number of crossbars programmable
+	// concurrently (default 4).
+	WriteParallelism int
+	// EnergyPerMVMNanoJ enables the energy estimate (extension): nJ
+	// consumed by one PE per MVM cycle. 0 disables energy reporting.
+	EnergyPerMVMNanoJ float64
+	// EnergyPerWriteNanoJ is the nJ cost of programming one crossbar
+	// (virtualization).
+	EnergyPerWriteNanoJ float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PERows == 0 {
+		c.PERows = 256
+	}
+	if c.PECols == 0 {
+		c.PECols = 256
+	}
+	if c.TMVMNanos == 0 {
+		c.TMVMNanos = cim.DefaultTMVMNanos
+	}
+	if c.Solver == "" {
+		c.Solver = "dp"
+	}
+	if c.TargetSets == 0 {
+		c.TargetSets = sets.FineGranularity
+	}
+	if c.WeightBits == 0 {
+		c.WeightBits = 8
+	}
+	if c.PEsPerTile == 0 {
+		c.PEsPerTile = 4
+	}
+	if c.WriteCyclesPerCrossbar == 0 {
+		c.WriteCyclesPerCrossbar = 512
+	}
+	if c.WriteParallelism == 0 {
+		c.WriteParallelism = 4
+	}
+	return c
+}
+
+func (c Config) solver() (mapping.Solver, error) {
+	if !c.WeightDuplication {
+		return mapping.SolverNone, nil
+	}
+	switch c.Solver {
+	case "dp":
+		return mapping.SolverDP, nil
+	case "greedy":
+		return mapping.SolverGreedy, nil
+	case "minmax":
+		return mapping.SolverMinMax, nil
+	case "none":
+		return mapping.SolverNone, nil
+	default:
+		return 0, fmt.Errorf("clsacim: unknown solver %q (want dp, greedy, minmax, or none)", c.Solver)
+	}
+}
+
+// Compiled is a model compiled against an architecture: canonicalized,
+// mapped (with duplication applied), and analyzed by CLSA-CIM Stages
+// I-II. It can be scheduled in any mode.
+type Compiled struct {
+	ModelName string
+	cfg       Config
+	arch      cim.Config
+	graph     *nn.Graph
+	plan      *mapping.Plan
+	mapped    *mapping.Mapping
+	setsPlan  *sets.Plan
+	depGraph  *deps.Graph
+	dup       mapping.Solution
+	peMin     int
+	edgeCost  schedule.EdgeCostFn
+	// virtual is non-nil when the network does not fit (F < PEmin) and
+	// weight virtualization is active.
+	virtual *mapping.VirtualMapping
+}
+
+// Virtualized reports whether the compilation uses weight reloading
+// (F < PEmin).
+func (c *Compiled) Virtualized() bool { return c.virtual != nil }
+
+// ReloadCyclesTotal returns the summed crossbar-programming time per
+// inference (0 without virtualization).
+func (c *Compiled) ReloadCyclesTotal() int64 {
+	if c.virtual == nil {
+		return 0
+	}
+	return c.virtual.TotalReload
+}
+
+// CrossbarWritesPerInference returns the number of crossbars programmed
+// per inference — the endurance pressure of running below PEmin.
+func (c *Compiled) CrossbarWritesPerInference() int {
+	if c.virtual == nil {
+		return 0
+	}
+	return c.virtual.Writes
+}
+
+// ResidentLayers returns how many layers keep dedicated weights.
+func (c *Compiled) ResidentLayers() int {
+	if c.virtual == nil {
+		return len(c.plan.Layers)
+	}
+	n := 0
+	for _, r := range c.virtual.Resident {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile lowers model through the full preparation pipeline.
+func Compile(model *Model, cfg Config) (*Compiled, error) {
+	cfg = cfg.withDefaults()
+	solver, err := cfg.solver()
+	if err != nil {
+		return nil, err
+	}
+	g, err := model.graph()
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: building model %q: %w", model.Name, err)
+	}
+	wb := cfg.WeightBits
+	if wb < 0 {
+		wb = 0
+	}
+	if _, err := frontend.Canonicalize(g, frontend.Options{WeightBits: wb}); err != nil {
+		return nil, fmt.Errorf("clsacim: canonicalizing %q: %w", model.Name, err)
+	}
+	pe := im2col.PEDims{Rows: cfg.PERows, Cols: cfg.PECols}
+	plan, err := mapping.Analyze(g, pe)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: analyzing %q: %w", model.Name, err)
+	}
+	f := plan.MinPEs + cfg.ExtraPEs
+	if cfg.TotalPEs > 0 {
+		f = cfg.TotalPEs
+	}
+	arch := cim.Config{
+		NumPEs:             f,
+		PE:                 pe,
+		TMVMNanos:          cfg.TMVMNanos,
+		PEsPerTile:         cfg.PEsPerTile,
+		WeightBits:         wb,
+		CellBits:           4,
+		InputBits:          8,
+		GPEUCyclesPerKElem: cfg.GPEUCyclesPerKElem,
+	}
+	if cfg.NoCCyclesPerHop > 0 {
+		arch.NoC = cim.NoCConfig{Enabled: true, CyclesPerHop: cfg.NoCCyclesPerHop}
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	var sol mapping.Solution
+	var mapped *mapping.Mapping
+	var virtual *mapping.VirtualMapping
+	if f < plan.MinPEs {
+		if !cfg.WeightVirtualization {
+			return nil, fmt.Errorf("clsacim: %q needs %d PEs but the architecture has %d; "+
+				"enable WeightVirtualization to run below PEmin", model.Name, plan.MinPEs, f)
+		}
+		virtual, err = mapping.SolveVirtual(plan, f, mapping.WriteCost{
+			CyclesPerCrossbar: cfg.WriteCyclesPerCrossbar,
+			Parallelism:       cfg.WriteParallelism,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("clsacim: virtualizing %q: %w", model.Name, err)
+		}
+		mapped = virtual.Mapping
+		sol = mapping.Solution{D: mapped.Dup, PEsNeeded: mapped.PEsUsed}
+	} else {
+		sol, err = mapping.Solve(plan, f, solver)
+		if err != nil {
+			return nil, fmt.Errorf("clsacim: solving duplication for %q: %w", model.Name, err)
+		}
+		mapped, err = mapping.Apply(g, plan, sol, f)
+		if err != nil {
+			return nil, fmt.Errorf("clsacim: applying mapping for %q: %w", model.Name, err)
+		}
+	}
+	setsPlan, err := sets.Determine(g, mapped, sets.Options{TargetSets: cfg.TargetSets})
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: stage I for %q: %w", model.Name, err)
+	}
+	depGraph, err := deps.Build(g, setsPlan)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: stage II for %q: %w", model.Name, err)
+	}
+	c := &Compiled{
+		ModelName: model.Name,
+		cfg:       cfg,
+		arch:      arch,
+		graph:     g,
+		plan:      plan,
+		mapped:    mapped,
+		setsPlan:  setsPlan,
+		depGraph:  depGraph,
+		dup:       sol,
+		peMin:     plan.MinPEs,
+		virtual:   virtual,
+	}
+	c.edgeCost = c.buildEdgeCost()
+	return c, nil
+}
+
+// buildEdgeCost assembles the optional NoC + GPEU dependency-edge cost
+// from the architecture configuration (nil when idealized).
+func (c *Compiled) buildEdgeCost() schedule.EdgeCostFn {
+	noc := c.arch.NoC.Enabled && c.arch.NoC.CyclesPerHop > 0
+	gpeu := c.arch.GPEUCyclesPerKElem > 0
+	if !noc && !gpeu {
+		return nil
+	}
+	tileOf := make([]int, len(c.mapped.Groups))
+	for i, g := range c.mapped.Groups {
+		if len(g.PEs) > 0 {
+			tileOf[i] = c.arch.TileOf(g.PEs[0])
+		}
+	}
+	arch := c.arch
+	return func(pred deps.SetRef, toLayer int) int64 {
+		var cost float64
+		if noc {
+			cost += float64(arch.HopDistance(tileOf[pred.Layer], tileOf[toLayer])) * arch.NoC.CyclesPerHop
+		}
+		if gpeu {
+			cost += arch.GPEUCyclesPerKElem * float64(pred.Vol) / 1024.0
+		}
+		return int64(cost + 0.5)
+	}
+}
+
+// PEmin returns the minimum PE count storing every weight once.
+func (c *Compiled) PEmin() int { return c.peMin }
+
+// TotalPEs returns F, the PE count of the compiled architecture.
+func (c *Compiled) TotalPEs() int { return c.arch.NumPEs }
+
+// PEsUsed returns the number of PEs actually allocated after mapping.
+func (c *Compiled) PEsUsed() int { return c.mapped.PEsUsed }
+
+// NumSets returns the total Stage I set count.
+func (c *Compiled) NumSets() int { return c.depGraph.NumSets() }
+
+// NumDepEdges returns the total Stage II dependency-edge count.
+func (c *Compiled) NumDepEdges() int { return c.depGraph.NumEdges() }
+
+// Report holds the scheduling outcome and the paper's metrics for one
+// (mapping, scheduling) configuration.
+type Report struct {
+	Model          string
+	Mode           ScheduleMode
+	F              int
+	PEmin          int
+	MakespanCycles int64
+	// LatencyNanos is MakespanCycles * tMVM.
+	LatencyNanos float64
+	// Utilization is paper Eq. 2.
+	Utilization float64
+	// Duplication holds the applied d vector (plan-layer order).
+	Duplication []int
+	// EnergyMicroJoule is the dynamic compute energy estimate
+	// (extension; 0 unless Config.EnergyPerMVMNanoJ is set).
+	EnergyMicroJoule float64
+	// ReloadCycles is the total crossbar-programming time included in
+	// the makespan (weight virtualization only).
+	ReloadCycles int64
+
+	sched *schedule.Schedule
+	comp  *Compiled
+}
+
+// Schedule runs Stage III/IV (ModeCrossLayer) or the layer-by-layer
+// baseline and computes the metrics. The schedule is validated before
+// being returned. Virtualized compilations (F < PEmin) support only
+// layer-by-layer scheduling: cross-layer overlap would require swapped
+// weights to be present twice.
+func (c *Compiled) Schedule(mode ScheduleMode) (*Report, error) {
+	var s *schedule.Schedule
+	var err error
+	var opt schedule.Options
+	if c.virtual != nil {
+		if mode != ModeLayerByLayer {
+			return nil, fmt.Errorf("clsacim: %q runs on %d < PEmin=%d PEs; cross-layer scheduling requires full weight residency",
+				c.ModelName, c.arch.NumPEs, c.peMin)
+		}
+		s, err = schedule.LayerByLayerVirtual(c.depGraph, c.virtual.ReloadCycles)
+	} else {
+		m := schedule.LayerByLayer
+		if mode == ModeCrossLayer {
+			m = schedule.CrossLayer
+			opt.EdgeCost = c.edgeCost
+		}
+		s, err = schedule.Build(c.depGraph, m, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(c.depGraph, opt); err != nil {
+		return nil, fmt.Errorf("clsacim: schedule validation: %w", err)
+	}
+	ut, err := metrics.Utilization(s, c.mapped)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Model:          c.ModelName,
+		Mode:           mode,
+		F:              c.arch.NumPEs,
+		PEmin:          c.peMin,
+		MakespanCycles: s.Makespan,
+		LatencyNanos:   metrics.LatencyNanos(s.Makespan, c.arch.TMVMNanos),
+		Utilization:    ut,
+		Duplication:    append([]int(nil), c.dup.D...),
+		ReloadCycles:   c.ReloadCyclesTotal(),
+		sched:          s,
+		comp:           c,
+	}
+	if c.cfg.EnergyPerMVMNanoJ > 0 {
+		nj, err := metrics.EnergyNanoJoule(s, c.mapped,
+			c.cfg.EnergyPerMVMNanoJ, c.cfg.EnergyPerWriteNanoJ, c.CrossbarWritesPerInference())
+		if err != nil {
+			return nil, err
+		}
+		rep.EnergyMicroJoule = nj / 1000
+	}
+	return rep, nil
+}
+
+// LayerSpan reports when one replica PE group of a base layer was first
+// and last active, and its total busy time.
+type LayerSpan struct {
+	Name     string
+	Replica  int // 0 <= Replica < DupCount
+	DupCount int
+	PEs      int // crossbars of this replica (c_i)
+	Start    int64
+	End      int64
+	Active   int64
+}
+
+// LayerSpans returns per-replica activity of the schedule in plan order,
+// for Gantt rendering and analysis.
+func (r *Report) LayerSpans() []LayerSpan {
+	var out []LayerSpan
+	for li, g := range r.comp.mapped.Groups {
+		items := r.sched.Items[li]
+		for rep := 0; rep < g.Dup; rep++ {
+			span := LayerSpan{
+				Name: g.Node.Name, Replica: rep, DupCount: g.Dup,
+				PEs:    g.PEsPerReplica(),
+				Active: r.sched.ReplicaActive[li][rep],
+				Start:  -1,
+			}
+			for _, it := range items {
+				if it.Replica != rep {
+					continue
+				}
+				if span.Start < 0 || it.Start < span.Start {
+					span.Start = it.Start
+				}
+				if it.End > span.End {
+					span.End = it.End
+				}
+			}
+			if span.Start < 0 {
+				span.Start = 0
+			}
+			out = append(out, span)
+		}
+	}
+	return out
+}
+
+// RenderGantt writes an ASCII Gantt chart of the schedule (the textual
+// analogue of paper Fig. 6a/6b) to w. width is the number of time
+// buckets (0 for the default).
+func (r *Report) RenderGantt(w io.Writer, width int) error {
+	rows := gantt.FromSchedule(r.comp.depGraph, r.sched)
+	title := fmt.Sprintf("%s, F=%d (%s, %s)", r.Model, r.F, mappingLabel(r.comp.cfg), r.Mode)
+	return gantt.Render(w, title, rows, r.MakespanCycles, gantt.Options{Width: width, ShowPEs: true})
+}
+
+func mappingLabel(cfg Config) string {
+	if cfg.WeightDuplication {
+		return "wdup"
+	}
+	return "no duplication"
+}
+
+// CriticalStep is one element of the schedule's critical path.
+type CriticalStep struct {
+	Layer  string
+	Set    int
+	Start  int64
+	End    int64
+	Cause  string // "dep", "resource", or "start"
+	Cycles int64
+}
+
+// CriticalPath returns the chain of set executions that determines the
+// makespan (earliest first): each step could not start earlier because
+// of the previous one (a data dependency or the same replica's previous
+// set). It answers "which layers limit inference latency" — the
+// duplication candidates for the next extra PEs.
+func (r *Report) CriticalPath() ([]CriticalStep, error) {
+	var opt schedule.Options
+	if r.Mode == ModeCrossLayer {
+		opt.EdgeCost = r.comp.edgeCost
+	}
+	path, err := r.sched.CriticalPath(r.comp.depGraph, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CriticalStep, len(path))
+	for i, st := range path {
+		out[i] = CriticalStep{
+			Layer:  r.comp.depGraph.Plan.Layers[st.Item.Layer].Group.Node.Name,
+			Set:    st.Item.Set,
+			Start:  st.Item.Start,
+			End:    st.Item.End,
+			Cause:  st.Cause,
+			Cycles: st.Item.End - st.Item.Start,
+		}
+	}
+	return out, nil
+}
+
+// CriticalLayers aggregates the critical path per layer, sorted along
+// the path: how many makespan cycles each layer chain contributes.
+func (r *Report) CriticalLayers() ([]CriticalStep, error) {
+	var opt schedule.Options
+	if r.Mode == ModeCrossLayer {
+		opt.EdgeCost = r.comp.edgeCost
+	}
+	path, err := r.sched.CriticalPath(r.comp.depGraph, opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []CriticalStep
+	for _, sum := range schedule.SummarizeCriticalPath(r.comp.depGraph, path) {
+		out = append(out, CriticalStep{Layer: sum.Name, Set: sum.Steps, Cycles: sum.Cycles})
+	}
+	return out, nil
+}
+
+// WriteScheduleJSON serializes the full set-level schedule (layer names,
+// replica assignment, per-set timing and OFM boxes) as indented JSON for
+// external tooling.
+func (r *Report) WriteScheduleJSON(w io.Writer) error {
+	return r.sched.WriteJSON(w, r.comp.depGraph)
+}
+
+// SimReport is the outcome of the event-driven simulation.
+type SimReport struct {
+	Model          string
+	Mode           ScheduleMode
+	MakespanCycles int64
+	LatencyNanos   float64
+	Utilization    float64
+	// PeakLiveElems is the maximum number of intermediate OFM elements
+	// simultaneously buffered on the architecture.
+	PeakLiveElems int64
+	// PEActive holds per-PE busy cycles (length F).
+	PEActive []int64
+}
+
+// Simulate executes the workload on the discrete-event simulator
+// (package sim) instead of the analytic scheduler. Both produce
+// identical timelines — the simulator additionally reports per-PE
+// activity and buffer pressure.
+func (c *Compiled) Simulate(mode ScheduleMode) (*SimReport, error) {
+	m := schedule.LayerByLayer
+	var edge schedule.EdgeCostFn
+	if mode == ModeCrossLayer {
+		m = schedule.CrossLayer
+		edge = c.edgeCost
+	}
+	res, err := sim.Run(c.arch, c.depGraph, c.mapped, m, edge)
+	if err != nil {
+		return nil, err
+	}
+	return &SimReport{
+		Model:          c.ModelName,
+		Mode:           mode,
+		MakespanCycles: res.MakespanCycles,
+		LatencyNanos:   metrics.LatencyNanos(res.MakespanCycles, c.arch.TMVMNanos),
+		Utilization:    res.Utilization,
+		PeakLiveElems:  res.PeakLiveElems,
+		PEActive:       res.PEActive,
+	}, nil
+}
+
+// Evaluation compares one configuration against the paper's reference:
+// layer-by-layer scheduling without weight duplication on F = PEmin PEs.
+type Evaluation struct {
+	Baseline *Report // lbl, x = 0, no duplication
+	Result   *Report
+	// Speedup is Baseline.MakespanCycles / Result.MakespanCycles.
+	Speedup float64
+	// UtilizationGain is Result.Utilization / Baseline.Utilization.
+	UtilizationGain float64
+	// Eq3Speedup is the paper's Eq. 3 estimate from the utilizations.
+	Eq3Speedup float64
+}
+
+// Evaluate compiles and schedules model under cfg and mode, and measures
+// speedup and utilization gain against the layer-by-layer reference.
+func Evaluate(model *Model, cfg Config, mode ScheduleMode) (*Evaluation, error) {
+	baseCfg := cfg
+	baseCfg.ExtraPEs = 0
+	baseCfg.TotalPEs = 0
+	baseCfg.WeightDuplication = false
+	baseComp, err := Compile(model, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := baseComp.Schedule(ModeLayerByLayer)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := Compile(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	result, err := comp.Schedule(mode)
+	if err != nil {
+		return nil, err
+	}
+	x := comp.TotalPEs() - comp.PEmin()
+	return &Evaluation{
+		Baseline:        baseline,
+		Result:          result,
+		Speedup:         metrics.Speedup(baseline.MakespanCycles, result.MakespanCycles),
+		UtilizationGain: result.Utilization / baseline.Utilization,
+		Eq3Speedup:      metrics.Eq3Speedup(result.Utilization, baseline.Utilization, comp.PEmin(), x),
+	}, nil
+}

@@ -1,0 +1,115 @@
+// Command clsasim compiles a model for a tiled CIM architecture and
+// reports the paper's evaluation metrics for one configuration:
+// makespan, latency, utilization (Eq. 2), and speedup against the
+// layer-by-layer reference.
+//
+// Usage:
+//
+//	clsasim -model tinyyolov4 -x 32 -wdup -sched xinf
+//	clsasim -model resnet50 -x 4 -wdup -sched xinf -noc 1.5
+//	clsasim -model vgg16 -sched lbl -sets 26
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	clsacim "clsacim"
+)
+
+func main() {
+	model := flag.String("model", "tinyyolov4", "model name")
+	x := flag.Int("x", 0, "extra PEs beyond PEmin (the paper's wdup+x)")
+	wdup := flag.Bool("wdup", false, "enable weight duplication mapping")
+	sched := flag.String("sched", "xinf", "scheduling: xinf (CLSA-CIM) or lbl (layer-by-layer)")
+	solver := flag.String("solver", "dp", "duplication solver: dp, greedy, minmax, none")
+	sets := flag.Int("sets", 0, "target sets per layer (0 = finest)")
+	pe := flag.Int("pe", 256, "crossbar dimension")
+	noc := flag.Float64("noc", 0, "NoC cycles per mesh hop (0 = idealized)")
+	gpeu := flag.Float64("gpeu", 0, "GPEU cycles per 1024 transferred elements")
+	simulate := flag.Bool("sim", false, "also run the event-driven simulator and report buffer pressure")
+	critical := flag.Bool("critical", false, "print the critical path aggregated per layer")
+	flag.Parse()
+
+	mode := clsacim.ModeCrossLayer
+	switch *sched {
+	case "xinf":
+	case "lbl":
+		mode = clsacim.ModeLayerByLayer
+	default:
+		fatal(fmt.Errorf("unknown -sched %q (want xinf or lbl)", *sched))
+	}
+
+	m, err := clsacim.LoadModel(*model, clsacim.ModelOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	cfg := clsacim.Config{
+		PERows: *pe, PECols: *pe,
+		ExtraPEs:           *x,
+		WeightDuplication:  *wdup,
+		Solver:             *solver,
+		TargetSets:         *sets,
+		NoCCyclesPerHop:    *noc,
+		GPEUCyclesPerKElem: *gpeu,
+	}
+	ev, err := clsacim.Evaluate(m, cfg, mode)
+	if err != nil {
+		fatal(err)
+	}
+	r := ev.Result
+	fmt.Printf("model          %s\n", r.Model)
+	fmt.Printf("architecture   F = %d PEs (PEmin %d + x %d), %dx%d crossbars\n",
+		r.F, r.PEmin, r.F-r.PEmin, *pe, *pe)
+	fmt.Printf("mapping        wdup=%v solver=%s\n", *wdup, *solver)
+	fmt.Printf("scheduling     %v\n", r.Mode)
+	fmt.Printf("makespan       %d cycles (%.3f ms at tMVM=1400ns)\n",
+		r.MakespanCycles, r.LatencyNanos/1e6)
+	fmt.Printf("utilization    %.2f%% (baseline lbl: %.2f%%)\n",
+		r.Utilization*100, ev.Baseline.Utilization*100)
+	fmt.Printf("speedup        %.2fx vs layer-by-layer (Eq.3 estimate %.2fx)\n",
+		ev.Speedup, ev.Eq3Speedup)
+	if dups := nonTrivial(r.Duplication); dups > 0 {
+		fmt.Printf("duplication    %d layers duplicated: %v\n", dups, r.Duplication)
+	}
+
+	if *simulate {
+		comp, err := clsacim.Compile(m, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		sr, err := comp.Simulate(mode)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("event sim      makespan %d cycles, utilization %.2f%%, peak live data %d elements\n",
+			sr.MakespanCycles, sr.Utilization*100, sr.PeakLiveElems)
+	}
+
+	if *critical {
+		layers, err := r.CriticalLayers()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("critical path (per-layer contribution to the makespan):")
+		for _, l := range layers {
+			fmt.Printf("  %-16s %8d cycles over %d sets\n", l.Layer, l.Cycles, l.Set)
+		}
+	}
+}
+
+func nonTrivial(d []int) int {
+	n := 0
+	for _, v := range d {
+		if v > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clsasim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command netinfo prints the base-layer structure of a model after
+// canonicalization — the data of paper Table I — or the benchmark
+// overview of paper Table II.
+//
+// Usage:
+//
+//	netinfo -model tinyyolov4          # Table I style layer listing
+//	netinfo -table2                    # Table II benchmark overview
+//	netinfo -model vgg16 -pe 128       # retargeted crossbar size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	clsacim "clsacim"
+	"clsacim/internal/bench"
+)
+
+func main() {
+	model := flag.String("model", "tinyyolov4", "model name (see -list)")
+	pe := flag.Int("pe", 256, "crossbar dimension (PE rows = cols)")
+	table2 := flag.Bool("table2", false, "print the paper Table II benchmark overview")
+	list := flag.Bool("list", false, "list available models")
+	flag.Parse()
+
+	if *list {
+		for _, name := range clsacim.AllModels() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	h := bench.NewHarness(clsacim.Config{PERows: *pe, PECols: *pe})
+	if *table2 {
+		if err := h.PrintTableII(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	m, err := clsacim.LoadModel(*model, clsacim.ModelOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	comp, err := clsacim.Compile(m, clsacim.Config{PERows: *pe, PECols: *pe})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d base layers, PEmin = %d (%dx%d PEs)\n",
+		*model, comp.BaseLayerCount(), comp.PEmin(), *pe, *pe)
+	fmt.Printf("%-14s %-16s %-16s %6s %10s\n", "Layer", "IFM (HWC)", "OFM (HWC)", "#PE", "Cycles")
+	for _, r := range comp.LayerTable() {
+		fmt.Printf("%-14s (%4d,%4d,%4d) (%4d,%4d,%4d) %6d %10d\n",
+			r.Name, r.IFM[0], r.IFM[1], r.IFM[2], r.OFM[0], r.OFM[1], r.OFM[2], r.PEs, r.Cycles)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "netinfo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command paperbench regenerates the tables and figures of the paper's
+// evaluation section (§V) and the ablation studies.
+//
+// Usage:
+//
+//	paperbench                  # everything
+//	paperbench -exp table1      # one experiment
+//	paperbench -exp fig7 -csv   # machine-readable series
+//
+// Experiments: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	clsacim "clsacim"
+	"clsacim/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all")
+	csv := flag.Bool("csv", false, "emit fig6c/fig7 series as CSV")
+	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
+	flag.Parse()
+
+	h := bench.NewHarness(clsacim.Config{TargetSets: *sets})
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		switch *exp {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	run("table1", func() error { return h.PrintTableI(w) })
+	run("table2", func() error { return h.PrintTableII(w) })
+	run("fig6a", func() error { return h.PrintFig6(w, clsacim.ModeLayerByLayer, 100) })
+	run("fig6b", func() error { return h.PrintFig6(w, clsacim.ModeCrossLayer, 100) })
+	run("fig6c", func() error {
+		if *csv {
+			points, err := h.RunFig6c()
+			if err != nil {
+				return err
+			}
+			return bench.WriteCSV(w, points)
+		}
+		return h.PrintFig6c(w)
+	})
+	run("fig7", func() error {
+		if *csv {
+			points, err := h.RunFig7()
+			if err != nil {
+				return err
+			}
+			return bench.WriteCSV(w, points)
+		}
+		return h.PrintFig7(w)
+	})
+	run("ablations", func() error { return h.PrintAblations(w) })
+}

@@ -1,0 +1,180 @@
+// Package bench is the evaluation harness: it regenerates every table
+// and figure of the paper's evaluation section (§V) — Table I, Table II,
+// Fig. 6a/6b/6c, Fig. 7a/7b — plus the ablation studies listed in
+// DESIGN.md. Each experiment has a data-returning Run function (used by
+// tests and the Go benchmarks in bench_test.go) and a printing wrapper
+// (used by cmd/paperbench).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	clsacim "clsacim"
+)
+
+// XValues are the extra-PE sweeps of the paper's Fig. 7 ("wdup+x").
+var XValues = []int{4, 8, 16, 32}
+
+// Benchmarks are the evaluation networks of Table II, in table order.
+var Benchmarks = []string{"tinyyolov3", "vgg16", "vgg19", "resnet50", "resnet101", "resnet152"}
+
+// Harness caches per-model baselines so sweeps do not recompile the
+// layer-by-layer reference for every point.
+type Harness struct {
+	// Base is applied to every configuration before per-point overrides
+	// (use it to pin granularity, NoC costs, and so on).
+	Base clsacim.Config
+
+	models    map[string]*clsacim.Model
+	baselines map[string]*clsacim.Report
+}
+
+// NewHarness returns a harness with the given base configuration.
+func NewHarness(base clsacim.Config) *Harness {
+	return &Harness{
+		Base:      base,
+		models:    make(map[string]*clsacim.Model),
+		baselines: make(map[string]*clsacim.Report),
+	}
+}
+
+func (h *Harness) model(name string) (*clsacim.Model, error) {
+	if m, ok := h.models[name]; ok {
+		return m, nil
+	}
+	m, err := clsacim.LoadModel(name, clsacim.ModelOptions{})
+	if err != nil {
+		return nil, err
+	}
+	h.models[name] = m
+	return m, nil
+}
+
+// Baseline returns the layer-by-layer, no-duplication, x=0 reference for
+// a model (cached).
+func (h *Harness) Baseline(name string) (*clsacim.Report, error) {
+	if r, ok := h.baselines[name]; ok {
+		return r, nil
+	}
+	m, err := h.model(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := h.Base
+	cfg.ExtraPEs = 0
+	cfg.TotalPEs = 0
+	cfg.WeightDuplication = false
+	comp, err := clsacim.Compile(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := comp.Schedule(clsacim.ModeLayerByLayer)
+	if err != nil {
+		return nil, err
+	}
+	h.baselines[name] = rep
+	return rep, nil
+}
+
+// Point is one measured configuration.
+type Point struct {
+	Model string
+	// Mapping is "-" (no duplication) or "wdup+<x>".
+	Mapping string
+	X       int
+	Sched   string // "lbl" or "xinf"
+	// Speedup is relative to the layer-by-layer x=0 baseline.
+	Speedup     float64
+	Utilization float64
+	Makespan    int64
+	// UtGain is Utilization / baseline utilization.
+	UtGain float64
+}
+
+// Label renders the paper's configuration naming, e.g. "wdup+16 xinf".
+func (p Point) Label() string {
+	if p.Mapping == "-" {
+		return p.Sched
+	}
+	return p.Mapping + " " + p.Sched
+}
+
+// Run measures one configuration.
+func (h *Harness) Run(model string, x int, wdup bool, mode clsacim.ScheduleMode) (Point, error) {
+	base, err := h.Baseline(model)
+	if err != nil {
+		return Point{}, err
+	}
+	m, err := h.model(model)
+	if err != nil {
+		return Point{}, err
+	}
+	cfg := h.Base
+	cfg.ExtraPEs = x
+	cfg.WeightDuplication = wdup
+	comp, err := clsacim.Compile(m, cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	rep, err := comp.Schedule(mode)
+	if err != nil {
+		return Point{}, err
+	}
+	p := Point{
+		Model:       model,
+		Mapping:     "-",
+		X:           x,
+		Sched:       "lbl",
+		Speedup:     float64(base.MakespanCycles) / float64(rep.MakespanCycles),
+		Utilization: rep.Utilization,
+		Makespan:    rep.MakespanCycles,
+		UtGain:      rep.Utilization / base.Utilization,
+	}
+	if wdup {
+		p.Mapping = fmt.Sprintf("wdup+%d", x)
+	}
+	if mode == clsacim.ModeCrossLayer {
+		p.Sched = "xinf"
+	}
+	return p, nil
+}
+
+// table starts an aligned table writer.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// WriteCSV emits points as CSV with a header row.
+func WriteCSV(w io.Writer, points []Point) error {
+	if _, err := fmt.Fprintln(w, "model,mapping,x,sched,speedup,utilization,makespan_cycles"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%s,%.4f,%.6f,%d\n",
+			p.Model, p.Mapping, p.X, p.Sched, p.Speedup, p.Utilization, p.Makespan); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortPoints orders points by (model, mapping, sched, x) for stable
+// output.
+func SortPoints(points []Point) {
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.Model != b.Model {
+			return a.Model < b.Model
+		}
+		if a.Sched != b.Sched {
+			return a.Sched < b.Sched
+		}
+		if a.Mapping != b.Mapping {
+			return a.Mapping < b.Mapping
+		}
+		return a.X < b.X
+	})
+}

@@ -1,0 +1,153 @@
+// Package cim models the tiled RRAM computing-in-memory architecture of
+// paper §II-A: tiles connected by an NoC, each containing crossbar
+// processing elements (PEs), input/output buffers, and a general-purpose
+// execution unit (GPEU) for non-MVM operations, with a global DRAM behind
+// the NoC. The package provides both the architecture description used by
+// the scheduler/simulator and a functional crossbar model used to verify
+// that the compilation pipeline preserves inference results.
+package cim
+
+import (
+	"fmt"
+
+	"clsacim/internal/im2col"
+)
+
+// DefaultTMVMNanos is the MVM latency of the reference 256x256 RRAM
+// crossbar used in the paper's case study (1400 ns, from Wan et al. [4]).
+// One scheduler cycle corresponds to this duration.
+const DefaultTMVMNanos = 1400.0
+
+// Config is the architecture description. The scheduler needs only the
+// paper's three core simulation parameters (NumPEs, PE dims, tMVM); the
+// remaining fields refine the model for the simulator extensions.
+type Config struct {
+	// NumPEs is the total crossbar count F. The paper's experiments set
+	// F = PEmin + x for x in {0, 4, 8, 16, 32}.
+	NumPEs int
+	// PE gives the crossbar dimensions (rows x cols). CLSA-CIM accepts
+	// arbitrary sizes (paper §V-C); the case study uses 256x256.
+	PE im2col.PEDims
+	// TMVMNanos is the MVM latency in nanoseconds (one cycle).
+	TMVMNanos float64
+	// PEsPerTile groups PEs into tiles for NoC distance and buffer
+	// accounting. 0 means one PE per tile.
+	PEsPerTile int
+	// WeightBits / CellBits configure the functional crossbar model:
+	// weights are quantized to WeightBits and bit-sliced over
+	// ceil((WeightBits-1)/CellBits) cells (paper §III-A: up to 4-bit
+	// RRAM cells).
+	WeightBits int
+	CellBits   int
+	// InputBits is the DAC resolution for activations in the functional
+	// model.
+	InputBits int
+	// GPEUCyclesPerKElem is the GPEU cost in cycles per 1024 produced
+	// elements for non-base layers. The paper's idealized model uses 0.
+	GPEUCyclesPerKElem float64
+	// NoC models data movement cost between tiles; zero value disables
+	// it (the paper's idealized uniform-cost assumption).
+	NoC NoCConfig
+}
+
+// NoCConfig describes the optional mesh NoC cost model (paper §V-C lists
+// data-movement cost differentiation as future work; we provide it as an
+// extension to study sensitivity).
+type NoCConfig struct {
+	// Enabled turns hop-dependent transfer latency on.
+	Enabled bool
+	// CyclesPerHop is the added latency per mesh hop for forwarding one
+	// scheduling set's data.
+	CyclesPerHop float64
+	// MeshWidth is the number of tiles per mesh row; 0 derives a square
+	// mesh from the tile count.
+	MeshWidth int
+}
+
+// Default returns the paper's case-study architecture: 256x256 crossbars,
+// tMVM = 1400 ns, 8-bit weights on 4-bit cells, idealized GPEU and NoC.
+// NumPEs is left to the caller (it depends on the network).
+func Default() Config {
+	return Config{
+		PE:         im2col.PEDims{Rows: 256, Cols: 256},
+		TMVMNanos:  DefaultTMVMNanos,
+		PEsPerTile: 4,
+		WeightBits: 8,
+		CellBits:   4,
+		InputBits:  8,
+	}
+}
+
+// Validate checks configuration invariants.
+func (c Config) Validate() error {
+	if c.NumPEs <= 0 {
+		return fmt.Errorf("cim: NumPEs %d must be positive", c.NumPEs)
+	}
+	if !c.PE.Valid() {
+		return fmt.Errorf("cim: invalid PE dims %v", c.PE)
+	}
+	if c.TMVMNanos <= 0 {
+		return fmt.Errorf("cim: TMVMNanos %v must be positive", c.TMVMNanos)
+	}
+	if c.PEsPerTile < 0 {
+		return fmt.Errorf("cim: PEsPerTile %d must be >= 0", c.PEsPerTile)
+	}
+	if c.WeightBits < 0 || c.CellBits < 0 || c.InputBits < 0 {
+		return fmt.Errorf("cim: negative bit width")
+	}
+	if c.NoC.Enabled && c.NoC.CyclesPerHop < 0 {
+		return fmt.Errorf("cim: negative NoC hop cost")
+	}
+	return nil
+}
+
+// Tiles returns the number of tiles implied by NumPEs and PEsPerTile.
+func (c Config) Tiles() int {
+	per := c.PEsPerTile
+	if per <= 0 {
+		per = 1
+	}
+	return (c.NumPEs + per - 1) / per
+}
+
+// TileOf returns the tile index hosting PE pe.
+func (c Config) TileOf(pe int) int {
+	per := c.PEsPerTile
+	if per <= 0 {
+		per = 1
+	}
+	return pe / per
+}
+
+// MeshWidth returns the NoC mesh width (configured or derived square).
+func (c Config) MeshWidth() int {
+	if c.NoC.MeshWidth > 0 {
+		return c.NoC.MeshWidth
+	}
+	t := c.Tiles()
+	w := 1
+	for w*w < t {
+		w++
+	}
+	return w
+}
+
+// HopDistance returns the Manhattan distance between two tiles on the
+// mesh (XY routing).
+func (c Config) HopDistance(tileA, tileB int) int {
+	w := c.MeshWidth()
+	ax, ay := tileA%w, tileA/w
+	bx, by := tileB%w, tileB/w
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// CycleNanos returns the duration of one scheduler cycle.
+func (c Config) CycleNanos() float64 { return c.TMVMNanos }

@@ -1,0 +1,296 @@
+package cim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Default()
+	cfg.NumPEs = 10
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.NumPEs = 0
+	if bad.Validate() == nil {
+		t.Error("NumPEs=0 accepted")
+	}
+	bad = cfg
+	bad.TMVMNanos = -1
+	if bad.Validate() == nil {
+		t.Error("negative tMVM accepted")
+	}
+	bad = cfg
+	bad.PE = im2col.PEDims{}
+	if bad.Validate() == nil {
+		t.Error("zero PE dims accepted")
+	}
+	bad = cfg
+	bad.NoC = NoCConfig{Enabled: true, CyclesPerHop: -2}
+	if bad.Validate() == nil {
+		t.Error("negative hop cost accepted")
+	}
+}
+
+func TestTilesAndHops(t *testing.T) {
+	cfg := Default()
+	cfg.NumPEs = 10
+	cfg.PEsPerTile = 4
+	if got := cfg.Tiles(); got != 3 {
+		t.Errorf("Tiles = %d, want 3", got)
+	}
+	if got := cfg.TileOf(7); got != 1 {
+		t.Errorf("TileOf(7) = %d, want 1", got)
+	}
+	// 3 tiles -> 2x2 mesh.
+	if got := cfg.MeshWidth(); got != 2 {
+		t.Errorf("MeshWidth = %d, want 2", got)
+	}
+	if got := cfg.HopDistance(0, 3); got != 2 {
+		t.Errorf("HopDistance(0,3) = %d, want 2 (XY)", got)
+	}
+	if got := cfg.HopDistance(1, 1); got != 0 {
+		t.Errorf("HopDistance(1,1) = %d", got)
+	}
+	cfg.PEsPerTile = 0
+	if got := cfg.Tiles(); got != 10 {
+		t.Errorf("Tiles with 0 per tile = %d, want 10 (one PE per tile)", got)
+	}
+}
+
+func TestCrossbarProgramOnce(t *testing.T) {
+	km := im2col.NewMatrix(4, 4)
+	x := NewCrossbar(im2col.PEDims{Rows: 4, Cols: 4})
+	if err := x.Program(km, 0, 4, 0, 4, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Program(km, 0, 4, 0, 4, 8, 4); err == nil {
+		t.Error("reprogramming accepted (RRAM endurance)")
+	}
+}
+
+func TestCrossbarProgramBounds(t *testing.T) {
+	km := im2col.NewMatrix(4, 4)
+	x := NewCrossbar(im2col.PEDims{Rows: 2, Cols: 2})
+	if err := x.Program(km, 0, 3, 0, 2, 8, 4); err == nil {
+		t.Error("oversize submatrix accepted")
+	}
+	if err := x.Program(km, 3, 2, 0, 2, 8, 4); err == nil {
+		t.Error("out-of-matrix submatrix accepted")
+	}
+}
+
+func TestCrossbarMVMAccuracy(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	km := im2col.NewMatrix(16, 8)
+	for i := range km.Data {
+		km.Data[i] = (r.Float32()*2 - 1)
+	}
+	x := NewCrossbar(im2col.PEDims{Rows: 16, Cols: 8})
+	if err := x.Program(km, 0, 16, 0, 8, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float32, 16)
+	for i := range in {
+		in[i] = r.Float32()*2 - 1
+	}
+	got, err := x.MVM(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 8; c++ {
+		var want float64
+		for rI := 0; rI < 16; rI++ {
+			want += float64(in[rI]) * float64(km.At(rI, c))
+		}
+		d := float64(got[c]) - want
+		if d < 0 {
+			d = -d
+		}
+		// 8-bit weights x 8-bit inputs over 16 rows: generous bound.
+		if d > 0.15 {
+			t.Errorf("col %d: got %v want %v (err %v)", c, got[c], want, d)
+		}
+	}
+	if _, err := x.MVM(in[:4], 8); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := NewCrossbar(im2col.PEDims{Rows: 2, Cols: 2}).MVM(in, 8); err == nil {
+		t.Error("unprogrammed MVM accepted")
+	}
+}
+
+// TestQuickBitSlicingEquivalence checks cell resolution does not change
+// MVM results: 8-bit weights on 4-bit cells (2 slices) equal 8-bit cells
+// (1 slice) exactly, since slicing is lossless.
+func TestQuickBitSlicingEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		rows, cols := 1+r.Intn(12), 1+r.Intn(6)
+		km := im2col.NewMatrix(rows, cols)
+		for i := range km.Data {
+			km.Data[i] = r.Float32()*4 - 2
+		}
+		a := NewCrossbar(im2col.PEDims{Rows: rows, Cols: cols})
+		b := NewCrossbar(im2col.PEDims{Rows: rows, Cols: cols})
+		if a.Program(km, 0, rows, 0, cols, 8, 4) != nil {
+			return false
+		}
+		if b.Program(km, 0, rows, 0, cols, 8, 8) != nil {
+			return false
+		}
+		in := make([]float32, rows)
+		for i := range in {
+			in[i] = r.Float32()*2 - 1
+		}
+		va, err := a.MVM(in, 8)
+		if err != nil {
+			return false
+		}
+		vb, err := b.MVM(in, 8)
+		if err != nil {
+			return false
+		}
+		for i := range va {
+			if va[i] != vb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPEGroupConvMatchesReference checks multi-PE group execution (a
+// conv whose kernel matrix spans several crossbars) against the float
+// reference within quantization noise.
+func TestPEGroupConvMatchesReference(t *testing.T) {
+	cfg := Default()
+	cfg.PE = im2col.PEDims{Rows: 16, Cols: 8} // force PV, PH > 1
+	w := nn.NewConvWeights(3, 3, 4, 10)       // 36 rows x 10 cols -> 3x2 grid
+	w.FillRand(8, 0.5)
+	op := &nn.Conv2D{KH: 3, KW: 3, SH: 1, SW: 1, KI: 4, KO: 10, W: w}
+	grp, err := ProgramConv(op, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.NumPEs() != 6 {
+		t.Fatalf("group PEs = %d, want 6", grp.NumPEs())
+	}
+	in := tensor.New(tensor.NewShape(6, 6, 4))
+	in.FillRand(9, 1)
+	got, err := grp.ExecuteConv(op, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := im2col.ConvViaGEMM(op, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(got, ref); d > 0.2 {
+		t.Errorf("crossbar conv deviates %v", d)
+	}
+}
+
+func TestPEGroupDense(t *testing.T) {
+	cfg := Default()
+	cfg.PE = im2col.PEDims{Rows: 8, Cols: 8}
+	w := nn.NewConvWeights(1, 1, 20, 12)
+	w.FillRand(3, 0.5)
+	op := &nn.Dense{KI: 20, KO: 12, W: w}
+	grp, err := ProgramDense(op, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grp.NumPEs() != 3*2 {
+		t.Fatalf("dense group PEs = %d", grp.NumPEs())
+	}
+	in := tensor.New(tensor.NewShape(1, 1, 20))
+	in.FillRand(4, 1)
+	got, err := grp.ExecuteDense(op, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ko := 0; ko < 12; ko++ {
+		var want float64
+		for ki := 0; ki < 20; ki++ {
+			want += float64(in.Data[ki]) * float64(w.At(0, 0, ki, ko))
+		}
+		d := float64(got.Data[ko]) - want
+		if d < 0 {
+			d = -d
+		}
+		if d > 0.1 {
+			t.Errorf("dense[%d] err %v", ko, d)
+		}
+	}
+	if _, err := grp.ExecuteDense(op, tensor.New(tensor.NewShape(1, 1, 3))); err == nil {
+		t.Error("wrong dense input accepted")
+	}
+}
+
+func TestProgramRequiresWeights(t *testing.T) {
+	if _, err := ProgramConv(&nn.Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 1}, Default()); err == nil {
+		t.Error("weightless conv programmed")
+	}
+	if _, err := ProgramDense(&nn.Dense{KI: 1, KO: 1}, Default()); err == nil {
+		t.Error("weightless dense programmed")
+	}
+}
+
+// TestGraphExecutorEndToEnd runs a weight-carrying model fully on
+// crossbars and compares against the float reference. The graph must be
+// canonical (valid convolutions) before crossbar lowering.
+func TestGraphExecutorEndToEnd(t *testing.T) {
+	g := models.MustBuild(models.TinyConvNet, models.Options{WithWeights: true, Seed: 12})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(g.Input.OutShape)
+	in.FillRand(5, 1)
+	ref, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := NewGraphExecutor(Default())
+	got, err := ge.Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ref) {
+		t.Fatalf("output count %d != %d", len(got), len(ref))
+	}
+	scale := ref[0].MaxAbs()
+	if d := tensor.MaxAbsDiff(got[0], ref[0]); float64(d) > 0.1*float64(scale)+0.02 {
+		t.Errorf("crossbar graph deviates %v (scale %v)", d, scale)
+	}
+	if ge.PEsProgrammed() == 0 {
+		t.Error("no PEs programmed")
+	}
+	// Second run must reuse the programmed crossbars (no reprogram error).
+	if _, err := ge.Run(g, in); err != nil {
+		t.Errorf("second run failed: %v", err)
+	}
+}
+
+func TestMeshWidthConfigured(t *testing.T) {
+	cfg := Default()
+	cfg.NumPEs = 64
+	cfg.NoC.MeshWidth = 3
+	if got := cfg.MeshWidth(); got != 3 {
+		t.Errorf("configured mesh width ignored: %d", got)
+	}
+	if got := cfg.CycleNanos(); got != DefaultTMVMNanos {
+		t.Errorf("CycleNanos = %v", got)
+	}
+}

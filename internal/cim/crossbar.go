@@ -1,0 +1,141 @@
+package cim
+
+import (
+	"fmt"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/quant"
+)
+
+// Crossbar is a functional model of one RRAM PE: a Rows x Cols submatrix
+// of a layer's kernel matrix, stored as bit-sliced integer conductance
+// levels. MVM computes the analog dot product digitally but with the same
+// arithmetic precision: quantized inputs times quantized (bit-sliced)
+// weights, accumulated exactly, then rescaled.
+type Crossbar struct {
+	dims     im2col.PEDims
+	rows     int // occupied rows (<= dims.Rows)
+	cols     int // occupied cols (<= dims.Cols)
+	slices   int
+	cellBits int
+	wq       quant.Params
+	// sign[r*cols+c] and cells[s][r*cols+c] hold the sign-magnitude
+	// bit-sliced levels.
+	sign  []int8
+	cells [][]int16
+}
+
+// NewCrossbar returns an unprogrammed crossbar of the given dimensions.
+func NewCrossbar(dims im2col.PEDims) *Crossbar {
+	return &Crossbar{dims: dims}
+}
+
+// Dims returns the crossbar dimensions.
+func (x *Crossbar) Dims() im2col.PEDims { return x.dims }
+
+// Program writes the sub-matrix of km spanning rows [r0, r0+rows) and
+// columns [c0, c0+cols) into the crossbar, quantizing to weightBits and
+// bit-slicing into cellBits-wide cells. RRAM endurance is limited
+// (paper §II-A), so a crossbar is programmed exactly once; reprogramming
+// returns an error.
+func (x *Crossbar) Program(km *im2col.Matrix, r0, rows, c0, cols, weightBits, cellBits int) error {
+	if x.cells != nil {
+		return fmt.Errorf("cim: crossbar already programmed (RRAM endurance: weights are written once)")
+	}
+	if rows <= 0 || cols <= 0 || rows > x.dims.Rows || cols > x.dims.Cols {
+		return fmt.Errorf("cim: submatrix %dx%d exceeds crossbar %v", rows, cols, x.dims)
+	}
+	if r0 < 0 || c0 < 0 || r0+rows > km.R || c0+cols > km.C {
+		return fmt.Errorf("cim: submatrix [%d:%d)x[%d:%d) outside kernel matrix %dx%d",
+			r0, r0+rows, c0, c0+cols, km.R, km.C)
+	}
+	var maxAbs float32
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := km.At(r0+r, c0+c)
+			if v < 0 {
+				v = -v
+			}
+			if v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	wq, err := quant.Calibrate(weightBits, maxAbs)
+	if err != nil {
+		return err
+	}
+	k := quant.SlicesNeeded(weightBits, cellBits)
+	x.rows, x.cols = rows, cols
+	x.slices, x.cellBits = k, cellBits
+	x.wq = wq
+	x.sign = make([]int8, rows*cols)
+	x.cells = make([][]int16, k)
+	for s := range x.cells {
+		x.cells[s] = make([]int16, rows*cols)
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			q := wq.Quantize(km.At(r0+r, c0+c))
+			sign, cs := quant.BitSlices(q, cellBits, k)
+			idx := r*cols + c
+			x.sign[idx] = int8(sign)
+			for s := 0; s < k; s++ {
+				x.cells[s][idx] = int16(cs[s])
+			}
+		}
+	}
+	return nil
+}
+
+// MVM performs one matrix-vector multiplication: input x (length >= the
+// programmed row count; extra entries ignored) against the programmed
+// submatrix, returning one value per programmed column. Inputs are
+// quantized to inputBits (the DAC resolution); partial products from each
+// bit slice are shifted and accumulated digitally.
+func (x *Crossbar) MVM(in []float32, inputBits int) ([]float32, error) {
+	if x.cells == nil {
+		return nil, fmt.Errorf("cim: crossbar not programmed")
+	}
+	if len(in) < x.rows {
+		return nil, fmt.Errorf("cim: input length %d < programmed rows %d", len(in), x.rows)
+	}
+	var maxAbs float32
+	for _, v := range in[:x.rows] {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	xq, err := quant.Calibrate(inputBits, maxAbs)
+	if err != nil {
+		return nil, err
+	}
+	qin := make([]int64, x.rows)
+	for r := 0; r < x.rows; r++ {
+		qin[r] = int64(xq.Quantize(in[r]))
+	}
+	out := make([]float32, x.cols)
+	scale := float64(x.wq.Scale) * float64(xq.Scale)
+	for c := 0; c < x.cols; c++ {
+		var acc int64
+		for r := 0; r < x.rows; r++ {
+			idx := r*x.cols + c
+			var w int64
+			for s := x.slices - 1; s >= 0; s-- {
+				w = w<<x.cellBits | int64(x.cells[s][idx])
+			}
+			acc += qin[r] * w * int64(x.sign[idx])
+		}
+		out[c] = float32(float64(acc) * scale)
+	}
+	return out, nil
+}
+
+// Rows returns the number of programmed rows.
+func (x *Crossbar) Rows() int { return x.rows }
+
+// Cols returns the number of programmed columns.
+func (x *Crossbar) Cols() int { return x.cols }

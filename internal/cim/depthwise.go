@@ -1,0 +1,109 @@
+package cim
+
+import (
+	"fmt"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// DepthwiseGroup is the packed crossbar realization of a depthwise
+// convolution: ceil(C/P) crossbars, each holding P channels as a
+// block-diagonal submatrix (channel slot j occupies rows
+// [j*KH*KW, (j+1)*KH*KW) and column j; all other cells stay at zero
+// conductance). This is the shifted/duplicated-kernel packing of the
+// paper's reference [14] (VWC-SDK), adapted to depth multiplier 1.
+type DepthwiseGroup struct {
+	packing   int
+	win       int // KH*KW
+	bars      []*Crossbar
+	inputBits int
+}
+
+// ProgramDepthwise quantizes and programs a depthwise layer.
+func ProgramDepthwise(op *nn.DepthwiseConv2D, cfg Config) (*DepthwiseGroup, error) {
+	if op.W == nil {
+		return nil, fmt.Errorf("cim: depthwise conv has no weights to program")
+	}
+	p, err := im2col.DepthwisePacking(op.KH, op.KW, cfg.PE)
+	if err != nil {
+		return nil, err
+	}
+	wb, cb := cfg.WeightBits, cfg.CellBits
+	if wb == 0 {
+		wb = 8
+	}
+	if cb == 0 {
+		cb = 4
+	}
+	g := &DepthwiseGroup{packing: p, win: op.KH * op.KW, inputBits: cfg.InputBits}
+	if g.inputBits == 0 {
+		g.inputBits = 8
+	}
+	for c0 := 0; c0 < op.C; c0 += p {
+		chans := p
+		if c0+chans > op.C {
+			chans = op.C - c0
+		}
+		// Dense block-diagonal submatrix for this crossbar.
+		sub := im2col.NewMatrix(chans*g.win, chans)
+		for j := 0; j < chans; j++ {
+			for kh := 0; kh < op.KH; kh++ {
+				for kw := 0; kw < op.KW; kw++ {
+					sub.Set(j*g.win+kh*op.KW+kw, j, op.W.At(kh, kw, c0+j, 0))
+				}
+			}
+		}
+		bar := NewCrossbar(cfg.PE)
+		if err := bar.Program(sub, 0, sub.R, 0, sub.C, wb, cb); err != nil {
+			return nil, err
+		}
+		g.bars = append(g.bars, bar)
+	}
+	return g, nil
+}
+
+// NumPEs returns the crossbar count (= the scheduling cost c_i).
+func (g *DepthwiseGroup) NumPEs() int { return len(g.bars) }
+
+// ExecuteDepthwise runs the programmed layer over ifm (valid, unpadded),
+// one OFM pixel vector per MVM across the group — the same data flow the
+// scheduler assumes for depthwise layers.
+func (g *DepthwiseGroup) ExecuteDepthwise(op *nn.DepthwiseConv2D, ifm *tensor.Tensor) (*tensor.Tensor, error) {
+	if op.Pad.Any() {
+		return nil, fmt.Errorf("cim: depthwise conv still padded; canonicalize first")
+	}
+	s := ifm.Shape
+	if s.C != op.C {
+		return nil, fmt.Errorf("cim: ifm channels %d != C %d", s.C, op.C)
+	}
+	oh := (s.H-op.KH)/op.SH + 1
+	ow := (s.W-op.KW)/op.SW + 1
+	out := tensor.New(tensor.NewShape(oh, ow, op.C))
+	vec := make([]float32, g.packing*g.win)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for b, bar := range g.bars {
+				c0 := b * g.packing
+				chans := bar.Cols()
+				seg := vec[:chans*g.win]
+				for j := 0; j < chans; j++ {
+					for kh := 0; kh < op.KH; kh++ {
+						for kw := 0; kw < op.KW; kw++ {
+							seg[j*g.win+kh*op.KW+kw] = ifm.At(y*op.SH+kh, x*op.SW+kw, c0+j)
+						}
+					}
+				}
+				res, err := bar.MVM(seg, g.inputBits)
+				if err != nil {
+					return nil, err
+				}
+				for j, v := range res {
+					out.Set(y, x, c0+j, v)
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package cim
+
+import (
+	"testing"
+
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// TestDepthwiseGroupMatchesReference compares packed crossbar execution
+// of a depthwise layer against the float reference, across several
+// crossbar geometries including multi-crossbar packing.
+func TestDepthwiseGroupMatchesReference(t *testing.T) {
+	for _, pe := range []im2col.PEDims{
+		{Rows: 256, Cols: 256}, // all channels in one crossbar
+		{Rows: 27, Cols: 27},   // 3 channels per crossbar -> 6 crossbars
+		{Rows: 9, Cols: 1},     // 1 channel per crossbar
+	} {
+		cfg := Default()
+		cfg.PE = pe
+		w := nn.NewConvWeights(3, 3, 18, 1)
+		w.FillRand(4, 0.5)
+		op := &nn.DepthwiseConv2D{KH: 3, KW: 3, SH: 1, SW: 1, C: 18, W: w}
+		grp, err := ProgramDepthwise(op, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", pe, err)
+		}
+		p, _ := im2col.DepthwisePacking(3, 3, pe)
+		wantPEs := (18 + p - 1) / p
+		if grp.NumPEs() != wantPEs {
+			t.Errorf("%v: %d crossbars, want %d", pe, grp.NumPEs(), wantPEs)
+		}
+		in := tensor.New(tensor.NewShape(7, 7, 18))
+		in.FillRand(5, 1)
+		got, err := grp.ExecuteDepthwise(op, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference through the generic executor.
+		g := nn.NewGraph()
+		input := g.AddInput("input", in.Shape)
+		n := g.Add("dw", op, input)
+		g.MarkOutput(n)
+		refs, err := (&nn.Executor{}).RunOutputs(g, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(got, refs[0]); d > 0.15 {
+			t.Errorf("%v: crossbar depthwise deviates %v", pe, d)
+		}
+	}
+}
+
+func TestDepthwiseProgramErrors(t *testing.T) {
+	cfg := Default()
+	if _, err := ProgramDepthwise(&nn.DepthwiseConv2D{KH: 3, KW: 3, SH: 1, SW: 1, C: 4}, cfg); err == nil {
+		t.Error("weightless depthwise programmed")
+	}
+	w := nn.NewConvWeights(3, 3, 4, 1)
+	op := &nn.DepthwiseConv2D{KH: 3, KW: 3, SH: 1, SW: 1, C: 4, W: w,
+		Pad: nn.Padding{Top: 1}}
+	grp, err := ProgramDepthwise(op, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grp.ExecuteDepthwise(op, tensor.New(tensor.NewShape(5, 5, 4))); err == nil {
+		t.Error("padded depthwise executed")
+	}
+}
+
+// TestGraphExecutorDepthwiseNet runs the full depthwise toy network on
+// crossbars.
+func TestGraphExecutorDepthwiseNet(t *testing.T) {
+	g := models.MustBuild(models.TinyDWNet, models.Options{WithWeights: true, Seed: 6})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.New(g.Input.OutShape)
+	in.FillRand(7, 1)
+	ref, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge := NewGraphExecutor(Default())
+	got, err := ge.Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := ref[0].MaxAbs()
+	if d := tensor.MaxAbsDiff(got[0], ref[0]); float64(d) > 0.1*float64(scale)+0.05 {
+		t.Errorf("depthwise graph deviates %v (scale %v)", d, scale)
+	}
+	if ge.PEsProgrammed() == 0 {
+		t.Error("no PEs programmed")
+	}
+}

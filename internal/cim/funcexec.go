@@ -1,0 +1,118 @@
+package cim
+
+import (
+	"fmt"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// GraphExecutor runs whole NN graphs with base layers executed on
+// functional crossbar models (quantized weights, integer MVMs) and
+// non-base layers on the float GPEU reference — the full functional
+// counterpart of the timing simulation. Crossbars are programmed once
+// per base layer on first use (RRAM weights are written before
+// inference, §II-A).
+type GraphExecutor struct {
+	Config   Config
+	groups   map[*nn.Node]*PEGroup
+	dwGroups map[*nn.Node]*DepthwiseGroup
+}
+
+// NewGraphExecutor returns an executor for the given architecture
+// parameters (PE dims and bit widths are used; PE count is not enforced
+// for functional runs).
+func NewGraphExecutor(cfg Config) *GraphExecutor {
+	return &GraphExecutor{
+		Config:   cfg,
+		groups:   make(map[*nn.Node]*PEGroup),
+		dwGroups: make(map[*nn.Node]*DepthwiseGroup),
+	}
+}
+
+// PEsProgrammed returns the number of crossbars programmed so far.
+func (e *GraphExecutor) PEsProgrammed() int {
+	n := 0
+	for _, g := range e.groups {
+		n += g.NumPEs()
+	}
+	for _, g := range e.dwGroups {
+		n += g.NumPEs()
+	}
+	return n
+}
+
+// Run executes g on input, lowering every base layer to crossbar MVMs.
+func (e *GraphExecutor) Run(g *nn.Graph, input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	exec := &nn.Executor{BaseOverride: e.execBase}
+	return exec.RunOutputs(g, input)
+}
+
+func (e *GraphExecutor) execBase(n *nn.Node, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if op, ok := n.Op.(*nn.DepthwiseConv2D); ok {
+		grp, ok := e.dwGroups[n]
+		if !ok {
+			var err error
+			grp, err = ProgramDepthwise(op, e.Config)
+			if err != nil {
+				return nil, err
+			}
+			e.dwGroups[n] = grp
+		}
+		out, err := grp.ExecuteDepthwise(op, in)
+		if err != nil {
+			return nil, err
+		}
+		if op.Bias != nil {
+			addBias(out, op.Bias)
+		}
+		return out, nil
+	}
+	grp, ok := e.groups[n]
+	if !ok {
+		var err error
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			grp, err = ProgramConv(op, e.Config)
+		case *nn.Dense:
+			grp, err = ProgramDense(op, e.Config)
+		default:
+			err = fmt.Errorf("cim: unsupported base layer %v", n)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.groups[n] = grp
+	}
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		out, err := grp.ExecuteConv(op, in)
+		if err != nil {
+			return nil, err
+		}
+		if op.Bias != nil {
+			addBias(out, op.Bias)
+		}
+		return out, nil
+	case *nn.Dense:
+		out, err := grp.ExecuteDense(op, in)
+		if err != nil {
+			return nil, err
+		}
+		if op.Bias != nil {
+			addBias(out, op.Bias)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("cim: unsupported base layer %v", n)
+	}
+}
+
+// addBias applies a per-channel bias digitally (the crossbar computes
+// the pure MVM; bias addition happens in the tile's digital periphery).
+func addBias(t *tensor.Tensor, bias []float32) {
+	c := t.Shape.C
+	for i := range t.Data {
+		t.Data[i] += bias[i%c]
+	}
+}

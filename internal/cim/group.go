@@ -1,0 +1,148 @@
+package cim
+
+import (
+	"fmt"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// PEGroup is the set of crossbars holding one base layer's kernel matrix:
+// a PV x PH grid of tiles (paper Fig. 3). It provides functional
+// execution of the layer through the same im2col decomposition the
+// scheduler assumes, including the digital accumulation of partial sums
+// across vertical tiles.
+type PEGroup struct {
+	tiling    im2col.Tiling
+	pe        im2col.PEDims
+	bars      [][]*Crossbar // [pv][ph]
+	inputBits int
+}
+
+// ProgramConv quantizes and programs a convolution's kernel matrix onto a
+// fresh PV x PH grid of crossbars.
+func ProgramConv(op *nn.Conv2D, cfg Config) (*PEGroup, error) {
+	if op.W == nil {
+		return nil, fmt.Errorf("cim: conv has no weights to program")
+	}
+	t, err := im2col.TileConv(op, cfg.PE)
+	if err != nil {
+		return nil, err
+	}
+	return program(im2col.KernelMatrix(op.W), t, cfg)
+}
+
+// ProgramDense programs a dense layer's weight matrix.
+func ProgramDense(op *nn.Dense, cfg Config) (*PEGroup, error) {
+	if op.W == nil {
+		return nil, fmt.Errorf("cim: dense has no weights to program")
+	}
+	t, err := im2col.TileDense(op, cfg.PE)
+	if err != nil {
+		return nil, err
+	}
+	return program(im2col.KernelMatrix(op.W), t, cfg)
+}
+
+func program(km *im2col.Matrix, t im2col.Tiling, cfg Config) (*PEGroup, error) {
+	g := &PEGroup{tiling: t, pe: cfg.PE, inputBits: cfg.InputBits}
+	if g.inputBits == 0 {
+		g.inputBits = 8
+	}
+	wb, cb := cfg.WeightBits, cfg.CellBits
+	if wb == 0 {
+		wb = 8
+	}
+	if cb == 0 {
+		cb = 4
+	}
+	g.bars = make([][]*Crossbar, t.PV)
+	for pv := 0; pv < t.PV; pv++ {
+		g.bars[pv] = make([]*Crossbar, t.PH)
+		r0 := pv * cfg.PE.Rows
+		rows := min(cfg.PE.Rows, t.KRows-r0)
+		for ph := 0; ph < t.PH; ph++ {
+			c0 := ph * cfg.PE.Cols
+			cols := min(cfg.PE.Cols, t.KCols-c0)
+			bar := NewCrossbar(cfg.PE)
+			if err := bar.Program(km, r0, rows, c0, cols, wb, cb); err != nil {
+				return nil, err
+			}
+			g.bars[pv][ph] = bar
+		}
+	}
+	return g, nil
+}
+
+// Tiling returns the group's kernel-matrix tiling.
+func (g *PEGroup) Tiling() im2col.Tiling { return g.tiling }
+
+// NumPEs returns the crossbar count of the group.
+func (g *PEGroup) NumPEs() int { return g.tiling.PEs() }
+
+// mvmRow computes one kernel-matrix-vector product: the full im2col row
+// is split across the PV vertical tiles, each tile's partial products are
+// accumulated digitally, and the PH column tiles are concatenated.
+func (g *PEGroup) mvmRow(row []float32) ([]float32, error) {
+	if len(row) != g.tiling.KRows {
+		return nil, fmt.Errorf("cim: im2col row length %d != kernel rows %d", len(row), g.tiling.KRows)
+	}
+	out := make([]float32, g.tiling.KCols)
+	for pv := 0; pv < g.tiling.PV; pv++ {
+		r0 := pv * g.pe.Rows
+		seg := row[r0:min(r0+g.pe.Rows, len(row))]
+		for ph := 0; ph < g.tiling.PH; ph++ {
+			part, err := g.bars[pv][ph].MVM(seg, g.inputBits)
+			if err != nil {
+				return nil, err
+			}
+			c0 := ph * g.pe.Cols
+			for i, v := range part {
+				out[c0+i] += v
+			}
+		}
+	}
+	return out, nil
+}
+
+// ExecuteConv runs the programmed convolution over ifm functionally,
+// one OFM pixel (one MVM across the whole group) at a time — the
+// intra-layer data flow assumed by the scheduler.
+func (g *PEGroup) ExecuteConv(op *nn.Conv2D, ifm *tensor.Tensor) (*tensor.Tensor, error) {
+	lowered, err := im2col.Lower(op, ifm)
+	if err != nil {
+		return nil, err
+	}
+	s := ifm.Shape
+	oh := (s.H-op.KH)/op.SH + 1
+	ow := (s.W-op.KW)/op.SW + 1
+	out := tensor.New(tensor.NewShape(oh, ow, op.KO))
+	for r := 0; r < lowered.R; r++ {
+		v, err := g.mvmRow(lowered.Row(r))
+		if err != nil {
+			return nil, err
+		}
+		copy(out.Data[r*op.KO:(r+1)*op.KO], v)
+	}
+	return out, nil
+}
+
+// ExecuteDense runs the programmed dense layer over a (1, 1, KI) input.
+func (g *PEGroup) ExecuteDense(op *nn.Dense, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if in.Shape.H != 1 || in.Shape.W != 1 || in.Shape.C != op.KI {
+		return nil, fmt.Errorf("cim: dense input shape %v, want (1,1,%d)", in.Shape, op.KI)
+	}
+	v, err := g.mvmRow(in.Data)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromSlice(tensor.NewShape(1, 1, op.KO), v), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

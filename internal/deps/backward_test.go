@@ -1,0 +1,218 @@
+package deps
+
+import (
+	"testing"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+	"clsacim/internal/tensor"
+)
+
+// single wires input -> op and returns the op node.
+func single(t *testing.T, inShape tensor.Shape, op nn.Op) *nn.Node {
+	t.Helper()
+	g := nn.NewGraph()
+	in := g.AddInput("input", inShape)
+	n := g.Add("op", op, in)
+	g.MarkOutput(n)
+	return n
+}
+
+func back1(t *testing.T, n *nn.Node, r region.Box) region.Box {
+	t.Helper()
+	srcs, err := backward(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 1 {
+		t.Fatalf("backward returned %d regions, want 1", len(srcs))
+	}
+	return srcs[0].box
+}
+
+func TestBackwardIdentityOps(t *testing.T) {
+	r := region.NewBox(1, 3, 2, 5, 0, 4)
+	for _, op := range []nn.Op{
+		&nn.BiasAdd{B: make([]float32, 4)},
+		&nn.Activation{Func: nn.ActReLU},
+	} {
+		n := single(t, tensor.NewShape(8, 8, 4), op)
+		if got := back1(t, n, r); !got.Eq(r) {
+			t.Errorf("%v backward = %v, want %v", n.Kind(), got, r)
+		}
+	}
+}
+
+func TestBackwardPad(t *testing.T) {
+	n := single(t, tensor.NewShape(4, 4, 2), &nn.Pad{Pad: nn.Padding{Top: 1, Bottom: 2, Left: 1, Right: 0}})
+	// Output region entirely in the top padding maps to empty.
+	if got := back1(t, n, region.NewBox(0, 1, 0, 5, 0, 2)); !got.Empty() {
+		t.Errorf("pad-only region mapped to %v, want empty", got)
+	}
+	// Region straddling padding clamps to the valid input part.
+	got := back1(t, n, region.NewBox(0, 3, 0, 2, 0, 2))
+	want := region.NewBox(0, 2, 0, 1, 0, 2)
+	if !got.Eq(want) {
+		t.Errorf("pad backward = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardMaxPool(t *testing.T) {
+	n := single(t, tensor.NewShape(8, 8, 1), &nn.MaxPool{KH: 2, KW: 2, SH: 2, SW: 2})
+	got := back1(t, n, region.NewBox(1, 3, 0, 2, 0, 1))
+	want := region.NewBox(2, 6, 0, 4, 0, 1)
+	if !got.Eq(want) {
+		t.Errorf("pool backward = %v, want %v", got, want)
+	}
+	// Stride-1 padded pool (TinyYOLO): window extends beyond input and
+	// clamps.
+	n = single(t, tensor.NewShape(13, 13, 1), &nn.MaxPool{KH: 2, KW: 2, SH: 1, SW: 1,
+		Pad: nn.Padding{Bottom: 1, Right: 1}})
+	got = back1(t, n, region.NewBox(12, 13, 12, 13, 0, 1))
+	want = region.NewBox(12, 13, 12, 13, 0, 1)
+	if !got.Eq(want) {
+		t.Errorf("padded pool backward = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardGlobalAvgPool(t *testing.T) {
+	n := single(t, tensor.NewShape(7, 7, 16), &nn.AvgPool{Global: true})
+	got := back1(t, n, region.NewBox(0, 1, 0, 1, 3, 5))
+	want := region.NewBox(0, 7, 0, 7, 3, 5)
+	if !got.Eq(want) {
+		t.Errorf("gap backward = %v, want %v (all pixels, selected channels)", got, want)
+	}
+}
+
+func TestBackwardUpSample(t *testing.T) {
+	n := single(t, tensor.NewShape(13, 13, 8), &nn.UpSample{Factor: 2})
+	got := back1(t, n, region.NewBox(3, 7, 0, 1, 0, 8))
+	want := region.NewBox(1, 4, 0, 1, 0, 8)
+	if !got.Eq(want) {
+		t.Errorf("upsample backward = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardSlice(t *testing.T) {
+	n := single(t, tensor.NewShape(8, 8, 64), &nn.Slice{Box: region.NewBox(2, 6, 0, 8, 32, 64)})
+	got := back1(t, n, region.NewBox(0, 2, 1, 3, 0, 16))
+	want := region.NewBox(2, 4, 1, 3, 32, 48)
+	if !got.Eq(want) {
+		t.Errorf("slice backward = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardConcatChannels(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(4, 4, 2))
+	a := g.Add("a", &nn.Activation{Func: nn.ActLinear}, in)
+	b := g.Add("b", &nn.Activation{Func: nn.ActReLU}, in)
+	cat := g.Add("cat", &nn.Concat{Axis: nn.AxisC}, a, b)
+	g.MarkOutput(cat)
+
+	// Region entirely in the first branch.
+	srcs, err := backward(cat, region.NewBox(0, 4, 0, 4, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 1 || srcs[0].src != a {
+		t.Fatalf("concat backward = %d srcs (first = %v)", len(srcs), srcs[0].src)
+	}
+	// Region straddling both branches splits with local channel coords.
+	srcs, err = backward(cat, region.NewBox(1, 2, 1, 2, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("straddling concat backward = %d srcs", len(srcs))
+	}
+	if !srcs[0].box.Eq(region.NewBox(1, 2, 1, 2, 1, 2)) {
+		t.Errorf("branch a box = %v", srcs[0].box)
+	}
+	if !srcs[1].box.Eq(region.NewBox(1, 2, 1, 2, 0, 1)) {
+		t.Errorf("branch b box = %v", srcs[1].box)
+	}
+}
+
+func TestBackwardConcatH(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(3, 4, 1))
+	a := g.Add("a", &nn.Activation{Func: nn.ActLinear}, in)
+	b := g.Add("b", &nn.Activation{Func: nn.ActReLU}, in)
+	cat := g.Add("cat", &nn.Concat{Axis: nn.AxisH}, a, b)
+	g.MarkOutput(cat)
+	srcs, err := backward(cat, region.NewBox(2, 5, 0, 4, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 {
+		t.Fatalf("H concat backward = %d srcs", len(srcs))
+	}
+	if !srcs[0].box.Eq(region.NewBox(2, 3, 0, 4, 0, 1)) {
+		t.Errorf("branch a = %v", srcs[0].box)
+	}
+	if !srcs[1].box.Eq(region.NewBox(0, 2, 0, 4, 0, 1)) {
+		t.Errorf("branch b = %v", srcs[1].box)
+	}
+}
+
+func TestBackwardAdd(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(4, 4, 2))
+	a := g.Add("a", &nn.Activation{Func: nn.ActLinear}, in)
+	b := g.Add("b", &nn.Activation{Func: nn.ActReLU}, in)
+	sum := g.Add("sum", &nn.Add{}, a, b)
+	g.MarkOutput(sum)
+	r := region.NewBox(1, 2, 1, 2, 0, 2)
+	srcs, err := backward(sum, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(srcs) != 2 || !srcs[0].box.Eq(r) || !srcs[1].box.Eq(r) {
+		t.Errorf("add backward = %+v", srcs)
+	}
+}
+
+func TestBackwardFlattenConservative(t *testing.T) {
+	n := single(t, tensor.NewShape(2, 3, 4), &nn.Flatten{})
+	got := back1(t, n, region.NewBox(0, 1, 0, 1, 5, 6))
+	want := region.Full(2, 3, 4)
+	if !got.Eq(want) {
+		t.Errorf("flatten backward = %v, want whole input %v", got, want)
+	}
+}
+
+func TestRequiredIFMConv(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(10, 10, 3))
+	conv := g.Add("conv", &nn.Conv2D{KH: 3, KW: 3, SH: 2, SW: 2, KI: 3, KO: 8}, in)
+	g.MarkOutput(conv)
+	req, err := requiredIFM(conv, region.NewBox(1, 3, 0, 2, 0, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := region.NewBox(2, 7, 0, 5, 0, 3)
+	if len(req) != 1 || !req[0].box.Eq(want) {
+		t.Errorf("conv receptive field = %+v, want %v", req, want)
+	}
+	// Padded conv must be rejected (canonicalization contract).
+	padded := g.Add("padded", &nn.Conv2D{KH: 3, KW: 3, SH: 1, SW: 1, KI: 3, KO: 1,
+		Pad: nn.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}, in)
+	if _, err := requiredIFM(padded, region.NewBox(0, 1, 0, 1, 0, 1)); err == nil {
+		t.Error("padded conv accepted")
+	}
+}
+
+func TestRequiredIFMDense(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(1, 1, 32))
+	d := g.Add("d", &nn.Dense{KI: 32, KO: 4}, in)
+	g.MarkOutput(d)
+	req, err := requiredIFM(d, region.NewBox(0, 1, 0, 1, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req[0].box.Eq(region.Full(1, 1, 32)) {
+		t.Errorf("dense requires %v, want full input", req[0].box)
+	}
+}

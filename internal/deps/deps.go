@@ -1,0 +1,278 @@
+// Package deps implements Stage II of CLSA-CIM (paper §IV-2): computing,
+// for every OFM set of every base layer, which OFM sets of its
+// predecessor base layers must be complete before the set can execute.
+//
+// The paper describes forward propagation of each producer set's
+// coordinates along the non-base path to the consumer's IFM. This
+// package implements the equivalent backward formulation, which yields
+// exact pairwise dependencies in one pass: each consumer set's required
+// IFM region (its receptive field) is pulled backward through the
+// non-base operators to every reachable predecessor base layer's OFM
+// coordinate space; the set then depends on exactly the predecessor sets
+// whose boxes intersect the pulled-back region. Backward window
+// arithmetic is exact for every operator here, so the resulting
+// dependency relation equals the paper's P/Q mapping.
+package deps
+
+import (
+	"fmt"
+	"sort"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+	"clsacim/internal/sets"
+)
+
+// SetRef identifies a set and carries the data volume it contributes.
+type SetRef struct {
+	Layer, Set int
+	// Vol is the number of elements of the predecessor set that the
+	// depending set actually reads (used by the NoC/GPEU cost models).
+	Vol int
+}
+
+// Graph is the set-level dependency DAG over a Stage I plan.
+type Graph struct {
+	Plan *sets.Plan
+	// Deps[l][s] lists the predecessor sets of set s of layer l, sorted
+	// by (Layer, Set). Sets with no entries depend only on the network
+	// input (available at time zero).
+	Deps [][][]SetRef
+}
+
+// Build computes Stage II for plan over graph g.
+func Build(g *nn.Graph, plan *sets.Plan) (*Graph, error) {
+	dg := &Graph{Plan: plan, Deps: make([][][]SetRef, len(plan.Layers))}
+	var scratch []SetRef
+	var idxBuf []int
+	for li, ls := range plan.Layers {
+		dg.Deps[li] = make([][]SetRef, len(ls.Sets))
+		node := ls.Group.Node
+		for si, set := range ls.Sets {
+			req, err := requiredIFM(node, set.Box)
+			if err != nil {
+				return nil, fmt.Errorf("deps: %v set %d: %w", node, si, err)
+			}
+			scratch = scratch[:0]
+			for _, r := range req {
+				scratch, idxBuf, err = walkBack(r.src, r.box, plan, scratch, idxBuf)
+				if err != nil {
+					return nil, fmt.Errorf("deps: %v set %d: %w", node, si, err)
+				}
+			}
+			dg.Deps[li][si] = dedupe(scratch)
+		}
+	}
+	return dg, nil
+}
+
+// dedupe sorts refs by (Layer, Set) and merges duplicates (a set can be
+// reached over several graph paths), keeping the maximum volume.
+func dedupe(refs []SetRef) []SetRef {
+	if len(refs) == 0 {
+		return nil
+	}
+	sort.Slice(refs, func(a, b int) bool {
+		if refs[a].Layer != refs[b].Layer {
+			return refs[a].Layer < refs[b].Layer
+		}
+		return refs[a].Set < refs[b].Set
+	})
+	out := make([]SetRef, 0, len(refs))
+	for _, r := range refs {
+		if n := len(out); n > 0 && out[n-1].Layer == r.Layer && out[n-1].Set == r.Set {
+			if r.Vol > out[n-1].Vol {
+				out[n-1].Vol = r.Vol
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+type srcRegion struct {
+	src *nn.Node
+	box region.Box
+}
+
+// requiredIFM returns the IFM regions a base layer needs to compute the
+// OFM box (the intra-layer dependency of paper Stage I). Convolutions
+// need the receptive field; Dense needs the whole input.
+func requiredIFM(n *nn.Node, out region.Box) ([]srcRegion, error) {
+	in := n.Inputs[0]
+	s := in.OutShape
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		if op.Pad.Any() {
+			return nil, fmt.Errorf("conv still padded; canonicalize first")
+		}
+		rf := region.NewBox(
+			out.H0*op.SH, (out.H1-1)*op.SH+op.KH,
+			out.W0*op.SW, (out.W1-1)*op.SW+op.KW,
+			0, s.C,
+		).ClampTo(s.H, s.W, s.C)
+		return []srcRegion{{in, rf}}, nil
+	case *nn.DepthwiseConv2D:
+		if op.Pad.Any() {
+			return nil, fmt.Errorf("depthwise conv still padded; canonicalize first")
+		}
+		// Depthwise is channel-preserving: output channels [C0, C1)
+		// read exactly input channels [C0, C1).
+		rf := region.NewBox(
+			out.H0*op.SH, (out.H1-1)*op.SH+op.KH,
+			out.W0*op.SW, (out.W1-1)*op.SW+op.KW,
+			out.C0, out.C1,
+		).ClampTo(s.H, s.W, s.C)
+		return []srcRegion{{in, rf}}, nil
+	case *nn.Dense:
+		return []srcRegion{{in, region.Full(s.H, s.W, s.C)}}, nil
+	default:
+		return nil, fmt.Errorf("%v is not a base layer", n)
+	}
+}
+
+// walkBack propagates a required region backward from node n (meaning:
+// "this region of n's output is needed") until it reaches base layers or
+// the graph input, appending intersected predecessor sets to acc.
+func walkBack(n *nn.Node, r region.Box, plan *sets.Plan, acc []SetRef, idxBuf []int) ([]SetRef, []int, error) {
+	if r.Empty() {
+		return acc, idxBuf, nil
+	}
+	if n.Kind() == nn.OpInput {
+		return acc, idxBuf, nil // network input: available at t = 0
+	}
+	if li, ok := plan.ByNode[n]; ok {
+		ls := &plan.Layers[li]
+		idxBuf = ls.Intersecting(r, idxBuf[:0])
+		for _, si := range idxBuf {
+			iv := ls.Sets[si].Box.Intersect(r)
+			if iv.Empty() {
+				continue
+			}
+			acc = append(acc, SetRef{Layer: li, Set: si, Vol: iv.Volume()})
+		}
+		return acc, idxBuf, nil
+	}
+	if n.IsBase() {
+		return acc, idxBuf, fmt.Errorf("base layer %v is not in the set plan (unmapped)", n)
+	}
+	srcs, err := backward(n, r)
+	if err != nil {
+		return acc, idxBuf, err
+	}
+	for _, s := range srcs {
+		acc, idxBuf, err = walkBack(s.src, s.box, plan, acc, idxBuf)
+		if err != nil {
+			return acc, idxBuf, err
+		}
+	}
+	return acc, idxBuf, nil
+}
+
+// backward maps a region of n's output space to regions of its inputs'
+// output spaces (exact for every non-base operator).
+func backward(n *nn.Node, r region.Box) ([]srcRegion, error) {
+	in := n.Inputs
+	switch op := n.Op.(type) {
+	case *nn.BiasAdd, *nn.Activation, *nn.BatchNorm:
+		return []srcRegion{{in[0], r}}, nil
+
+	case *nn.Pad:
+		s := in[0].OutShape
+		return []srcRegion{{in[0],
+			r.Translate(-op.Pad.Top, -op.Pad.Left, 0).ClampTo(s.H, s.W, s.C)}}, nil
+
+	case *nn.MaxPool:
+		s := in[0].OutShape
+		b := region.NewBox(
+			r.H0*op.SH-op.Pad.Top, (r.H1-1)*op.SH+op.KH-op.Pad.Top,
+			r.W0*op.SW-op.Pad.Left, (r.W1-1)*op.SW+op.KW-op.Pad.Left,
+			r.C0, r.C1,
+		).ClampTo(s.H, s.W, s.C)
+		return []srcRegion{{in[0], b}}, nil
+
+	case *nn.AvgPool:
+		s := in[0].OutShape
+		if op.Global {
+			return []srcRegion{{in[0], region.Full(s.H, s.W, s.C).
+				Intersect(region.NewBox(0, s.H, 0, s.W, r.C0, r.C1))}}, nil
+		}
+		b := region.NewBox(
+			r.H0*op.SH, (r.H1-1)*op.SH+op.KH,
+			r.W0*op.SW, (r.W1-1)*op.SW+op.KW,
+			r.C0, r.C1,
+		).ClampTo(s.H, s.W, s.C)
+		return []srcRegion{{in[0], b}}, nil
+
+	case *nn.Concat:
+		var out []srcRegion
+		off := 0
+		for _, src := range in {
+			s := src.OutShape
+			var local region.Box
+			switch op.Axis {
+			case nn.AxisH:
+				local = r.Intersect(region.NewBox(off, off+s.H, r.W0, r.W1, r.C0, r.C1)).
+					Translate(-off, 0, 0)
+				off += s.H
+			case nn.AxisW:
+				local = r.Intersect(region.NewBox(r.H0, r.H1, off, off+s.W, r.C0, r.C1)).
+					Translate(0, -off, 0)
+				off += s.W
+			case nn.AxisC:
+				local = r.Intersect(region.NewBox(r.H0, r.H1, r.W0, r.W1, off, off+s.C)).
+					Translate(0, 0, -off)
+				off += s.C
+			}
+			if !local.Empty() {
+				out = append(out, srcRegion{src, local})
+			}
+		}
+		return out, nil
+
+	case *nn.Add:
+		return []srcRegion{{in[0], r}, {in[1], r}}, nil
+
+	case *nn.UpSample:
+		f := op.Factor
+		b := region.NewBox(
+			r.H0/f, (r.H1+f-1)/f,
+			r.W0/f, (r.W1+f-1)/f,
+			r.C0, r.C1,
+		)
+		return []srcRegion{{in[0], b}}, nil
+
+	case *nn.Slice:
+		return []srcRegion{{in[0], r.Translate(op.Box.H0, op.Box.W0, op.Box.C0)}}, nil
+
+	case *nn.Flatten:
+		// A flattened channel range maps to a non-rectangular HWC set;
+		// conservatively require the whole input.
+		s := in[0].OutShape
+		return []srcRegion{{in[0], region.Full(s.H, s.W, s.C)}}, nil
+
+	default:
+		return nil, fmt.Errorf("deps: no backward rule for %v", n.Kind())
+	}
+}
+
+// NumSets returns the total number of sets in the dependency graph.
+func (dg *Graph) NumSets() int {
+	n := 0
+	for _, l := range dg.Deps {
+		n += len(l)
+	}
+	return n
+}
+
+// NumEdges returns the total number of dependency edges.
+func (dg *Graph) NumEdges() int {
+	n := 0
+	for _, l := range dg.Deps {
+		for _, s := range l {
+			n += len(s)
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+// Package frontend implements the high-level optimizations and the
+// partitioning step of the paper's preprocessing (§III-A, Fig. 2). It
+// transforms an imported NN graph into the canonical representation
+// consumed by mapping and scheduling:
+//
+//   - BN folding merges inference-mode batch normalization into the
+//     preceding base layer's weights and bias.
+//   - Partitioning decouples padding and bias addition from base layers,
+//     so a base layer is a pure (strided, valid) convolution or dense
+//     matmul — exactly the MVM workload mapped onto crossbars.
+//   - Quantization rounds base-layer weights to the crossbar cell
+//     resolution (fake-quant, keeping float storage).
+//
+// After Canonicalize, every node is either a base layer (Conv2D/Dense
+// without padding or bias) or a non-base layer executed on the GPEU.
+package frontend
+
+import (
+	"fmt"
+	"math"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/quant"
+)
+
+// Options configures Canonicalize.
+type Options struct {
+	// WeightBits is the target weight resolution; 0 disables the
+	// quantization pass (shape-only flows).
+	WeightBits int
+}
+
+// Result reports what the canonicalization did.
+type Result struct {
+	FoldedBN       int
+	DecoupledPads  int
+	DecoupledBias  int
+	QuantizedBase  int
+	QuantParams    map[*nn.Node]quant.Params
+	BaseLayers     []*nn.Node
+	NonBaseLayers  []*nn.Node
+	PrunedNodes    int
+	WeightBitsUsed int
+}
+
+// Canonicalize runs BN folding, partitioning, and (optionally)
+// quantization on g in place and returns a summary. The graph is
+// validated before and after.
+func Canonicalize(g *nn.Graph, opt Options) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("frontend: input graph invalid: %w", err)
+	}
+	res := &Result{QuantParams: make(map[*nn.Node]quant.Params), WeightBitsUsed: opt.WeightBits}
+
+	folded, err := FoldBatchNorm(g)
+	if err != nil {
+		return nil, err
+	}
+	res.FoldedBN = folded
+
+	pads, biases, err := Partition(g)
+	if err != nil {
+		return nil, err
+	}
+	res.DecoupledPads = pads
+	res.DecoupledBias = biases
+
+	if opt.WeightBits > 0 {
+		n, params, err := QuantizeWeights(g, opt.WeightBits)
+		if err != nil {
+			return nil, err
+		}
+		res.QuantizedBase = n
+		res.QuantParams = params
+	}
+
+	res.PrunedNodes = g.Prune()
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("frontend: canonicalized graph invalid: %w", err)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		switch {
+		case n.IsBase():
+			res.BaseLayers = append(res.BaseLayers, n)
+		case n.Kind() != nn.OpInput:
+			res.NonBaseLayers = append(res.NonBaseLayers, n)
+		}
+	}
+	return res, nil
+}
+
+// FoldBatchNorm merges every BatchNorm whose sole producer is a base
+// layer (and which is that base layer's sole consumer) into the base
+// layer's weights and bias. It returns the number of folded BN nodes.
+//
+// For y = gamma * (conv(x) + b - mean) / sqrt(var + eps) + beta the
+// folded parameters are w' = w * s and b' = (b - mean) * s + beta with
+// s = gamma / sqrt(var + eps), applied per output channel (paper §III-A,
+// following Jacob et al. [21]).
+func FoldBatchNorm(g *nn.Graph) (int, error) {
+	cons := g.Consumers()
+	folded := 0
+	for _, n := range g.Nodes {
+		bn, ok := n.Op.(*nn.BatchNorm)
+		if !ok {
+			continue
+		}
+		prod := n.Inputs[0]
+		if !prod.IsBase() {
+			continue
+		}
+		if len(cons[prod]) != 1 {
+			// The base layer's raw output is used elsewhere; folding
+			// would change those consumers.
+			continue
+		}
+		switch op := prod.Op.(type) {
+		case *nn.Conv2D:
+			foldInto(bn, op.W, &op.Bias, op.KO)
+		case *nn.Dense:
+			foldInto(bn, op.W, &op.Bias, op.KO)
+		case *nn.DepthwiseConv2D:
+			// Weight layout (KH, KW, C, 1): the flat index modulo C is
+			// the channel, so the per-output-channel fold applies with
+			// ko = C.
+			foldInto(bn, op.W, &op.Bias, op.C)
+		default:
+			continue
+		}
+		g.ReplaceUses(n, prod)
+		folded++
+	}
+	if folded > 0 {
+		if err := g.RefreshShapes(); err != nil {
+			return folded, err
+		}
+	}
+	return folded, nil
+}
+
+func foldInto(bn *nn.BatchNorm, w *nn.ConvWeights, bias *[]float32, ko int) {
+	scale := make([]float32, ko)
+	for c := 0; c < ko; c++ {
+		scale[c] = bn.Gamma[c] / float32(math.Sqrt(float64(bn.Var[c])+float64(bn.Eps)))
+	}
+	if w != nil {
+		for i := range w.Data {
+			w.Data[i] *= scale[i%ko]
+		}
+	}
+	b := *bias
+	if b == nil {
+		b = make([]float32, ko)
+	}
+	for c := 0; c < ko; c++ {
+		b[c] = (b[c]-bn.Mean[c])*scale[c] + bn.Beta[c]
+	}
+	*bias = b
+}
+
+// Partition decouples padding and bias from base layers (paper Fig. 2):
+// a Conv2D with embedded padding becomes Pad -> Conv2D(valid), and an
+// embedded bias becomes a BiasAdd node after the base layer. It returns
+// the number of extracted Pad and BiasAdd nodes.
+func Partition(g *nn.Graph) (pads, biases int, err error) {
+	// Snapshot: the loop appends nodes.
+	nodes := append([]*nn.Node(nil), g.Nodes...)
+	for _, n := range nodes {
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			if op.Pad.Any() {
+				padNode, err := g.TryAdd(g.FreshName(n.Name+"_pad"),
+					&nn.Pad{Pad: op.Pad}, n.Inputs[0])
+				if err != nil {
+					return pads, biases, err
+				}
+				n.Inputs[0] = padNode
+				op.Pad = nn.Padding{}
+				pads++
+			}
+			if op.Bias != nil {
+				if err := extractBias(g, n, &op.Bias); err != nil {
+					return pads, biases, err
+				}
+				biases++
+			}
+		case *nn.DepthwiseConv2D:
+			if op.Pad.Any() {
+				padNode, err := g.TryAdd(g.FreshName(n.Name+"_pad"),
+					&nn.Pad{Pad: op.Pad}, n.Inputs[0])
+				if err != nil {
+					return pads, biases, err
+				}
+				n.Inputs[0] = padNode
+				op.Pad = nn.Padding{}
+				pads++
+			}
+			if op.Bias != nil {
+				if err := extractBias(g, n, &op.Bias); err != nil {
+					return pads, biases, err
+				}
+				biases++
+			}
+		case *nn.Dense:
+			if op.Bias != nil {
+				if err := extractBias(g, n, &op.Bias); err != nil {
+					return pads, biases, err
+				}
+				biases++
+			}
+		}
+	}
+	if pads > 0 || biases > 0 {
+		if err := g.RefreshShapes(); err != nil {
+			return pads, biases, err
+		}
+	}
+	return pads, biases, nil
+}
+
+func extractBias(g *nn.Graph, n *nn.Node, bias *[]float32) error {
+	b := *bias
+	*bias = nil
+	biasNode, err := g.TryAdd(g.FreshName(n.Name+"_bias"), &nn.BiasAdd{B: b}, n)
+	if err != nil {
+		return err
+	}
+	g.ReplaceUsesExcept(n, biasNode, biasNode)
+	return nil
+}
+
+// QuantizeWeights fake-quantizes the weights of every base layer to the
+// given bit width with per-layer symmetric calibration. Layers without
+// weight data (shape-only graphs) are counted but untouched.
+func QuantizeWeights(g *nn.Graph, bits int) (int, map[*nn.Node]quant.Params, error) {
+	params := make(map[*nn.Node]quant.Params)
+	count := 0
+	for _, n := range g.Nodes {
+		var w *nn.ConvWeights
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			w = op.W
+		case *nn.Dense:
+			w = op.W
+		case *nn.DepthwiseConv2D:
+			w = op.W
+		default:
+			continue
+		}
+		count++
+		if w == nil {
+			continue
+		}
+		p, err := quant.Calibrate(bits, w.MaxAbs())
+		if err != nil {
+			return count, nil, fmt.Errorf("frontend: quantizing %v: %w", n, err)
+		}
+		p.FakeQuantSlice(w.Data)
+		params[n] = p
+	}
+	return count, params, nil
+}

@@ -1,0 +1,241 @@
+package frontend
+
+import (
+	"testing"
+
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// buildConvBN returns input -> conv(bias, pad) -> BN -> leaky -> output
+// with deterministic weights.
+func buildConvBN(t *testing.T) *nn.Graph {
+	t.Helper()
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(6, 6, 2))
+	w := nn.NewConvWeights(3, 3, 2, 4)
+	w.FillRand(11, 0.5)
+	conv := g.Add("conv", &nn.Conv2D{
+		KH: 3, KW: 3, SH: 1, SW: 1, KI: 2, KO: 4,
+		Pad:  nn.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1},
+		W:    w,
+		Bias: []float32{0.1, -0.2, 0.3, 0},
+	}, in)
+	bn := g.Add("bn", &nn.BatchNorm{
+		Gamma: []float32{1.5, 0.5, 1, 2},
+		Beta:  []float32{0.1, 0.2, -0.1, 0},
+		Mean:  []float32{0.05, -0.05, 0.2, 0.1},
+		Var:   []float32{1.2, 0.8, 1, 0.5},
+		Eps:   1e-3,
+	}, conv)
+	act := g.Add("act", &nn.Activation{Func: nn.ActLeakyReLU, Alpha: 0.1}, bn)
+	g.MarkOutput(act)
+	return g
+}
+
+func outputsOf(t *testing.T, g *nn.Graph, in *tensor.Tensor) []*tensor.Tensor {
+	t.Helper()
+	outs, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs
+}
+
+// TestFoldBatchNormPreservesOutputs is the numeric correctness test of
+// BN folding.
+func TestFoldBatchNormPreservesOutputs(t *testing.T) {
+	g := buildConvBN(t)
+	in := tensor.New(tensor.NewShape(6, 6, 2))
+	in.FillRand(3, 1)
+	before := outputsOf(t, g, in)
+
+	folded, err := FoldBatchNorm(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 1 {
+		t.Fatalf("folded %d BN nodes, want 1", folded)
+	}
+	g.Prune()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind() == nn.OpBatchNorm {
+			t.Fatal("BN node survived")
+		}
+	}
+	after := outputsOf(t, g, in)
+	if d := tensor.MaxAbsDiff(before[0], after[0]); d > 1e-5 {
+		t.Errorf("BN folding changed outputs by %v", d)
+	}
+}
+
+// TestFoldBatchNormCreatesBias checks folding a bias-less conv
+// synthesizes the bias vector.
+func TestFoldBatchNormCreatesBias(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(4, 4, 1))
+	w := nn.NewConvWeights(1, 1, 1, 2)
+	w.FillRand(5, 1)
+	conv := g.Add("conv", &nn.Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 2, W: w}, in)
+	bn := g.Add("bn", &nn.BatchNorm{
+		Gamma: []float32{1, 1}, Beta: []float32{0.5, -0.5},
+		Mean: []float32{0, 0}, Var: []float32{1, 1}, Eps: 0,
+	}, conv)
+	g.MarkOutput(bn)
+	if _, err := FoldBatchNorm(g); err != nil {
+		t.Fatal(err)
+	}
+	op := conv.Op.(*nn.Conv2D)
+	if op.Bias == nil || op.Bias[0] != 0.5 || op.Bias[1] != -0.5 {
+		t.Errorf("folded bias = %v", op.Bias)
+	}
+}
+
+// TestFoldBatchNormSkipsSharedProducer checks folding refuses when the
+// conv output has other consumers.
+func TestFoldBatchNormSkipsSharedProducer(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(4, 4, 1))
+	w := nn.NewConvWeights(1, 1, 1, 1)
+	w.Data[0] = 1
+	conv := g.Add("conv", &nn.Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 1, W: w}, in)
+	bn := g.Add("bn", &nn.BatchNorm{
+		Gamma: []float32{2}, Beta: []float32{0}, Mean: []float32{0}, Var: []float32{1}, Eps: 0,
+	}, conv)
+	other := g.Add("other", &nn.Activation{Func: nn.ActReLU}, conv)
+	sum := g.Add("sum", &nn.Add{}, bn, other)
+	g.MarkOutput(sum)
+	folded, err := FoldBatchNorm(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if folded != 0 {
+		t.Errorf("folded %d, want 0 (conv has two consumers)", folded)
+	}
+}
+
+// TestPartitionPreservesOutputs is the numeric correctness test of
+// pad/bias decoupling.
+func TestPartitionPreservesOutputs(t *testing.T) {
+	g := buildConvBN(t)
+	in := tensor.New(tensor.NewShape(6, 6, 2))
+	in.FillRand(4, 1)
+	before := outputsOf(t, g, in)
+
+	pads, biases, err := Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pads != 1 || biases != 1 {
+		t.Fatalf("pads=%d biases=%d, want 1/1", pads, biases)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	conv := g.ByName("conv").Op.(*nn.Conv2D)
+	if conv.Pad.Any() || conv.Bias != nil {
+		t.Error("conv still carries pad/bias")
+	}
+	after := outputsOf(t, g, in)
+	if d := tensor.MaxAbsDiff(before[0], after[0]); d > 1e-6 {
+		t.Errorf("partition changed outputs by %v", d)
+	}
+}
+
+// TestCanonicalizeFull checks the full pass pipeline on a branchy model
+// with weights, numerically.
+func TestCanonicalizeFull(t *testing.T) {
+	g := models.MustBuild(models.TinyBranchNet, models.Options{WithWeights: true, Seed: 9})
+	in := tensor.New(g.Input.OutShape)
+	in.FillRand(2, 1)
+	before := outputsOf(t, g.Clone(), in)
+
+	res, err := Canonicalize(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FoldedBN == 0 {
+		t.Error("no BN folded")
+	}
+	if res.DecoupledPads == 0 || res.DecoupledBias == 0 {
+		t.Errorf("pads=%d biases=%d", res.DecoupledPads, res.DecoupledBias)
+	}
+	if len(res.BaseLayers) == 0 || len(res.NonBaseLayers) == 0 {
+		t.Error("classification empty")
+	}
+	for _, n := range res.BaseLayers {
+		if !n.IsBase() {
+			t.Errorf("%v misclassified as base", n)
+		}
+	}
+	after := outputsOf(t, g, in)
+	if d := tensor.MaxAbsDiff(before[0], after[0]); d > 1e-4 {
+		t.Errorf("canonicalization changed outputs by %v", d)
+	}
+}
+
+// TestCanonicalizeQuantization checks the quantization pass bounds.
+func TestCanonicalizeQuantization(t *testing.T) {
+	g := models.MustBuild(models.TinyConvNet, models.Options{WithWeights: true, Seed: 9})
+	ref := g.Clone()
+	if _, err := Canonicalize(ref, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Canonicalize(g, Options{WeightBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QuantizedBase != 3 {
+		t.Errorf("quantized %d base layers, want 3", res.QuantizedBase)
+	}
+	if len(res.QuantParams) != 3 {
+		t.Errorf("params for %d layers", len(res.QuantParams))
+	}
+	// Quantized weights deviate from float by at most half a step.
+	for n, p := range res.QuantParams {
+		refN := ref.ByName(n.Name)
+		if refN == nil {
+			t.Fatalf("layer %s missing in reference", n.Name)
+		}
+		w := n.Op.(*nn.Conv2D).W
+		rw := refN.Op.(*nn.Conv2D).W
+		for i := range w.Data {
+			d := w.Data[i] - rw.Data[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > p.MaxError()+1e-6 {
+				t.Fatalf("%s weight %d deviates %v > %v", n.Name, i, d, p.MaxError())
+			}
+		}
+	}
+}
+
+// TestCanonicalizeShapeOnly ensures the pipeline works without weights.
+func TestCanonicalizeShapeOnly(t *testing.T) {
+	g := models.MustBuild(models.TinyYOLOv3, models.Options{})
+	res, err := Canonicalize(g, Options{WeightBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.BaseLayers); got != 13 {
+		t.Errorf("base layers = %d, want 13", got)
+	}
+	if res.PrunedNodes == 0 {
+		t.Error("expected dead BN nodes to be pruned")
+	}
+}
+
+// TestCanonicalizeRejectsInvalid checks input validation.
+func TestCanonicalizeRejectsInvalid(t *testing.T) {
+	g := nn.NewGraph()
+	g.AddInput("input", tensor.NewShape(2, 2, 1))
+	// No outputs marked -> invalid.
+	if _, err := Canonicalize(g, Options{}); err == nil {
+		t.Error("invalid graph accepted")
+	}
+}

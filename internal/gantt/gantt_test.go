@@ -1,0 +1,156 @@
+package gantt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clsacim/internal/deps"
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+	"clsacim/internal/schedule"
+	"clsacim/internal/sets"
+)
+
+func sched(t *testing.T, mode schedule.Mode) (*deps.Graph, *schedule.Schedule) {
+	t.Helper()
+	g := models.MustBuild(models.TinyYOLOv4, models.Options{})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mapping.Analyze(g, im2col.PEDims{Rows: 256, Cols: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs+16, mapping.SolverDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Apply(g, plan, sol, plan.MinPEs+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sets.Determine(g, m, sets.Options{TargetSets: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := deps.Build(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schedule.Build(dg, mode, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dg, s
+}
+
+func TestFromScheduleRows(t *testing.T) {
+	dg, s := sched(t, schedule.CrossLayer)
+	rows := FromSchedule(dg, s)
+	// One row per replica PE group.
+	want := 0
+	for _, ls := range dg.Plan.Layers {
+		want += ls.Group.Dup
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	// Duplicated layers must be labeled with replica indices.
+	foundDup := false
+	for _, r := range rows {
+		if strings.Contains(r.Label, "[0/") {
+			foundDup = true
+		}
+		for _, sp := range r.Spans {
+			if sp.End <= sp.Start {
+				t.Fatalf("degenerate span %+v in %s", sp, r.Label)
+			}
+			if sp.End > s.Makespan {
+				t.Fatalf("span exceeds makespan in %s", r.Label)
+			}
+		}
+	}
+	if !foundDup {
+		t.Error("no replica-labeled rows found despite duplication")
+	}
+	// Spans must be merged: no two adjacent spans touching.
+	for _, r := range rows {
+		for i := 1; i < len(r.Spans); i++ {
+			if r.Spans[i].Start <= r.Spans[i-1].End {
+				if r.Spans[i].Start == r.Spans[i-1].End {
+					t.Fatalf("%s: unmerged adjacent spans", r.Label)
+				}
+				t.Fatalf("%s: overlapping spans", r.Label)
+			}
+		}
+	}
+}
+
+func TestRenderOutput(t *testing.T) {
+	dg, s := sched(t, schedule.LayerByLayer)
+	rows := FromSchedule(dg, s)
+	var buf bytes.Buffer
+	if err := Render(&buf, "fig6a", rows, s.Makespan, Options{Width: 80, ShowPEs: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fig6a") || !strings.Contains(out, "makespan") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "conv2d") {
+		t.Error("layer labels missing")
+	}
+	if !strings.Contains(out, "PE)") {
+		t.Error("PE counts missing with ShowPEs")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + rows + axis.
+	if len(lines) != len(rows)+2 {
+		t.Errorf("output has %d lines, want %d", len(lines), len(rows)+2)
+	}
+	// Every chart line must contain the bar delimiters with exactly the
+	// requested width between them.
+	for _, l := range lines[1 : len(lines)-1] {
+		start := strings.IndexByte(l, '|')
+		end := strings.LastIndexByte(l, '|')
+		if start < 0 || end <= start {
+			t.Fatalf("line %q lacks bars", l)
+		}
+		if end-start-1 != 80 {
+			t.Fatalf("bar width %d, want 80", end-start-1)
+		}
+	}
+}
+
+func TestRenderLayerByLayerIsStaircase(t *testing.T) {
+	dg, s := sched(t, schedule.LayerByLayer)
+	rows := FromSchedule(dg, s)
+	// In lbl mode every row has exactly one merged span.
+	for _, r := range rows {
+		if len(r.Spans) != 1 {
+			t.Errorf("%s has %d spans in layer-by-layer mode", r.Label, len(r.Spans))
+		}
+	}
+}
+
+func TestRenderEmptyScheduleFails(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, "x", nil, 0, Options{}); err == nil {
+		t.Error("empty schedule rendered")
+	}
+}
+
+func TestRenderDefaultWidth(t *testing.T) {
+	dg, s := sched(t, schedule.CrossLayer)
+	rows := FromSchedule(dg, s)
+	var buf bytes.Buffer
+	if err := Render(&buf, "t", rows[:3], s.Makespan, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "|") {
+		t.Error("no bars rendered")
+	}
+}

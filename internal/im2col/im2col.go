@@ -1,0 +1,250 @@
+// Package im2col implements the Conv2D-to-GEMM transformation of paper
+// §III-B (Fig. 3) and the associated PE-tiling arithmetic.
+//
+// A convolution's kernels are unrolled into a (KW*KH*KI) x KO kernel
+// matrix whose columns are the flattened kernels. The matrix is
+// subdivided into crossbar-sized submatrices that are statically mapped
+// onto PEs: PV vertical tiles (input rows) times PH horizontal tiles
+// (output columns). With intra-layer scheduling all PV*PH PEs of a layer
+// operate in parallel, producing one (1 x 1 x KO) OFM vector per MVM
+// latency, so a layer's initial latency is OH*OW cycles (paper Table I).
+package im2col
+
+import (
+	"fmt"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// PEDims describes a crossbar: Rows input word lines (the "N" dimension
+// of the paper's M x N submatrices) and Cols output bit lines ("M").
+type PEDims struct {
+	Rows, Cols int
+}
+
+// String renders the dims as RowsxCols.
+func (d PEDims) String() string { return fmt.Sprintf("%dx%d", d.Rows, d.Cols) }
+
+// Valid reports whether both dims are positive.
+func (d PEDims) Valid() bool { return d.Rows > 0 && d.Cols > 0 }
+
+// Tiling is the static partition of one base layer's kernel matrix onto
+// PEs.
+type Tiling struct {
+	KRows int // unrolled kernel-matrix rows: KW*KH*KI
+	KCols int // kernel-matrix columns: KO
+	PV    int // vertical PE count  = ceil(KRows / PE.Rows)
+	PH    int // horizontal PE count = ceil(KCols / PE.Cols)
+}
+
+// PEs returns the number of crossbars the layer occupies (paper Eq. 1,
+// c_i = PV * PH).
+func (t Tiling) PEs() int { return t.PV * t.PH }
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TileConv computes the PE tiling of a convolution on crossbars of the
+// given dimensions.
+func TileConv(op *nn.Conv2D, pe PEDims) (Tiling, error) {
+	if !pe.Valid() {
+		return Tiling{}, fmt.Errorf("im2col: invalid PE dims %v", pe)
+	}
+	rows := op.KH * op.KW * op.KI
+	if rows <= 0 || op.KO <= 0 {
+		return Tiling{}, fmt.Errorf("im2col: invalid conv dims")
+	}
+	return Tiling{KRows: rows, KCols: op.KO, PV: ceilDiv(rows, pe.Rows), PH: ceilDiv(op.KO, pe.Cols)}, nil
+}
+
+// TileDense computes the PE tiling of a dense layer (a 1x1 kernel).
+func TileDense(op *nn.Dense, pe PEDims) (Tiling, error) {
+	if !pe.Valid() {
+		return Tiling{}, fmt.Errorf("im2col: invalid PE dims %v", pe)
+	}
+	if op.KI <= 0 || op.KO <= 0 {
+		return Tiling{}, fmt.Errorf("im2col: invalid dense dims")
+	}
+	return Tiling{KRows: op.KI, KCols: op.KO, PV: ceilDiv(op.KI, pe.Rows), PH: ceilDiv(op.KO, pe.Cols)}, nil
+}
+
+// DepthwisePacking returns how many channels of a KH x KW depthwise
+// kernel pack onto one crossbar. The kernel matrix is block-diagonal
+// (channel c reads only rows [c*KH*KW, (c+1)*KH*KW) and writes only
+// column c), so a crossbar hosts P = min(Rows/(KH*KW), Cols) channels on
+// disjoint rows and columns — the shifted/duplicated-kernel packing of
+// VWC-SDK (paper reference [14]).
+func DepthwisePacking(kh, kw int, pe PEDims) (int, error) {
+	if !pe.Valid() {
+		return 0, fmt.Errorf("im2col: invalid PE dims %v", pe)
+	}
+	win := kh * kw
+	if win <= 0 {
+		return 0, fmt.Errorf("im2col: invalid depthwise kernel %dx%d", kh, kw)
+	}
+	if win > pe.Rows {
+		return 0, fmt.Errorf("im2col: depthwise window %d exceeds crossbar rows %d", win, pe.Rows)
+	}
+	p := pe.Rows / win
+	if p > pe.Cols {
+		p = pe.Cols
+	}
+	return p, nil
+}
+
+// TileDepthwise computes the packed PE tiling of a depthwise
+// convolution: ceil(C / P) crossbars, P channels per crossbar.
+func TileDepthwise(op *nn.DepthwiseConv2D, pe PEDims) (Tiling, error) {
+	p, err := DepthwisePacking(op.KH, op.KW, pe)
+	if err != nil {
+		return Tiling{}, err
+	}
+	if op.C <= 0 {
+		return Tiling{}, fmt.Errorf("im2col: invalid depthwise channels %d", op.C)
+	}
+	// PV counts crossbars along the (block-diagonal) kernel matrix; the
+	// packing makes the tiling one-dimensional.
+	return Tiling{KRows: op.KH * op.KW * op.C, KCols: op.C, PV: ceilDiv(op.C, p), PH: 1}, nil
+}
+
+// TileBase tiles any base layer node; it errors on non-base nodes.
+func TileBase(n *nn.Node, pe PEDims) (Tiling, error) {
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		return TileConv(op, pe)
+	case *nn.Dense:
+		return TileDense(op, pe)
+	case *nn.DepthwiseConv2D:
+		return TileDepthwise(op, pe)
+	default:
+		return Tiling{}, fmt.Errorf("im2col: %v is not a base layer", n)
+	}
+}
+
+// KernelMatrix unrolls conv weights into the (KW*KH*KI) x KO kernel
+// matrix, row-major. Row order is (kh, kw, ki) nested, matching Lower.
+func KernelMatrix(w *nn.ConvWeights) *Matrix {
+	rows := w.KH * w.KW * w.KI
+	m := NewMatrix(rows, w.KO)
+	r := 0
+	for kh := 0; kh < w.KH; kh++ {
+		for kw := 0; kw < w.KW; kw++ {
+			for ki := 0; ki < w.KI; ki++ {
+				for ko := 0; ko < w.KO; ko++ {
+					m.Set(r, ko, w.At(kh, kw, ki, ko))
+				}
+				r++
+			}
+		}
+	}
+	return m
+}
+
+// Lower materializes the im2col input matrix of a valid (unpadded)
+// convolution over ifm: one row per OFM pixel (row-major OH, OW), one
+// column per kernel-matrix row.
+func Lower(op *nn.Conv2D, ifm *tensor.Tensor) (*Matrix, error) {
+	if op.Pad.Any() {
+		return nil, fmt.Errorf("im2col: convolution still carries padding; run the partition pass first")
+	}
+	s := ifm.Shape
+	if s.C != op.KI {
+		return nil, fmt.Errorf("im2col: ifm channels %d != KI %d", s.C, op.KI)
+	}
+	oh := (s.H-op.KH)/op.SH + 1
+	ow := (s.W-op.KW)/op.SW + 1
+	cols := op.KH * op.KW * op.KI
+	m := NewMatrix(oh*ow, cols)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			row := y*ow + x
+			c := 0
+			for kh := 0; kh < op.KH; kh++ {
+				for kw := 0; kw < op.KW; kw++ {
+					for ki := 0; ki < op.KI; ki++ {
+						m.Set(row, c, ifm.At(y*op.SH+kh, x*op.SW+kw, ki))
+						c++
+					}
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	R, C int
+	Data []float32
+}
+
+// NewMatrix allocates a zero RxC matrix.
+func NewMatrix(r, c int) *Matrix {
+	return &Matrix{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 { return m.Data[r*m.C+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float32) { m.Data[r*m.C+c] = v }
+
+// Row returns a view of row r.
+func (m *Matrix) Row(r int) []float32 { return m.Data[r*m.C : (r+1)*m.C] }
+
+// Mul returns m x b (float64 accumulation).
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.C != b.R {
+		return nil, fmt.Errorf("im2col: matmul dims %dx%d x %dx%d", m.R, m.C, b.R, b.C)
+	}
+	out := NewMatrix(m.R, b.C)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < b.C; j++ {
+			var acc float64
+			for k := 0; k < m.C; k++ {
+				acc += float64(m.At(i, k)) * float64(b.At(k, j))
+			}
+			out.Set(i, j, float32(acc))
+		}
+	}
+	return out, nil
+}
+
+// ToOFM reshapes a (OH*OW) x KO result matrix back into an (OH, OW, KO)
+// tensor.
+func (m *Matrix) ToOFM(oh, ow int) (*tensor.Tensor, error) {
+	if m.R != oh*ow {
+		return nil, fmt.Errorf("im2col: %d rows cannot reshape to %dx%d", m.R, oh, ow)
+	}
+	return tensor.FromSlice(tensor.NewShape(oh, ow, m.C), m.Data), nil
+}
+
+// ConvViaGEMM executes a valid convolution through the im2col + GEMM
+// path; used as a cross-check against the direct reference executor.
+func ConvViaGEMM(op *nn.Conv2D, ifm *tensor.Tensor) (*tensor.Tensor, error) {
+	if op.W == nil {
+		return nil, fmt.Errorf("im2col: conv has no weights")
+	}
+	in, err := Lower(op, ifm)
+	if err != nil {
+		return nil, err
+	}
+	km := KernelMatrix(op.W)
+	prod, err := in.Mul(km)
+	if err != nil {
+		return nil, err
+	}
+	if op.Bias != nil {
+		for r := 0; r < prod.R; r++ {
+			row := prod.Row(r)
+			for c := range row {
+				row[c] += op.Bias[c]
+			}
+		}
+	}
+	s := ifm.Shape
+	oh := (s.H-op.KH)/op.SH + 1
+	ow := (s.W-op.KW)/op.SW + 1
+	return prod.ToOFM(oh, ow)
+}

@@ -1,0 +1,191 @@
+package im2col
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+var pe256 = PEDims{Rows: 256, Cols: 256}
+
+// TestTilingTableI checks the PE-count formula against paper Table I
+// rows (c_i = ceil(KW*KH*KI/N) * ceil(KO/M)).
+func TestTilingTableI(t *testing.T) {
+	cases := []struct {
+		kh, kw, ki, ko int
+		want           int
+	}{
+		{3, 3, 3, 32, 1},      // conv2d
+		{3, 3, 32, 64, 2},     // conv2d_1
+		{3, 3, 64, 64, 3},     // conv2d_2
+		{3, 3, 256, 512, 18},  // conv2d_16
+		{1, 1, 512, 255, 2},   // conv2d_17
+		{1, 1, 256, 255, 1},   // conv2d_20
+		{3, 3, 512, 512, 36},  // conv2d_14
+		{7, 7, 3, 64, 1},      // ResNet stem
+		{3, 3, 512, 1024, 72}, // TinyYOLOv3 conv2d_6
+	}
+	for _, c := range cases {
+		op := &nn.Conv2D{KH: c.kh, KW: c.kw, SH: 1, SW: 1, KI: c.ki, KO: c.ko}
+		tl, err := TileConv(op, pe256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.PEs() != c.want {
+			t.Errorf("TileConv(%dx%dx%d->%d) = %d PEs, want %d",
+				c.kh, c.kw, c.ki, c.ko, tl.PEs(), c.want)
+		}
+		if tl.KRows != c.kh*c.kw*c.ki || tl.KCols != c.ko {
+			t.Errorf("kernel matrix dims wrong: %dx%d", tl.KRows, tl.KCols)
+		}
+	}
+}
+
+func TestTileDense(t *testing.T) {
+	tl, err := TileDense(&nn.Dense{KI: 700, KO: 300}, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.PV != 3 || tl.PH != 2 || tl.PEs() != 6 {
+		t.Errorf("dense tiling = PV %d PH %d", tl.PV, tl.PH)
+	}
+}
+
+func TestTileErrors(t *testing.T) {
+	if _, err := TileConv(&nn.Conv2D{KH: 1, KW: 1, KI: 1, KO: 1}, PEDims{}); err == nil {
+		t.Error("invalid PE dims accepted")
+	}
+	if _, err := TileConv(&nn.Conv2D{}, pe256); err == nil {
+		t.Error("zero conv dims accepted")
+	}
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(4, 4, 1))
+	p := g.Add("p", &nn.MaxPool{KH: 2, KW: 2, SH: 2, SW: 2}, in)
+	if _, err := TileBase(p, pe256); err == nil {
+		t.Error("non-base node tiled")
+	}
+}
+
+func TestKernelMatrixLayout(t *testing.T) {
+	w := nn.NewConvWeights(2, 1, 2, 2)
+	// Mark each weight uniquely: value = kh*100 + ki*10 + ko.
+	for kh := 0; kh < 2; kh++ {
+		for ki := 0; ki < 2; ki++ {
+			for ko := 0; ko < 2; ko++ {
+				w.Set(kh, 0, ki, ko, float32(kh*100+ki*10+ko))
+			}
+		}
+	}
+	m := KernelMatrix(w)
+	if m.R != 4 || m.C != 2 {
+		t.Fatalf("kernel matrix %dx%d", m.R, m.C)
+	}
+	// Row order is (kh, kw, ki): rows = [k0i0, k0i1, k1i0, k1i1].
+	wantRows := []float32{0, 10, 100, 110}
+	for r, base := range wantRows {
+		if m.At(r, 0) != base || m.At(r, 1) != base+1 {
+			t.Errorf("row %d = (%v, %v), want (%v, %v)", r, m.At(r, 0), m.At(r, 1), base, base+1)
+		}
+	}
+}
+
+func randConv(r *rand.Rand) (*nn.Conv2D, *tensor.Tensor) {
+	kh, kw := 1+r.Intn(3), 1+r.Intn(3)
+	sh, sw := 1+r.Intn(2), 1+r.Intn(2)
+	ki, ko := 1+r.Intn(4), 1+r.Intn(5)
+	ih := kh + r.Intn(6) + sh
+	iw := kw + r.Intn(6) + sw
+	w := nn.NewConvWeights(kh, kw, ki, ko)
+	w.FillRand(r.Int63(), 1)
+	op := &nn.Conv2D{KH: kh, KW: kw, SH: sh, SW: sw, KI: ki, KO: ko, W: w}
+	in := tensor.New(tensor.NewShape(ih, iw, ki))
+	in.FillRand(r.Int63(), 1)
+	return op, in
+}
+
+// TestQuickConvViaGEMM is the central im2col correctness property: the
+// GEMM path must match the direct reference convolution on random
+// shapes, strides, and data.
+func TestQuickConvViaGEMM(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	f := func() bool {
+		op, in := randConv(r)
+		gemm, err := ConvViaGEMM(op, in)
+		if err != nil {
+			return false
+		}
+		g := nn.NewGraph()
+		input := g.AddInput("input", in.Shape)
+		n := g.Add("conv", op, input)
+		g.MarkOutput(n)
+		outs, err := (&nn.Executor{}).RunOutputs(g, in)
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(outs[0], gemm, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConvViaGEMMBias(t *testing.T) {
+	w := nn.NewConvWeights(1, 1, 1, 2)
+	w.Data[0], w.Data[1] = 2, 3
+	op := &nn.Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 2, W: w, Bias: []float32{10, 20}}
+	in := tensor.FromSlice(tensor.NewShape(1, 1, 1), []float32{5})
+	out, err := ConvViaGEMM(op, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Data[0] != 20 || out.Data[1] != 35 {
+		t.Errorf("gemm+bias = %v", out.Data)
+	}
+}
+
+func TestLowerRejectsPadded(t *testing.T) {
+	op := &nn.Conv2D{KH: 3, KW: 3, SH: 1, SW: 1, KI: 1, KO: 1,
+		Pad: nn.Padding{Top: 1}, W: nn.NewConvWeights(3, 3, 1, 1)}
+	if _, err := Lower(op, tensor.New(tensor.NewShape(5, 5, 1))); err == nil {
+		t.Error("padded conv lowered")
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	a := NewMatrix(2, 3)
+	copy(a.Data, []float32{1, 2, 3, 4, 5, 6})
+	b := NewMatrix(3, 1)
+	copy(b.Data, []float32{1, 0, -1})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 0) != -2 || p.At(1, 0) != -2 {
+		t.Errorf("mul = %v", p.Data)
+	}
+	if _, err := a.Mul(NewMatrix(2, 2)); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, err := a.ToOFM(3, 1); err == nil {
+		t.Error("bad reshape accepted")
+	}
+	ofm, err := a.ToOFM(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ofm.Shape.Equal(tensor.NewShape(2, 1, 3)) {
+		t.Errorf("ofm shape = %v", ofm.Shape)
+	}
+}
+
+func TestPEDims(t *testing.T) {
+	if pe256.String() != "256x256" {
+		t.Errorf("String = %q", pe256.String())
+	}
+	if (PEDims{Rows: -1, Cols: 3}).Valid() {
+		t.Error("negative dims valid")
+	}
+}

@@ -1,0 +1,164 @@
+// Package mapping implements the weight-mapping stage of the compiler:
+// static assignment of base layers to crossbar PEs, and the
+// weight-duplication optimization of paper §III-C, which decides how
+// often to replicate each layer's weights (Optimization Problem 1).
+//
+// Duplication model: all d_i replicas of a layer hold identical weights,
+// so any input vector (OFM pixel) can be dispatched to any replica —
+// "the work, i.e., the input vectors, is evenly distributed among the
+// duplicates" (§III-C). The scheduler therefore treats a duplicated
+// layer as one logical layer with d_i parallel PE groups serving its OFM
+// sets round-robin, which keeps OFM pixels emerging in raster order at
+// d_i-fold throughput. The TensorFlow-graph realization of the same
+// mapping (tf.slice -> duplicated Conv2D -> Concatenate, paper Fig. 4)
+// is provided by RewriteDuplication and verified functionally; it
+// produces identical tensors and identical total work.
+package mapping
+
+import (
+	"fmt"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+)
+
+// LayerInfo captures the mapping-relevant facts of one base layer.
+type LayerInfo struct {
+	Node   *nn.Node
+	Tiling im2col.Tiling
+	// Cost is c_i: the number of PEs needed for one copy of the weights.
+	Cost int
+	// Latency is t_i: OH*OW cycles with intra-layer scheduling (§III-B).
+	Latency int64
+}
+
+// Plan is the analysis of a canonical graph against a PE geometry.
+type Plan struct {
+	PE     im2col.PEDims
+	Layers []LayerInfo // base layers in topological order
+	// MinPEs is C_num = sum c_i: the minimum number of PEs that stores
+	// every weight exactly once (paper Eq. 1).
+	MinPEs int
+}
+
+// Analyze computes the PE tiling, cost, and intra-layer latency of every
+// base layer. The graph must be canonical (padding/bias decoupled).
+func Analyze(g *nn.Graph, pe im2col.PEDims) (*Plan, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{PE: pe}
+	for _, n := range order {
+		if !n.IsBase() {
+			continue
+		}
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			if op.Pad.Any() {
+				return nil, fmt.Errorf("mapping: %v still carries padding; canonicalize first", n)
+			}
+		case *nn.DepthwiseConv2D:
+			if op.Pad.Any() {
+				return nil, fmt.Errorf("mapping: %v still carries padding; canonicalize first", n)
+			}
+		}
+		t, err := im2col.TileBase(n, pe)
+		if err != nil {
+			return nil, err
+		}
+		info := LayerInfo{
+			Node:    n,
+			Tiling:  t,
+			Cost:    t.PEs(),
+			Latency: int64(n.OutShape.Pixels()),
+		}
+		p.Layers = append(p.Layers, info)
+		p.MinPEs += info.Cost
+	}
+	if len(p.Layers) == 0 {
+		return nil, fmt.Errorf("mapping: graph has no base layers")
+	}
+	return p, nil
+}
+
+// Group is one mapped base layer: Dup identical weight replicas, each
+// occupying Tiling.PEs() crossbars. Replica r owns PE indices
+// PEs[r*Tiling.PEs() : (r+1)*Tiling.PEs()].
+type Group struct {
+	Node *nn.Node
+	// LayerIdx is the index in Plan.Layers.
+	LayerIdx int
+	// Dup is the applied duplication factor d_i (>= 1).
+	Dup int
+	// Tiling is the per-replica kernel-matrix tiling.
+	Tiling im2col.Tiling
+	// PEs are the global PE indices of all replicas, replica-major.
+	PEs []int
+}
+
+// PEsPerReplica returns c_i, the crossbar count of one weight copy.
+func (g *Group) PEsPerReplica() int { return g.Tiling.PEs() }
+
+// ReplicaPEs returns the PE indices of replica r.
+func (g *Group) ReplicaPEs(r int) []int {
+	c := g.PEsPerReplica()
+	return g.PEs[r*c : (r+1)*c]
+}
+
+// Mapping is the result of applying a duplication solution.
+type Mapping struct {
+	PE im2col.PEDims
+	// F is the total PE count of the architecture.
+	F      int
+	Groups []*Group
+	// PEsUsed counts allocated PEs (<= F).
+	PEsUsed int
+	// Dup holds the applied duplication factors in plan-layer order.
+	Dup []int
+}
+
+// GroupOf returns the group of a base-layer node, or nil.
+func (m *Mapping) GroupOf(node *nn.Node) *Group {
+	for _, g := range m.Groups {
+		if g.Node == node {
+			return g
+		}
+	}
+	return nil
+}
+
+// Apply allocates PEs for every base layer with the given duplication
+// solution. The graph is not modified: duplication is a resource
+// replication visible to the scheduler (see the package comment).
+func Apply(g *nn.Graph, plan *Plan, sol Solution, F int) (*Mapping, error) {
+	if len(sol.D) != len(plan.Layers) {
+		return nil, fmt.Errorf("mapping: solution size %d != layers %d", len(sol.D), len(plan.Layers))
+	}
+	if plan.MinPEs > F {
+		return nil, fmt.Errorf("mapping: network needs %d PEs but architecture has %d (paper assumes C_num <= F)",
+			plan.MinPEs, F)
+	}
+	m := &Mapping{PE: plan.PE, F: F, Dup: append([]int(nil), sol.D...)}
+	nextPE := 0
+	for li, info := range plan.Layers {
+		d := sol.D[li]
+		if d < 1 {
+			return nil, fmt.Errorf("mapping: layer %v has d=%d", info.Node, d)
+		}
+		n := info.Cost * d
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = nextPE + i
+		}
+		nextPE += n
+		m.Groups = append(m.Groups, &Group{
+			Node: info.Node, LayerIdx: li, Dup: d, Tiling: info.Tiling, PEs: ids,
+		})
+	}
+	m.PEsUsed = nextPE
+	if m.PEsUsed > F {
+		return nil, fmt.Errorf("mapping: solution uses %d PEs > F=%d", m.PEsUsed, F)
+	}
+	return m, nil
+}

@@ -1,0 +1,355 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+var pe256 = im2col.PEDims{Rows: 256, Cols: 256}
+
+func canonicalModel(t *testing.T, id models.ID, opt models.Options) *nn.Graph {
+	t.Helper()
+	g := models.MustBuild(id, opt)
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAnalyzeTinyYOLOv4(t *testing.T) {
+	g := canonicalModel(t, models.TinyYOLOv4, models.Options{})
+	plan, err := Analyze(g, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MinPEs != 117 {
+		t.Errorf("MinPEs = %d, want 117", plan.MinPEs)
+	}
+	if len(plan.Layers) != 21 {
+		t.Errorf("layers = %d, want 21", len(plan.Layers))
+	}
+	if plan.Layers[0].Latency != 43264 || plan.Layers[0].Cost != 1 {
+		t.Errorf("layer 0: t=%d c=%d", plan.Layers[0].Latency, plan.Layers[0].Cost)
+	}
+}
+
+func TestAnalyzeRejectsPadded(t *testing.T) {
+	g := models.MustBuild(models.TinyConvNet, models.Options{})
+	if _, err := Analyze(g, pe256); err == nil {
+		t.Error("non-canonical graph accepted")
+	}
+}
+
+func TestSolveNone(t *testing.T) {
+	g := canonicalModel(t, models.TinyYOLOv4, models.Options{})
+	plan, _ := Analyze(g, pe256)
+	sol, err := Solve(plan, 117, SolverNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range sol.D {
+		if d != 1 {
+			t.Errorf("d[%d] = %d", i, d)
+		}
+	}
+	if sol.PEsNeeded != 117 {
+		t.Errorf("PEsNeeded = %d", sol.PEsNeeded)
+	}
+	if _, err := Solve(plan, 100, SolverNone); err == nil {
+		t.Error("under-provisioned architecture accepted")
+	}
+}
+
+// TestSolveYolov4X16FirstLayers reproduces the paper's Fig. 6a claim:
+// with x = 16 extra PEs, the duplicated layers are exactly the first six
+// convolutions.
+func TestSolveYolov4X16FirstLayers(t *testing.T) {
+	g := canonicalModel(t, models.TinyYOLOv4, models.Options{})
+	plan, _ := Analyze(g, pe256)
+	sol, err := Solve(plan, 117+16, SolverDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range sol.D {
+		if i < 6 && d < 2 {
+			t.Errorf("layer %d (%s) not duplicated: d=%d", i, plan.Layers[i].Node.Name, d)
+		}
+		if i >= 6 && d != 1 {
+			t.Errorf("layer %d (%s) unexpectedly duplicated: d=%d", i, plan.Layers[i].Node.Name, d)
+		}
+	}
+	if sol.PEsNeeded > 117+16 {
+		t.Errorf("budget exceeded: %d", sol.PEsNeeded)
+	}
+}
+
+// randomPlan builds a synthetic plan for solver cross-validation.
+func randomPlan(r *rand.Rand, n int) *Plan {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(64, 64, 1))
+	plan := &Plan{PE: pe256}
+	prev := in
+	for i := 0; i < n; i++ {
+		// OH between 1 and 20 rows bounds maxDup.
+		oh := 1 + r.Intn(20)
+		node := g.Add("", &nn.Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 1}, prev)
+		node.OutShape = tensor.NewShape(oh, 1+r.Intn(20), 1)
+		cost := 1 + r.Intn(4)
+		plan.Layers = append(plan.Layers, LayerInfo{
+			Node:    node,
+			Cost:    cost,
+			Latency: int64(node.OutShape.Pixels()),
+		})
+		plan.MinPEs += cost
+		prev = node
+	}
+	return plan
+}
+
+// TestQuickSolverCrossValidation: DP must equal brute force exactly and
+// never lose to greedy; all solutions respect budget and bounds.
+func TestQuickSolverCrossValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		n := 2 + r.Intn(5)
+		plan := randomPlan(r, n)
+		budget := plan.MinPEs + r.Intn(12)
+		dp, err := Solve(plan, budget, SolverDP)
+		if err != nil {
+			return false
+		}
+		gr, err := Solve(plan, budget, SolverGreedy)
+		if err != nil {
+			return false
+		}
+		br, err := Solve(plan, budget, SolverBrute)
+		if err != nil {
+			return false
+		}
+		mm, err := Solve(plan, budget, SolverMinMax)
+		if err != nil {
+			return false
+		}
+		for _, sol := range []Solution{dp, gr, br, mm} {
+			if sol.PEsNeeded > budget {
+				return false
+			}
+			for i, d := range sol.D {
+				if d < 1 || d > maxDup(plan.Layers[i]) {
+					return false
+				}
+			}
+		}
+		const eps = 1e-9
+		if dp.Objective > br.Objective+eps || dp.Objective < br.Objective-eps {
+			return false // DP must be exact
+		}
+		return dp.Objective <= gr.Objective+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMinMaxBottleneck: the minmax solver never has a worse
+// bottleneck than the DP solver.
+func TestQuickMinMaxBottleneck(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	bottleneck := func(plan *Plan, d []int) float64 {
+		worst := 0.0
+		for i, info := range plan.Layers {
+			if v := float64(info.Latency) / float64(d[i]); v > worst {
+				worst = v
+			}
+		}
+		return worst
+	}
+	f := func() bool {
+		plan := randomPlan(r, 2+r.Intn(5))
+		budget := plan.MinPEs + r.Intn(16)
+		dp, err1 := Solve(plan, budget, SolverDP)
+		mm, err2 := Solve(plan, budget, SolverMinMax)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return bottleneck(plan, mm.D) <= bottleneck(plan, dp.D)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveBruteLimits(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	plan := randomPlan(r, 9)
+	if _, err := Solve(plan, plan.MinPEs+4, SolverBrute); err == nil {
+		t.Error("brute accepted 9 layers")
+	}
+	if _, err := Solve(plan, plan.MinPEs, Solver(42)); err == nil {
+		t.Error("unknown solver accepted")
+	}
+}
+
+func TestDenseNeverDuplicated(t *testing.T) {
+	g := canonicalModel(t, models.TinyMLP, models.Options{})
+	plan, err := Analyze(g, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(plan, plan.MinPEs+50, SolverDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range sol.D {
+		if d != 1 {
+			t.Errorf("dense layer %d duplicated d=%d (1x1 OFM cannot split work)", i, d)
+		}
+	}
+}
+
+func TestApplyAllocation(t *testing.T) {
+	g := canonicalModel(t, models.TinyYOLOv4, models.Options{})
+	plan, _ := Analyze(g, pe256)
+	sol, _ := Solve(plan, 117+16, SolverDP)
+	m, err := Apply(g, plan, sol, 117+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PEsUsed > m.F {
+		t.Errorf("allocated %d > F %d", m.PEsUsed, m.F)
+	}
+	// PEs must be disjoint and within range.
+	seen := make(map[int]bool)
+	for li, grp := range m.Groups {
+		if grp.Dup != sol.D[li] {
+			t.Errorf("group %d dup %d != solution %d", li, grp.Dup, sol.D[li])
+		}
+		if len(grp.PEs) != grp.Dup*grp.PEsPerReplica() {
+			t.Errorf("group %d has %d PEs, want %d", li, len(grp.PEs), grp.Dup*grp.PEsPerReplica())
+		}
+		for _, pe := range grp.PEs {
+			if pe < 0 || pe >= m.F || seen[pe] {
+				t.Fatalf("PE %d invalid or double-allocated", pe)
+			}
+			seen[pe] = true
+		}
+		// Replica views must partition the group's PEs.
+		count := 0
+		for r := 0; r < grp.Dup; r++ {
+			count += len(grp.ReplicaPEs(r))
+		}
+		if count != len(grp.PEs) {
+			t.Errorf("replica views cover %d of %d PEs", count, len(grp.PEs))
+		}
+	}
+	if m.GroupOf(plan.Layers[0].Node) == nil {
+		t.Error("GroupOf lookup failed")
+	}
+	if m.GroupOf(g.Input) != nil {
+		t.Error("GroupOf returned group for input node")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	g := canonicalModel(t, models.TinyYOLOv4, models.Options{})
+	plan, _ := Analyze(g, pe256)
+	if _, err := Apply(g, plan, Solution{D: []int{1}}, 117); err == nil {
+		t.Error("short solution accepted")
+	}
+	sol, _ := Solve(plan, 117, SolverNone)
+	if _, err := Apply(g, plan, sol, 100); err == nil {
+		t.Error("under-provisioned F accepted")
+	}
+	bad := Solution{D: make([]int, len(plan.Layers))}
+	copy(bad.D, sol.D)
+	bad.D[0] = 0
+	if _, err := Apply(g, plan, bad, 117); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+// TestRewriteDuplicationPreservesOutputs is the functional-equivalence
+// test of the TF-style rewrite (paper Fig. 4): identical results.
+func TestRewriteDuplicationPreservesOutputs(t *testing.T) {
+	g := canonicalModel(t, models.TinyBranchNet, models.Options{WithWeights: true, Seed: 31})
+	in := tensor.New(g.Input.OutShape)
+	in.FillRand(17, 1)
+	before, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Analyze(g, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(plan, plan.MinPEs+6, SolverDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dups := 0
+	for _, d := range sol.D {
+		if d > 1 {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("solution has no duplicates; test is vacuous")
+	}
+	if err := RewriteDuplication(g, plan, sol); err != nil {
+		t.Fatal(err)
+	}
+	after, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if d := tensor.MaxAbsDiff(before[i], after[i]); d != 0 {
+			t.Errorf("output %d deviates by %v (duplicates recompute identical dot products)", i, d)
+		}
+	}
+	// Structure: slices and concats present.
+	slices, concats := 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind() {
+		case nn.OpSlice:
+			slices++
+		case nn.OpConcat:
+			concats++
+		}
+	}
+	if slices == 0 || concats == 0 {
+		t.Errorf("rewrite added %d slices, %d concats", slices, concats)
+	}
+}
+
+func TestSplitGrid(t *testing.T) {
+	cases := []struct {
+		d, maxH, maxW, wantH, wantW int
+	}{
+		{6, 104, 104, 6, 1},
+		{6, 4, 104, 3, 2},
+		{7, 3, 3, 0, 0}, // prime > both dims: impossible
+		{1, 5, 5, 1, 1},
+		{4, 2, 2, 2, 2},
+	}
+	for _, c := range cases {
+		gh, gw := splitGrid(c.d, c.maxH, c.maxW)
+		if gh != c.wantH || gw != c.wantW {
+			t.Errorf("splitGrid(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				c.d, c.maxH, c.maxW, gh, gw, c.wantH, c.wantW)
+		}
+	}
+}
+
+func TestSolverString(t *testing.T) {
+	if SolverDP.String() != "dp" || SolverMinMax.String() != "minmax" {
+		t.Error("solver names wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package mapping
+
+import (
+	"fmt"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+)
+
+// RewriteDuplication applies the TensorFlow-graph realization of weight
+// duplication (paper §III-C, Fig. 4) to g in place: each layer with
+// d_i > 1 is replaced by d_i Slice -> Conv2D duplicates joined by a
+// Concat tree. The OFM is cut into a gh x gw grid of disjoint slabs
+// (along OH first, then OW); the IFM slices overlap according to the
+// kernel shape and stride, exactly as tf.slice produces them.
+//
+// This rewrite exists to demonstrate and verify functional equivalence
+// of the duplication mapping — the scheduler itself uses the equivalent
+// replica-pool model (see the package comment). The rewritten graph
+// computes bit-identical results and is revalidated.
+func RewriteDuplication(g *nn.Graph, plan *Plan, sol Solution) error {
+	if len(sol.D) != len(plan.Layers) {
+		return fmt.Errorf("mapping: solution size %d != layers %d", len(sol.D), len(plan.Layers))
+	}
+	for li, info := range plan.Layers {
+		if sol.D[li] <= 1 {
+			continue
+		}
+		if err := rewriteLayer(g, info, sol.D[li]); err != nil {
+			return err
+		}
+	}
+	g.Prune()
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("mapping: rewritten graph invalid: %w", err)
+	}
+	return nil
+}
+
+// convGeometry extracts the window parameters of a duplicable layer and
+// a factory for replica operator instances sharing the original weights.
+func convGeometry(op nn.Op) (kh, kw, sh, sw int, mk func() nn.Op, ok bool) {
+	switch o := op.(type) {
+	case *nn.Conv2D:
+		return o.KH, o.KW, o.SH, o.SW, func() nn.Op {
+			return &nn.Conv2D{KH: o.KH, KW: o.KW, SH: o.SH, SW: o.SW,
+				KI: o.KI, KO: o.KO, W: o.W, Bias: o.Bias}
+		}, true
+	case *nn.DepthwiseConv2D:
+		return o.KH, o.KW, o.SH, o.SW, func() nn.Op {
+			return &nn.DepthwiseConv2D{KH: o.KH, KW: o.KW, SH: o.SH, SW: o.SW,
+				C: o.C, W: o.W, Bias: o.Bias}
+		}, true
+	default:
+		return 0, 0, 0, 0, nil, false
+	}
+}
+
+func rewriteLayer(g *nn.Graph, info LayerInfo, d int) error {
+	kh, kw, sh, sw, mkOp, ok := convGeometry(info.Node.Op)
+	if !ok {
+		return fmt.Errorf("mapping: cannot duplicate non-convolution layer %v", info.Node)
+	}
+	out := info.Node.OutShape
+	gh, gw := splitGrid(d, out.H, out.W)
+	if gh*gw != d {
+		return fmt.Errorf("mapping: cannot split %dx%d OFM into %d duplicates", out.H, out.W, d)
+	}
+	full := region.Full(out.H, out.W, out.C)
+	rows := full.SplitH(gh, 1)
+	ifm := info.Node.Inputs[0]
+	ifmShape := ifm.OutShape
+
+	var rowOutputs []*nn.Node
+	dupIdx := 0
+	for _, row := range rows {
+		cols := row.SplitW(gw, 1)
+		var colOutputs []*nn.Node
+		for _, slab := range cols {
+			// Receptive field of the slab in the (already padded) IFM.
+			rf := region.NewBox(
+				slab.H0*sh, (slab.H1-1)*sh+kh,
+				slab.W0*sw, (slab.W1-1)*sw+kw,
+				0, ifmShape.C,
+			).ClampTo(ifmShape.H, ifmShape.W, ifmShape.C)
+			sliceNode, err := g.TryAdd(g.FreshName(fmt.Sprintf("%s_dup%d_slice", info.Node.Name, dupIdx)),
+				&nn.Slice{Box: rf}, ifm)
+			if err != nil {
+				return err
+			}
+			dupNode, err := g.TryAdd(g.FreshName(fmt.Sprintf("%s_dup%d", info.Node.Name, dupIdx)),
+				mkOp(), sliceNode)
+			if err != nil {
+				return err
+			}
+			if dupNode.OutShape.H != slab.DH() || dupNode.OutShape.W != slab.DW() {
+				return fmt.Errorf("mapping: duplicate %v computes %v, want %dx%d",
+					dupNode, dupNode.OutShape, slab.DH(), slab.DW())
+			}
+			colOutputs = append(colOutputs, dupNode)
+			dupIdx++
+		}
+		rowOut := colOutputs[0]
+		if len(colOutputs) > 1 {
+			var err error
+			rowOut, err = g.TryAdd(g.FreshName(info.Node.Name+"_dupcatw"),
+				&nn.Concat{Axis: nn.AxisW}, colOutputs...)
+			if err != nil {
+				return err
+			}
+		}
+		rowOutputs = append(rowOutputs, rowOut)
+	}
+	result := rowOutputs[0]
+	if len(rowOutputs) > 1 {
+		var err error
+		result, err = g.TryAdd(g.FreshName(info.Node.Name+"_dupcath"),
+			&nn.Concat{Axis: nn.AxisH}, rowOutputs...)
+		if err != nil {
+			return err
+		}
+	}
+	if !result.OutShape.Equal(info.Node.OutShape) {
+		return fmt.Errorf("mapping: duplication of %v changed shape %v -> %v",
+			info.Node, info.Node.OutShape, result.OutShape)
+	}
+	g.ReplaceUses(info.Node, result)
+	return nil
+}
+
+// splitGrid chooses a gh x gw factorization of d with gh <= maxH and
+// gw <= maxW, preferring to cut along H (the intra-layer raster
+// direction), so gh is maximized. Returns (0, 0) if impossible.
+func splitGrid(d, maxH, maxW int) (gh, gw int) {
+	for h := minInt(d, maxH); h >= 1; h-- {
+		if d%h != 0 {
+			continue
+		}
+		if w := d / h; w <= maxW {
+			return h, w
+		}
+	}
+	return 0, 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Weight virtualization extends the mapping to architectures that cannot
+// store the whole network at once (C_num > F) — the "more general
+// scenarios" the paper defers to future work (§V-C). A subset of layers
+// is resident (weights written once before inference, as usual); the
+// remaining layers time-share a swap pool of PEs and must be
+// (re)programmed immediately before they execute. RRAM writes are slow
+// and wear the cells, which is exactly why the paper assumes F >= C_num;
+// this extension quantifies that assumption.
+//
+// Reloading serializes against compute on the pool, so virtualized
+// execution is layer-by-layer by construction: cross-layer overlap
+// would require a second copy of the swapped weights.
+
+// WriteCost models crossbar programming time.
+type WriteCost struct {
+	// CyclesPerCrossbar is the time to program one full crossbar, in
+	// MVM cycles. RRAM writes are orders of magnitude slower than
+	// reads; with tMVM = 1400 ns and ~10 us per-cell pulses over
+	// row-parallel writes, hundreds to thousands of cycles per crossbar
+	// are realistic.
+	CyclesPerCrossbar int64
+	// Parallelism is the number of crossbars that can be programmed
+	// concurrently (per-tile write drivers). 0 means 1.
+	Parallelism int
+}
+
+// ReloadCycles returns the time to program a layer occupying c
+// crossbars.
+func (w WriteCost) ReloadCycles(c int) int64 {
+	par := w.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	batches := (c + par - 1) / par
+	return int64(batches) * w.CyclesPerCrossbar
+}
+
+// VirtualMapping assigns every layer either dedicated PEs (resident) or
+// the shared swap pool.
+type VirtualMapping struct {
+	*Mapping
+	// Resident[i] reports whether plan layer i keeps its weights on
+	// dedicated PEs for the whole inference.
+	Resident []bool
+	// ReloadCycles[i] is the programming time charged before layer i
+	// executes (0 for resident layers).
+	ReloadCycles []int64
+	// PoolPEs is the size of the shared swap pool.
+	PoolPEs int
+	// TotalReload is the summed reload time per inference.
+	TotalReload int64
+	// Writes counts crossbar programming operations per inference
+	// (endurance pressure).
+	Writes int
+}
+
+// SolveVirtual selects resident layers for an architecture with F <
+// plan.MinPEs. The pool must fit the largest swapped layer; the
+// remaining budget keeps the layers whose reload cost is most expensive
+// per PE resident (greedy on saved-cycles/PE, which is the natural
+// knapsack relaxation ordering). Duplication is disabled (d_i = 1):
+// spare capacity does not exist below C_num.
+func SolveVirtual(plan *Plan, F int, wc WriteCost) (*VirtualMapping, error) {
+	n := len(plan.Layers)
+	if wc.CyclesPerCrossbar <= 0 {
+		return nil, fmt.Errorf("mapping: virtualization needs a positive write cost")
+	}
+	maxCost := 0
+	for _, info := range plan.Layers {
+		if info.Cost > maxCost {
+			maxCost = info.Cost
+		}
+	}
+	if F < maxCost {
+		return nil, fmt.Errorf("mapping: architecture has %d PEs but the largest layer alone needs %d", F, maxCost)
+	}
+	if F >= plan.MinPEs {
+		return nil, fmt.Errorf("mapping: network fits (%d <= %d PEs); use the standard mapping", plan.MinPEs, F)
+	}
+
+	// Order layers by reload cycles saved per PE if kept resident.
+	type cand struct {
+		idx   int
+		save  int64
+		cost  int
+		ratio float64
+	}
+	cands := make([]cand, n)
+	for i, info := range plan.Layers {
+		save := wc.ReloadCycles(info.Cost)
+		cands[i] = cand{idx: i, save: save, cost: info.Cost,
+			ratio: float64(save) / float64(info.Cost)}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].ratio != cands[b].ratio {
+			return cands[a].ratio > cands[b].ratio
+		}
+		return cands[a].idx < cands[b].idx
+	})
+
+	resident := make([]bool, n)
+	// Iteratively pick residents; the pool must always fit the largest
+	// remaining swapped layer, so recompute the feasible budget as the
+	// resident set grows.
+	for {
+		poolNeed := 0
+		used := 0
+		for i, info := range plan.Layers {
+			if resident[i] {
+				used += info.Cost
+			} else if info.Cost > poolNeed {
+				poolNeed = info.Cost
+			}
+		}
+		budget := F - used - poolNeed
+		best := -1
+		for _, c := range cands {
+			if resident[c.idx] {
+				continue
+			}
+			// Keeping c resident may shrink the needed pool.
+			newPool := 0
+			for i, info := range plan.Layers {
+				if !resident[i] && i != c.idx && info.Cost > newPool {
+					newPool = info.Cost
+				}
+			}
+			if used+c.cost+newPool <= F && (budget >= c.cost || newPool < poolNeed) {
+				best = c.idx
+				break
+			}
+		}
+		if best < 0 {
+			break
+		}
+		resident[best] = true
+	}
+
+	vm := &VirtualMapping{
+		Resident:     resident,
+		ReloadCycles: make([]int64, n),
+	}
+	m := &Mapping{PE: plan.PE, F: F, Dup: make([]int, n)}
+	next := 0
+	poolSize := 0
+	for i, info := range plan.Layers {
+		if !resident[i] && info.Cost > poolSize {
+			poolSize = info.Cost
+		}
+	}
+	// Dedicated PEs first, then the pool occupies the tail indices.
+	poolStart := 0
+	for i, info := range plan.Layers {
+		m.Dup[i] = 1
+		if resident[i] {
+			ids := make([]int, info.Cost)
+			for j := range ids {
+				ids[j] = next + j
+			}
+			next += info.Cost
+			m.Groups = append(m.Groups, &Group{Node: info.Node, LayerIdx: i, Dup: 1,
+				Tiling: info.Tiling, PEs: ids})
+		} else {
+			m.Groups = append(m.Groups, nil) // filled below once the pool base is known
+		}
+	}
+	poolStart = next
+	if poolStart+poolSize > F {
+		return nil, fmt.Errorf("mapping: internal: resident set %d + pool %d exceeds F %d",
+			poolStart, poolSize, F)
+	}
+	for i, info := range plan.Layers {
+		if resident[i] {
+			continue
+		}
+		ids := make([]int, info.Cost)
+		for j := range ids {
+			ids[j] = poolStart + j // pool PEs are shared across swapped layers
+		}
+		m.Groups[i] = &Group{Node: info.Node, LayerIdx: i, Dup: 1, Tiling: info.Tiling, PEs: ids}
+		vm.ReloadCycles[i] = wc.ReloadCycles(info.Cost)
+		vm.TotalReload += vm.ReloadCycles[i]
+		vm.Writes += info.Cost
+	}
+	m.PEsUsed = poolStart + poolSize
+	vm.Mapping = m
+	vm.PoolPEs = poolSize
+	return vm, nil
+}
+
+// ResidentPEs returns the number of PEs holding permanently resident
+// weights.
+func (vm *VirtualMapping) ResidentPEs() int {
+	return vm.PEsUsed - vm.PoolPEs
+}

@@ -1,0 +1,146 @@
+package mapping
+
+import (
+	"testing"
+
+	"clsacim/internal/models"
+)
+
+func vplan(t *testing.T) *Plan {
+	t.Helper()
+	g := canonicalModel(t, models.VGG16, models.Options{})
+	plan, err := Analyze(g, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestWriteCost(t *testing.T) {
+	wc := WriteCost{CyclesPerCrossbar: 100, Parallelism: 4}
+	cases := []struct {
+		c    int
+		want int64
+	}{{1, 100}, {4, 100}, {5, 200}, {36, 900}}
+	for _, tc := range cases {
+		if got := wc.ReloadCycles(tc.c); got != tc.want {
+			t.Errorf("ReloadCycles(%d) = %d, want %d", tc.c, got, tc.want)
+		}
+	}
+	zero := WriteCost{CyclesPerCrossbar: 50}
+	if got := zero.ReloadCycles(3); got != 150 {
+		t.Errorf("parallelism 0 must mean 1: got %d", got)
+	}
+}
+
+func TestSolveVirtualBasics(t *testing.T) {
+	plan := vplan(t)
+	wc := WriteCost{CyclesPerCrossbar: 512, Parallelism: 4}
+	vm, err := SolveVirtual(plan, 150, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.PEsUsed > 150 {
+		t.Errorf("uses %d > 150 PEs", vm.PEsUsed)
+	}
+	if vm.PoolPEs <= 0 {
+		t.Error("no swap pool allocated")
+	}
+	// The pool must fit every swapped layer.
+	for i, info := range plan.Layers {
+		if vm.Resident[i] {
+			if vm.ReloadCycles[i] != 0 {
+				t.Errorf("resident layer %d has reload %d", i, vm.ReloadCycles[i])
+			}
+			continue
+		}
+		if info.Cost > vm.PoolPEs {
+			t.Errorf("swapped layer %d needs %d PEs, pool has %d", i, info.Cost, vm.PoolPEs)
+		}
+		if vm.ReloadCycles[i] != wc.ReloadCycles(info.Cost) {
+			t.Errorf("layer %d reload %d, want %d", i, vm.ReloadCycles[i], wc.ReloadCycles(info.Cost))
+		}
+	}
+	// Resident PEs must be disjoint from each other and from the pool.
+	poolStart := vm.ResidentPEs()
+	seen := make(map[int]bool)
+	for i, grp := range vm.Groups {
+		if vm.Resident[i] {
+			for _, pe := range grp.PEs {
+				if pe >= poolStart || seen[pe] {
+					t.Fatalf("resident layer %d PE %d overlaps pool or another layer", i, pe)
+				}
+				seen[pe] = true
+			}
+		} else {
+			for _, pe := range grp.PEs {
+				if pe < poolStart {
+					t.Fatalf("swapped layer %d PE %d inside resident range", i, pe)
+				}
+			}
+		}
+	}
+	if vm.TotalReload <= 0 || vm.Writes <= 0 {
+		t.Error("no reload accounted")
+	}
+}
+
+// TestSolveVirtualMonotone: more PEs never increase total reload time.
+func TestSolveVirtualMonotone(t *testing.T) {
+	plan := vplan(t)
+	wc := WriteCost{CyclesPerCrossbar: 512, Parallelism: 4}
+	prev := int64(1 << 62)
+	for _, f := range []int{80, 120, 160, 200, 232} {
+		vm, err := SolveVirtual(plan, f, wc)
+		if err != nil {
+			t.Fatalf("F=%d: %v", f, err)
+		}
+		if vm.TotalReload > prev {
+			t.Errorf("F=%d: reload %d > previous %d (more PEs made it worse)", f, vm.TotalReload, prev)
+		}
+		prev = vm.TotalReload
+	}
+}
+
+func TestSolveVirtualErrors(t *testing.T) {
+	plan := vplan(t)
+	wc := WriteCost{CyclesPerCrossbar: 512}
+	if _, err := SolveVirtual(plan, plan.MinPEs, wc); err == nil {
+		t.Error("fitting network accepted (should use the standard mapping)")
+	}
+	// The largest VGG16 layer needs 36 PEs.
+	if _, err := SolveVirtual(plan, 35, wc); err == nil {
+		t.Error("architecture smaller than the largest layer accepted")
+	}
+	if _, err := SolveVirtual(plan, 100, WriteCost{}); err == nil {
+		t.Error("zero write cost accepted")
+	}
+}
+
+// TestSolveVirtualKeepsExpensiveLayers: the greedy selection must keep
+// layers with the best reload-per-PE ratio resident. For uniform write
+// parallelism that favors the layers whose cost is just above a batch
+// boundary; at minimum, the single most write-expensive layer per PE
+// must not be swapped while a strictly cheaper-per-PE layer of equal or
+// larger cost stays resident with room to swap them.
+func TestSolveVirtualUsesBudget(t *testing.T) {
+	plan := vplan(t)
+	wc := WriteCost{CyclesPerCrossbar: 512, Parallelism: 1}
+	vm, err := SolveVirtual(plan, 200, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With parallelism 1 the saved cycles are proportional to cost, so
+	// the ratio is uniform; the solver must still fill the budget well:
+	// leftover capacity smaller than the smallest swapped layer.
+	smallestSwapped := 1 << 30
+	for i, info := range plan.Layers {
+		if !vm.Resident[i] && info.Cost < smallestSwapped {
+			smallestSwapped = info.Cost
+		}
+	}
+	leftover := vm.F - vm.PEsUsed
+	if leftover >= smallestSwapped && smallestSwapped < 1<<30 {
+		t.Errorf("leftover %d PEs could host swapped layer of %d", leftover, smallestSwapped)
+	}
+}

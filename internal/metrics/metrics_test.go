@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"clsacim/internal/deps"
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+	"clsacim/internal/schedule"
+	"clsacim/internal/sets"
+)
+
+func pipeline(t *testing.T, id models.ID, inputSize, extra, targetSets int) (*mapping.Mapping, *deps.Graph) {
+	t.Helper()
+	g := models.MustBuild(id, models.Options{InputSize: inputSize})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mapping.Analyze(g, im2col.PEDims{Rows: 256, Cols: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := mapping.SolverNone
+	if extra > 0 {
+		solver = mapping.SolverDP
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs+extra, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Apply(g, plan, sol, plan.MinPEs+extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sets.Determine(g, m, sets.Options{TargetSets: targetSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := deps.Build(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dg
+}
+
+// TestUtilizationLayerByLayerClosedForm: without duplication, Eq. 2 under
+// layer-by-layer scheduling has the closed form
+// sum(c_i * t_i) / (F * sum(t_i)).
+func TestUtilizationLayerByLayerClosedForm(t *testing.T) {
+	m, dg := pipeline(t, models.TinyYOLOv4, 416, 0, 26)
+	s, err := schedule.Build(dg, schedule.LayerByLayer, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut, err := Utilization(s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var num, den int64
+	for li, ls := range dg.Plan.Layers {
+		ti := int64(ls.Group.Node.OutShape.Pixels())
+		num += int64(m.Groups[li].PEsPerReplica()) * ti
+		den += ti
+	}
+	want := float64(num) / (float64(m.F) * float64(den))
+	if math.Abs(ut-want) > 1e-12 {
+		t.Errorf("Ut = %v, want closed form %v", ut, want)
+	}
+	// TinyYOLOv4 at PEmin: paper-implied baseline utilization ~1.65%.
+	if ut < 0.015 || ut > 0.018 {
+		t.Errorf("lbl utilization %.4f outside the paper-implied ~0.0165 band", ut)
+	}
+}
+
+func TestUtilizationErrors(t *testing.T) {
+	m, dg := pipeline(t, models.TinyBranchNet, 16, 0, 4)
+	s := &schedule.Schedule{LayerActive: make([]int64, len(m.Groups))}
+	if _, err := Utilization(s, m); err == nil {
+		t.Error("zero makespan accepted")
+	}
+	s2, err := schedule.Build(dg, schedule.CrossLayer, schedule.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	badMap := &mapping.Mapping{F: m.F}
+	if _, err := Utilization(s2, badMap); err == nil {
+		t.Error("group count mismatch accepted")
+	}
+}
+
+func TestSpeedupAndLatency(t *testing.T) {
+	if got := Speedup(100, 25); got != 4 {
+		t.Errorf("Speedup = %v", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup div zero = %v", got)
+	}
+	if got := LatencyNanos(1000, 1400); got != 1.4e6 {
+		t.Errorf("LatencyNanos = %v", got)
+	}
+}
+
+// TestEq3ConsistencyAcrossConfigs: the paper's Eq. 3 relation between
+// utilization and speedup must hold (nearly exactly, since total
+// PE-cycle work is invariant) for every mapping/scheduling combination.
+func TestEq3ConsistencyAcrossConfigs(t *testing.T) {
+	type cfg struct {
+		id    models.ID
+		size  int
+		extra int
+		mode  schedule.Mode
+	}
+	cases := []cfg{
+		{models.TinyYOLOv4, 416, 0, schedule.CrossLayer},
+		{models.TinyYOLOv4, 416, 16, schedule.LayerByLayer},
+		{models.TinyYOLOv4, 416, 32, schedule.CrossLayer},
+		{models.TinyYOLOv3, 416, 8, schedule.CrossLayer},
+		{models.ResNet50, 128, 4, schedule.CrossLayer},
+	}
+	for _, c := range cases {
+		// Baseline: lbl, no duplication, F = PEmin.
+		mBase, dgBase := pipeline(t, c.id, c.size, 0, 26)
+		sBase, err := schedule.Build(dgBase, schedule.LayerByLayer, schedule.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		utBase, err := Utilization(sBase, mBase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, dg := pipeline(t, c.id, c.size, c.extra, 26)
+		s, err := schedule.Build(dg, c.mode, schedule.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ut, err := Utilization(s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := Speedup(sBase.Makespan, s.Makespan)
+		estimated := Eq3Speedup(ut, utBase, mBase.F, c.extra)
+		if rel := math.Abs(measured-estimated) / measured; rel > 0.01 {
+			t.Errorf("%s x=%d %v: Eq3 %.3f vs measured %.3f (rel err %.4f)",
+				c.id, c.extra, c.mode, estimated, measured, rel)
+		}
+	}
+}
+
+func TestEq3Degenerate(t *testing.T) {
+	if Eq3Speedup(0.5, 0, 100, 4) != 0 {
+		t.Error("zero baseline utilization must yield 0")
+	}
+	if Eq3Speedup(0.5, 0.1, 0, 4) != 0 {
+		t.Error("zero PEmin must yield 0")
+	}
+}

@@ -1,0 +1,71 @@
+package models
+
+import (
+	"math"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// mobileNetV1 builds the MobileNetV1 feature extractor (width multiplier
+// 1.0, classifier head omitted): a 3x3/2 stem convolution followed by 13
+// depthwise-separable blocks (depthwise 3x3 + pointwise 1x1, each with
+// BN and ReLU). MobileNet is not part of the paper's evaluation; it
+// extends the zoo with the depthwise operator, whose packed crossbar
+// mapping (reference [14], VWC-SDK) and channel-preserving dependencies
+// exercise code paths the VGG/ResNet/YOLO benchmarks cannot.
+func (b *builder) mobileNetV1() (*nn.Graph, error) {
+	n := b.inputSize(224)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+
+	x := b.convBNReLU6(in, 32, 3, 2) // stem
+	type block struct{ ch, stride int }
+	blocks := []block{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for _, blk := range blocks {
+		x = b.depthwiseBNReLU(x, 3, blk.stride)
+		x = b.convBNReLU6(x, blk.ch, 1, 1)
+	}
+	x = b.g.Add(b.name("gap"), &nn.AvgPool{Global: true}, x)
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}
+
+// convBNReLU6 is the MobileNet conv block (plain ReLU stands in for
+// ReLU6; the clamp is irrelevant for mapping and scheduling).
+func (b *builder) convBNReLU6(in *nn.Node, ko, k, s int) *nn.Node {
+	return b.relu(b.bn(b.conv(in, ko, k, s, true, false)))
+}
+
+// depthwiseBNReLU adds a depthwise 3x3 with TF-"same" padding, BN, ReLU.
+func (b *builder) depthwiseBNReLU(in *nn.Node, k, s int) *nn.Node {
+	c := in.OutShape.C
+	op := &nn.DepthwiseConv2D{KH: k, KW: k, SH: s, SW: s, C: c}
+	t, bo := nn.SamePadding(in.OutShape.H, k, s)
+	l, r := nn.SamePadding(in.OutShape.W, k, s)
+	op.Pad = nn.Padding{Top: t, Bottom: bo, Left: l, Right: r}
+	if b.opt.WithWeights {
+		op.W = nn.NewConvWeights(k, k, c, 1)
+		op.W.FillRand(b.nextSeed(), float32(1.0/math.Sqrt(float64(k*k))))
+	}
+	b.dwIdx++
+	n := b.g.Add(b.g.FreshName("depthwise"), op, in)
+	return b.relu(b.bn(n))
+}
+
+// tinyDWNet is a small depthwise-separable CNN for tests.
+func (b *builder) tinyDWNet() (*nn.Graph, error) {
+	n := b.inputSize(16)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+	x := b.convBNLeaky(in, 8, 3, 1)
+	x = b.depthwiseBNReLU(x, 3, 1)
+	x = b.conv(x, 16, 1, 1, false, false)
+	x = b.relu(x)
+	x = b.depthwiseBNReLU(x, 3, 2)
+	x = b.conv(x, 4, 1, 1, false, true)
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}

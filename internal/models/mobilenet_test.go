@@ -1,0 +1,144 @@
+package models
+
+import (
+	"testing"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// TestMobileNetV1Structure: 1 stem + 13 depthwise + 13 pointwise = 27
+// base layers; packed depthwise mapping gives PEmin = 238 on 256x256
+// crossbars (hand-computed: depthwise 186 + pointwise 51 + stem 1).
+func TestMobileNetV1Structure(t *testing.T) {
+	_, res := canonical(t, MobileNetV1)
+	if got := len(res.BaseLayers); got != 27 {
+		t.Errorf("base layers = %d, want 27", got)
+	}
+	dw, pw := 0, 0
+	for _, n := range res.BaseLayers {
+		switch n.Op.(type) {
+		case *nn.DepthwiseConv2D:
+			dw++
+		case *nn.Conv2D:
+			pw++
+		}
+	}
+	if dw != 13 || pw != 14 {
+		t.Errorf("dw/pw = %d/%d, want 13/14", dw, pw)
+	}
+	if got := minPEs(t, res); got != 238 {
+		t.Errorf("MobileNetV1 PEmin = %d, want 238", got)
+	}
+}
+
+func TestMobileNetV1Shapes(t *testing.T) {
+	g := MustBuild(MobileNetV1, Options{})
+	// Final feature map: 7x7x1024 -> GAP (1,1,1024).
+	out := g.Outputs[0]
+	if !out.OutShape.Equal(tensor.NewShape(1, 1, 1024)) {
+		t.Errorf("output = %v, want (1, 1, 1024)", out.OutShape)
+	}
+	// Depthwise layers preserve channel counts.
+	for _, n := range g.Nodes {
+		if op, ok := n.Op.(*nn.DepthwiseConv2D); ok {
+			if n.OutShape.C != op.C || n.Inputs[0].OutShape.C != op.C {
+				t.Errorf("depthwise %v changes channels", n)
+			}
+		}
+	}
+}
+
+// TestDepthwisePacking checks the packed crossbar cost model.
+func TestDepthwisePacking(t *testing.T) {
+	cases := []struct {
+		kh, kw, rows, cols, want int
+	}{
+		{3, 3, 256, 256, 28}, // floor(256/9)
+		{3, 3, 16, 256, 1},
+		{3, 3, 256, 8, 8}, // column-limited
+		{5, 5, 256, 256, 10},
+		{1, 1, 256, 256, 256},
+	}
+	for _, c := range cases {
+		p, err := im2col.DepthwisePacking(c.kh, c.kw, im2col.PEDims{Rows: c.rows, Cols: c.cols})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != c.want {
+			t.Errorf("packing(%dx%d on %dx%d) = %d, want %d", c.kh, c.kw, c.rows, c.cols, p, c.want)
+		}
+	}
+	if _, err := im2col.DepthwisePacking(5, 5, im2col.PEDims{Rows: 16, Cols: 16}); err == nil {
+		t.Error("window larger than crossbar accepted")
+	}
+	op := &nn.DepthwiseConv2D{KH: 3, KW: 3, SH: 1, SW: 1, C: 512}
+	tl, err := im2col.TileDepthwise(op, pe256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.PEs() != 19 { // ceil(512/28)
+		t.Errorf("dw512 cost = %d, want 19", tl.PEs())
+	}
+}
+
+// TestDepthwiseExec: hand-computed depthwise output.
+func TestDepthwiseExec(t *testing.T) {
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(2, 2, 2))
+	w := nn.NewConvWeights(2, 2, 2, 1)
+	// Channel 0 kernel all ones; channel 1 kernel all twos.
+	for kh := 0; kh < 2; kh++ {
+		for kw := 0; kw < 2; kw++ {
+			w.Set(kh, kw, 0, 0, 1)
+			w.Set(kh, kw, 1, 0, 2)
+		}
+	}
+	dw := g.Add("dw", &nn.DepthwiseConv2D{KH: 2, KW: 2, SH: 1, SW: 1, C: 2, W: w,
+		Bias: []float32{10, 0}}, in)
+	g.MarkOutput(dw)
+	input := tensor.FromSlice(tensor.NewShape(2, 2, 2), []float32{
+		1, 5, 2, 6, 3, 7, 4, 8, // (h,w,c) raster: c0 = 1,2,3,4; c1 = 5,6,7,8
+	})
+	outs, err := (&nn.Executor{}).RunOutputs(g, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := outs[0].At(0, 0, 0); got != 1+2+3+4+10 {
+		t.Errorf("channel 0 = %v, want 20", got)
+	}
+	if got := outs[0].At(0, 0, 1); got != 2*(5+6+7+8) {
+		t.Errorf("channel 1 = %v, want 52", got)
+	}
+}
+
+// TestDepthwiseCanonicalization: BN folding and partitioning preserve a
+// depthwise network's outputs.
+func TestDepthwiseCanonicalizationNumeric(t *testing.T) {
+	g := MustBuild(TinyDWNet, Options{WithWeights: true, Seed: 77})
+	in := InputFor(g, 5)
+	before, err := (&nn.Executor{}).RunOutputs(g.Clone(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, res := canonicalWeights(t, TinyDWNet, 77)
+	if res.FoldedBN == 0 {
+		t.Error("no BN folded in depthwise net")
+	}
+	after, err := (&nn.Executor{}).RunOutputs(g2, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(before[0], after[0]); d > 1e-5 {
+		t.Errorf("depthwise canonicalization changed outputs by %v", d)
+	}
+	// No depthwise layer may retain pad or bias.
+	for _, n := range g2.Nodes {
+		if op, ok := n.Op.(*nn.DepthwiseConv2D); ok {
+			if op.Pad.Any() || op.Bias != nil {
+				t.Errorf("depthwise %v still has pad/bias after partition", n)
+			}
+		}
+	}
+}

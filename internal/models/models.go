@@ -1,0 +1,286 @@
+// Package models provides programmatic builders for the neural networks
+// used in the paper's evaluation (§V, Table II): TinyYOLOv3, TinyYOLOv4,
+// VGG16, VGG19, ResNet50, ResNet101, and ResNet152, plus small synthetic
+// networks for tests and examples.
+//
+// The builders substitute for the paper's TensorFlow model import: they
+// reproduce the published layer structure exactly (kernel shapes,
+// strides, TF "same" padding, route/residual topology, feature-extractor
+// scope without classifier heads), which is all that mapping and
+// scheduling depend on. Convolutions are named conv2d, conv2d_1, ... in
+// creation order, matching the TensorFlow names in paper Table I.
+// Weights are synthetic (seeded) and optional; shape-only graphs are
+// sufficient for scheduling and keep large models cheap.
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+	"clsacim/internal/tensor"
+)
+
+// ID names a model known to Build.
+type ID string
+
+// The evaluation benchmarks of paper Table II (plus TinyYOLOv4 from the
+// §V-A case study) and the small synthetic networks used in tests.
+const (
+	TinyYOLOv3 ID = "tinyyolov3"
+	TinyYOLOv4 ID = "tinyyolov4"
+	VGG16      ID = "vgg16"
+	VGG19      ID = "vgg19"
+	ResNet50   ID = "resnet50"
+	ResNet101  ID = "resnet101"
+	ResNet152  ID = "resnet152"
+	// TinyConvNet is a small sequential CNN (tests/examples).
+	TinyConvNet ID = "tinyconvnet"
+	// TinyBranchNet is a small non-sequential CNN with a residual add
+	// and a channel concat (tests/examples).
+	TinyBranchNet ID = "tinybranchnet"
+	// TinyMLP is a flatten+dense network exercising the Dense base layer.
+	TinyMLP ID = "tinymlp"
+	// MobileNetV1 is the depthwise-separable feature extractor
+	// (extension beyond the paper's benchmark set).
+	MobileNetV1 ID = "mobilenetv1"
+	// TinyDWNet is a small depthwise-separable CNN (tests/examples).
+	TinyDWNet ID = "tinydwnet"
+)
+
+// Options configures model construction.
+type Options struct {
+	// WithWeights attaches deterministic synthetic weights and BN
+	// parameters, enabling functional execution. Without it graphs are
+	// shape-only (W == nil), sufficient for mapping and scheduling.
+	WithWeights bool
+	// Seed selects the synthetic weight stream (default 1).
+	Seed int64
+	// InputSize overrides the spatial input resolution (0 keeps the
+	// model's published default: 416 for YOLO, 224 for VGG/ResNet).
+	InputSize int
+}
+
+// List returns the paper's evaluation model IDs in Table II order,
+// preceded by the §V-A case-study model.
+func List() []ID {
+	return []ID{TinyYOLOv4, TinyYOLOv3, VGG16, VGG19, ResNet50, ResNet101, ResNet152}
+}
+
+// Build constructs the named model.
+func Build(id ID, opt Options) (*nn.Graph, error) {
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	b := &builder{g: nn.NewGraph(), opt: opt}
+	switch id {
+	case TinyYOLOv3:
+		return b.tinyYOLOv3()
+	case TinyYOLOv4:
+		return b.tinyYOLOv4()
+	case VGG16:
+		return b.vgg([]int{2, 2, 3, 3, 3})
+	case VGG19:
+		return b.vgg([]int{2, 2, 4, 4, 4})
+	case ResNet50:
+		return b.resnet([]int{3, 4, 6, 3})
+	case ResNet101:
+		return b.resnet([]int{3, 4, 23, 3})
+	case ResNet152:
+		return b.resnet([]int{3, 8, 36, 3})
+	case TinyConvNet:
+		return b.tinyConvNet()
+	case TinyBranchNet:
+		return b.tinyBranchNet()
+	case TinyMLP:
+		return b.tinyMLP()
+	case MobileNetV1:
+		return b.mobileNetV1()
+	case TinyDWNet:
+		return b.tinyDWNet()
+	default:
+		return nil, fmt.Errorf("models: unknown model %q", id)
+	}
+}
+
+// MustBuild is Build panicking on error (tests and examples).
+func MustBuild(id ID, opt Options) *nn.Graph {
+	g, err := Build(id, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// builder carries naming counters and weight generation state.
+type builder struct {
+	g        *nn.Graph
+	opt      Options
+	convIdx  int
+	dwIdx    int
+	miscIdx  int
+	weightID int64
+}
+
+func (b *builder) inputSize(def int) int {
+	if b.opt.InputSize > 0 {
+		return b.opt.InputSize
+	}
+	return def
+}
+
+// convName returns TF-style names: conv2d, conv2d_1, conv2d_2, ...
+func (b *builder) convName() string {
+	name := "conv2d"
+	if b.convIdx > 0 {
+		name = fmt.Sprintf("conv2d_%d", b.convIdx)
+	}
+	b.convIdx++
+	return name
+}
+
+func (b *builder) name(prefix string) string {
+	b.miscIdx++
+	return fmt.Sprintf("%s_%d", prefix, b.miscIdx)
+}
+
+func (b *builder) nextSeed() int64 {
+	b.weightID++
+	return b.opt.Seed*1000003 + b.weightID
+}
+
+// conv adds a Conv2D with optional TF-"same" padding and bias.
+func (b *builder) conv(in *nn.Node, ko, k, s int, same, bias bool) *nn.Node {
+	ki := in.OutShape.C
+	op := &nn.Conv2D{KH: k, KW: k, SH: s, SW: s, KI: ki, KO: ko}
+	if same {
+		t, bo := nn.SamePadding(in.OutShape.H, k, s)
+		l, r := nn.SamePadding(in.OutShape.W, k, s)
+		op.Pad = nn.Padding{Top: t, Bottom: bo, Left: l, Right: r}
+	}
+	if b.opt.WithWeights {
+		op.W = nn.NewConvWeights(k, k, ki, ko)
+		scale := float32(1.0 / math.Sqrt(float64(k*k*ki)))
+		op.W.FillRand(b.nextSeed(), scale)
+		if bias {
+			op.Bias = randSlice(b.nextSeed(), ko, 0.1)
+		}
+	} else if bias {
+		op.Bias = make([]float32, ko)
+	}
+	return b.g.Add(b.convName(), op, in)
+}
+
+// bn adds a BatchNorm with synthetic (or identity) parameters.
+func (b *builder) bn(in *nn.Node) *nn.Node {
+	c := in.OutShape.C
+	op := &nn.BatchNorm{Eps: 1e-3}
+	if b.opt.WithWeights {
+		op.Gamma = randSliceIn(b.nextSeed(), c, 0.5, 1.5)
+		op.Beta = randSlice(b.nextSeed(), c, 0.1)
+		op.Mean = randSlice(b.nextSeed(), c, 0.1)
+		op.Var = randSliceIn(b.nextSeed(), c, 0.5, 1.5)
+	} else {
+		op.Gamma = ones(c)
+		op.Beta = make([]float32, c)
+		op.Mean = make([]float32, c)
+		op.Var = ones(c)
+	}
+	return b.g.Add(b.name("bn"), op, in)
+}
+
+func (b *builder) leaky(in *nn.Node) *nn.Node {
+	return b.g.Add(b.name("leaky"), &nn.Activation{Func: nn.ActLeakyReLU, Alpha: 0.1}, in)
+}
+
+func (b *builder) relu(in *nn.Node) *nn.Node {
+	return b.g.Add(b.name("relu"), &nn.Activation{Func: nn.ActReLU}, in)
+}
+
+// maxpool adds a MaxPool, optionally with TF-"same" padding.
+func (b *builder) maxpool(in *nn.Node, k, s int, same bool) *nn.Node {
+	op := &nn.MaxPool{KH: k, KW: k, SH: s, SW: s}
+	if same {
+		t, bo := nn.SamePadding(in.OutShape.H, k, s)
+		l, r := nn.SamePadding(in.OutShape.W, k, s)
+		op.Pad = nn.Padding{Top: t, Bottom: bo, Left: l, Right: r}
+	}
+	return b.g.Add(b.name("maxpool"), op, in)
+}
+
+// convBNLeaky is the darknet conv block: Conv (no bias) + BN + LeakyReLU.
+func (b *builder) convBNLeaky(in *nn.Node, ko, k, s int) *nn.Node {
+	return b.leaky(b.bn(b.conv(in, ko, k, s, true, false)))
+}
+
+// convBNReLU is the ResNet conv block (activation optional).
+func (b *builder) convBN(in *nn.Node, ko, k, s int, act bool) *nn.Node {
+	n := b.bn(b.conv(in, ko, k, s, true, false))
+	if act {
+		n = b.relu(n)
+	}
+	return n
+}
+
+// headConv is a YOLO detection head: 1x1 conv with bias, linear.
+func (b *builder) headConv(in *nn.Node, ko int) *nn.Node {
+	return b.conv(in, ko, 1, 1, true, true)
+}
+
+// sliceChannels extracts channels [c0, c1) (darknet grouped route).
+func (b *builder) sliceChannels(in *nn.Node, c0, c1 int) *nn.Node {
+	s := in.OutShape
+	return b.g.Add(b.name("split"), &nn.Slice{Box: region.NewBox(0, s.H, 0, s.W, c0, c1)}, in)
+}
+
+func (b *builder) concatC(ins ...*nn.Node) *nn.Node {
+	return b.g.Add(b.name("route"), &nn.Concat{Axis: nn.AxisC}, ins...)
+}
+
+func (b *builder) upsample(in *nn.Node, f int) *nn.Node {
+	return b.g.Add(b.name("upsample"), &nn.UpSample{Factor: f}, in)
+}
+
+func randSlice(seed int64, n int, scale float32) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return out
+}
+
+func randSliceIn(seed int64, n int, lo, hi float32) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = lo + rng.Float32()*(hi-lo)
+	}
+	return out
+}
+
+func ones(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// InputFor returns a deterministic synthetic input tensor for g.
+func InputFor(g *nn.Graph, seed int64) *tensor.Tensor {
+	t := tensor.New(g.Input.OutShape)
+	t.FillRand(seed, 1)
+	return t
+}
+
+// SortedIDs returns all known model IDs sorted lexicographically.
+func SortedIDs() []ID {
+	ids := []ID{TinyYOLOv3, TinyYOLOv4, VGG16, VGG19, ResNet50, ResNet101,
+		ResNet152, MobileNetV1, TinyConvNet, TinyBranchNet, TinyMLP, TinyDWNet}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,218 @@
+package models
+
+import (
+	"testing"
+
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+var pe256 = im2col.PEDims{Rows: 256, Cols: 256}
+
+// canonical builds and canonicalizes a model shape-only.
+func canonical(t *testing.T, id ID) (*nn.Graph, *frontend.Result) {
+	t.Helper()
+	g, err := Build(id, Options{})
+	if err != nil {
+		t.Fatalf("Build(%s): %v", id, err)
+	}
+	res, err := frontend.Canonicalize(g, frontend.Options{})
+	if err != nil {
+		t.Fatalf("Canonicalize(%s): %v", id, err)
+	}
+	return g, res
+}
+
+// canonicalWeights builds and canonicalizes a model with weights.
+func canonicalWeights(t *testing.T, id ID, seed int64) (*nn.Graph, *frontend.Result) {
+	t.Helper()
+	g, err := Build(id, Options{WithWeights: true, Seed: seed})
+	if err != nil {
+		t.Fatalf("Build(%s): %v", id, err)
+	}
+	res, err := frontend.Canonicalize(g, frontend.Options{})
+	if err != nil {
+		t.Fatalf("Canonicalize(%s): %v", id, err)
+	}
+	return g, res
+}
+
+func minPEs(t *testing.T, res *frontend.Result) int {
+	t.Helper()
+	total := 0
+	for _, n := range res.BaseLayers {
+		tl, err := im2col.TileBase(n, pe256)
+		if err != nil {
+			t.Fatalf("TileBase(%v): %v", n, err)
+		}
+		total += tl.PEs()
+	}
+	return total
+}
+
+// TestTableII reproduces paper Table II exactly: base-layer counts and
+// minimum required 256x256 PEs for all six evaluation benchmarks.
+func TestTableII(t *testing.T) {
+	cases := []struct {
+		id         ID
+		input      tensor.Shape
+		baseLayers int
+		minPEs     int
+	}{
+		{TinyYOLOv3, tensor.NewShape(416, 416, 3), 13, 142},
+		{VGG16, tensor.NewShape(224, 224, 3), 13, 233},
+		{VGG19, tensor.NewShape(224, 224, 3), 16, 314},
+		{ResNet50, tensor.NewShape(224, 224, 3), 53, 390},
+		{ResNet101, tensor.NewShape(224, 224, 3), 104, 679},
+		{ResNet152, tensor.NewShape(224, 224, 3), 155, 936},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.id), func(t *testing.T) {
+			g, res := canonical(t, tc.id)
+			if !g.Input.OutShape.Equal(tc.input) {
+				t.Errorf("input shape = %v, want %v", g.Input.OutShape, tc.input)
+			}
+			if got := len(res.BaseLayers); got != tc.baseLayers {
+				t.Errorf("base layers = %d, want %d", got, tc.baseLayers)
+			}
+			if got := minPEs(t, res); got != tc.minPEs {
+				t.Errorf("min PEs = %d, want %d", got, tc.minPEs)
+			}
+		})
+	}
+}
+
+// TestTableI reproduces paper Table I: TinyYOLOv4's PEmin = 117 and the
+// listed per-layer IFM/OFM shapes, PE counts, and tinit cycles.
+func TestTableI(t *testing.T) {
+	g, res := canonical(t, TinyYOLOv4)
+	if got := minPEs(t, res); got != 117 {
+		t.Errorf("TinyYOLOv4 PEmin = %d, want 117", got)
+	}
+	if got := len(res.BaseLayers); got != 21 {
+		t.Errorf("TinyYOLOv4 conv count = %d, want 21 (Table I names reach conv2d_20)", got)
+	}
+
+	rows := []struct {
+		name     string
+		ifm, ofm tensor.Shape
+		pes      int
+		cycles   int
+	}{
+		{"conv2d", tensor.NewShape(417, 417, 3), tensor.NewShape(208, 208, 32), 1, 43264},
+		{"conv2d_1", tensor.NewShape(209, 209, 32), tensor.NewShape(104, 104, 64), 2, 10816},
+		{"conv2d_2", tensor.NewShape(106, 106, 64), tensor.NewShape(104, 104, 64), 3, 10816},
+		{"conv2d_16", tensor.NewShape(15, 15, 256), tensor.NewShape(13, 13, 512), 18, 169},
+		{"conv2d_17", tensor.NewShape(13, 13, 512), tensor.NewShape(13, 13, 255), 2, 169},
+		{"conv2d_20", tensor.NewShape(26, 26, 256), tensor.NewShape(26, 26, 255), 1, 676},
+	}
+	for _, r := range rows {
+		n := g.ByName(r.name)
+		if n == nil {
+			t.Errorf("layer %s missing", r.name)
+			continue
+		}
+		if got := n.Inputs[0].OutShape; !got.Equal(r.ifm) {
+			t.Errorf("%s IFM = %v, want %v", r.name, got, r.ifm)
+		}
+		if !n.OutShape.Equal(r.ofm) {
+			t.Errorf("%s OFM = %v, want %v", r.name, n.OutShape, r.ofm)
+		}
+		tl, err := im2col.TileBase(n, pe256)
+		if err != nil {
+			t.Fatalf("TileBase(%s): %v", r.name, err)
+		}
+		if tl.PEs() != r.pes {
+			t.Errorf("%s PEs = %d, want %d", r.name, tl.PEs(), r.pes)
+		}
+		if got := n.OutShape.Pixels(); got != r.cycles {
+			t.Errorf("%s tinit = %d cycles, want %d", r.name, got, r.cycles)
+		}
+	}
+}
+
+// TestCanonicalBaseLayersArePure verifies partitioning: after
+// canonicalization no base layer carries padding or bias.
+func TestCanonicalBaseLayersArePure(t *testing.T) {
+	for _, id := range List() {
+		_, res := canonical(t, id)
+		for _, n := range res.BaseLayers {
+			switch op := n.Op.(type) {
+			case *nn.Conv2D:
+				if op.Pad.Any() {
+					t.Errorf("%s: %v still padded", id, n)
+				}
+				if op.Bias != nil {
+					t.Errorf("%s: %v still biased", id, n)
+				}
+			case *nn.Dense:
+				if op.Bias != nil {
+					t.Errorf("%s: %v still biased", id, n)
+				}
+			}
+		}
+	}
+}
+
+// TestNoBatchNormSurvives verifies BN folding removes every BatchNorm in
+// the evaluation models.
+func TestNoBatchNormSurvives(t *testing.T) {
+	for _, id := range List() {
+		g, _ := canonical(t, id)
+		for _, n := range g.Nodes {
+			if n.Kind() == nn.OpBatchNorm {
+				t.Errorf("%s: BatchNorm %v survived canonicalization", id, n)
+			}
+		}
+	}
+}
+
+// TestToyModelsValidate builds the synthetic test networks with weights.
+func TestToyModelsValidate(t *testing.T) {
+	for _, id := range []ID{TinyConvNet, TinyBranchNet, TinyMLP} {
+		g, err := Build(id, Options{WithWeights: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("Build(%s): %v", id, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", id, err)
+		}
+	}
+}
+
+// TestInputSizeOverride checks the InputSize option rescales the network.
+func TestInputSizeOverride(t *testing.T) {
+	g := MustBuild(TinyYOLOv3, Options{InputSize: 224})
+	want := tensor.NewShape(224, 224, 3)
+	if !g.Input.OutShape.Equal(want) {
+		t.Errorf("input = %v, want %v", g.Input.OutShape, want)
+	}
+}
+
+// TestDeterministicWeights verifies two builds with the same seed agree
+// and different seeds differ.
+func TestDeterministicWeights(t *testing.T) {
+	g1 := MustBuild(TinyConvNet, Options{WithWeights: true, Seed: 3})
+	g2 := MustBuild(TinyConvNet, Options{WithWeights: true, Seed: 3})
+	g3 := MustBuild(TinyConvNet, Options{WithWeights: true, Seed: 4})
+	w1 := g1.ByName("conv2d").Op.(*nn.Conv2D).W
+	w2 := g2.ByName("conv2d").Op.(*nn.Conv2D).W
+	w3 := g3.ByName("conv2d").Op.(*nn.Conv2D).W
+	for i := range w1.Data {
+		if w1.Data[i] != w2.Data[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	same := true
+	for i := range w1.Data {
+		if w1.Data[i] != w3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical weights")
+	}
+}

@@ -1,0 +1,129 @@
+package models
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+	"clsacim/internal/tensor"
+)
+
+// RandomOptions bounds the random network generator.
+type RandomOptions struct {
+	Seed int64
+	// MaxBaseLayers caps the number of convolutions (default 8).
+	MaxBaseLayers int
+	// WithWeights attaches random weights for functional checks.
+	WithWeights bool
+	// MaxInput bounds the input resolution (default 32).
+	MaxInput int
+}
+
+// RandomCNN generates a random, structurally valid CNN exercising the
+// full operator mix (strided/same/valid convolutions, BN+activation
+// chains, pooling, channel concat, residual add, upsampling, channel
+// slicing). It is the workload source for whole-pipeline property
+// tests: any graph it produces must survive canonicalization, mapping,
+// CLSA-CIM scheduling, and simulation.
+func RandomCNN(opt RandomOptions) (*nn.Graph, error) {
+	r := rand.New(rand.NewSource(opt.Seed))
+	maxBase := opt.MaxBaseLayers
+	if maxBase <= 0 {
+		maxBase = 8
+	}
+	maxIn := opt.MaxInput
+	if maxIn <= 0 {
+		maxIn = 32
+	}
+
+	b := &builder{g: nn.NewGraph(), opt: Options{WithWeights: opt.WithWeights, Seed: opt.Seed + 1}}
+	size := 8 + 2*r.Intn(maxIn/2-3) // even sizes in [8, maxIn]
+	channels := 1 + r.Intn(4)
+	in := b.g.AddInput("input", tensor.NewShape(size, size, channels))
+
+	// Pool of nodes available as operands.
+	pool := []*nn.Node{in}
+	pick := func() *nn.Node { return pool[r.Intn(len(pool))] }
+	base := 0
+
+	addConv := func(src *nn.Node) *nn.Node {
+		ks := []int{1, 3, 3, 5}
+		k := ks[r.Intn(len(ks))]
+		for k > src.OutShape.H || k > src.OutShape.W {
+			k = 1
+		}
+		stride := 1
+		if r.Intn(3) == 0 && src.OutShape.H > 2*k {
+			stride = 2
+		}
+		same := r.Intn(2) == 0
+		ko := 2 + r.Intn(14)
+		n := b.conv(src, ko, k, stride, same, r.Intn(3) == 0)
+		if r.Intn(2) == 0 {
+			n = b.bn(n)
+		}
+		if r.Intn(3) > 0 {
+			n = b.leaky(n)
+		}
+		base++
+		return n
+	}
+
+	steps := maxBase*2 + r.Intn(6)
+	for i := 0; i < steps && base < maxBase; i++ {
+		switch r.Intn(7) {
+		case 0, 1, 2: // convolution chain (most common)
+			pool = append(pool, addConv(pick()))
+		case 3: // pooling
+			src := pick()
+			if src.OutShape.H >= 4 && src.OutShape.W >= 4 {
+				pool = append(pool, b.maxpool(src, 2, 2, false))
+			}
+		case 4: // residual add: find two same-shaped nodes
+			src := pick()
+			for _, cand := range pool {
+				if cand != src && cand.OutShape.Equal(src.OutShape) {
+					pool = append(pool, b.g.Add(b.name("add"), &nn.Add{}, src, cand))
+					break
+				}
+			}
+		case 5: // channel concat of two same-HW nodes
+			src := pick()
+			for _, cand := range pool {
+				if cand != src && cand.OutShape.H == src.OutShape.H &&
+					cand.OutShape.W == src.OutShape.W &&
+					cand.OutShape.C+src.OutShape.C <= 64 {
+					pool = append(pool, b.concatC(src, cand))
+					break
+				}
+			}
+		case 6: // upsample or channel slice
+			src := pick()
+			if r.Intn(2) == 0 && src.OutShape.H <= maxIn {
+				pool = append(pool, b.upsample(src, 2))
+			} else if src.OutShape.C >= 2 {
+				c0 := r.Intn(src.OutShape.C - 1)
+				c1 := c0 + 1 + r.Intn(src.OutShape.C-c0-1)
+				s := src.OutShape
+				pool = append(pool, b.g.Add(b.name("split"),
+					&nn.Slice{Box: region.NewBox(0, s.H, 0, s.W, c0, c1)}, src))
+			}
+		}
+	}
+	if base == 0 {
+		pool = append(pool, addConv(in))
+	}
+
+	// Heads: 1-2 final convolutions over random pool nodes, marked as
+	// outputs (guaranteeing every output depends on a base layer).
+	heads := 1 + r.Intn(2)
+	for i := 0; i < heads; i++ {
+		h := b.conv(pick(), 1+r.Intn(8), 1, 1, false, true)
+		b.g.MarkOutput(h)
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, fmt.Errorf("models: random CNN (seed %d) invalid: %w", opt.Seed, err)
+	}
+	return b.g, nil
+}

@@ -1,0 +1,82 @@
+package models
+
+import (
+	"testing"
+
+	"clsacim/internal/nn"
+)
+
+// TestRandomCNNValid: every seed yields a valid graph with at least one
+// base layer and marked outputs.
+func TestRandomCNNValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		g, err := RandomCNN(RandomOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(g.BaseLayers()) == 0 {
+			t.Fatalf("seed %d: no base layers", seed)
+		}
+		if len(g.Outputs) == 0 {
+			t.Fatalf("seed %d: no outputs", seed)
+		}
+		for _, out := range g.Outputs {
+			if !out.IsBase() {
+				t.Fatalf("seed %d: output %v is not a head conv", seed, out)
+			}
+		}
+	}
+}
+
+// TestRandomCNNDeterministic: the same seed reproduces the same graph.
+func TestRandomCNNDeterministic(t *testing.T) {
+	a, err := RandomCNN(RandomOptions{Seed: 9, WithWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomCNN(RandomOptions{Seed: 9, WithWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		na, nb := a.Nodes[i], b.Nodes[i]
+		if na.Name != nb.Name || na.Kind() != nb.Kind() || !na.OutShape.Equal(nb.OutShape) {
+			t.Fatalf("node %d differs: %v vs %v", i, na, nb)
+		}
+	}
+	// Weights identical too.
+	for i := range a.Nodes {
+		ca, okA := a.Nodes[i].Op.(*nn.Conv2D)
+		cb, okB := b.Nodes[i].Op.(*nn.Conv2D)
+		if okA != okB {
+			t.Fatal("op kinds diverged")
+		}
+		if okA && ca.W != nil {
+			for j := range ca.W.Data {
+				if ca.W.Data[j] != cb.W.Data[j] {
+					t.Fatalf("weights differ at node %d", i)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomCNNRespectsCaps: MaxBaseLayers bounds the convolution count.
+func TestRandomCNNRespectsCaps(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := RandomCNN(RandomOptions{Seed: seed, MaxBaseLayers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Heads add up to 2 convolutions beyond the cap.
+		if got := len(g.BaseLayers()); got > 6 {
+			t.Errorf("seed %d: %d base layers exceeds cap", seed, got)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package models
+
+import (
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// resnet builds a ResNet-v1 bottleneck feature extractor (classifier head
+// omitted). blocks gives the bottleneck count per stage, e.g. {3,4,6,3}
+// for ResNet50 (53 convolutions), {3,4,23,3} for ResNet101 (104), and
+// {3,8,36,3} for ResNet152 (155), matching paper Table II.
+func (b *builder) resnet(blocks []int) (*nn.Graph, error) {
+	n := b.inputSize(224)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+
+	// Stem: 7x7/2 conv (explicit 3-pixel pad) + 3x3/2 max pool.
+	stem := &nn.Conv2D{KH: 7, KW: 7, SH: 2, SW: 2, KI: 3, KO: 64,
+		Pad: nn.Padding{Top: 3, Bottom: 3, Left: 3, Right: 3}}
+	if b.opt.WithWeights {
+		stem.W = nn.NewConvWeights(7, 7, 3, 64)
+		stem.W.FillRand(b.nextSeed(), 0.08)
+	}
+	x := b.g.Add(b.convName(), stem, in)
+	x = b.relu(b.bn(x))
+	x = b.g.Add(b.name("maxpool"), &nn.MaxPool{KH: 3, KW: 3, SH: 2, SW: 2,
+		Pad: nn.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1}}, x)
+
+	width := 64
+	for stage, reps := range blocks {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		x = b.bottleneck(x, width, stride, true)
+		for r := 1; r < reps; r++ {
+			x = b.bottleneck(x, width, 1, false)
+		}
+		width *= 2
+	}
+	x = b.g.Add(b.name("gap"), &nn.AvgPool{Global: true}, x)
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}
+
+// bottleneck is the ResNet-v1 1x1 -> 3x3 -> 1x1 block with expansion 4.
+// When project is true a 1x1 projection shortcut (with the block's
+// stride) replaces the identity shortcut.
+func (b *builder) bottleneck(in *nn.Node, width, stride int, project bool) *nn.Node {
+	expansion := 4
+	x := b.convBN(in, width, 1, stride, true)
+	x = b.convBN(x, width, 3, 1, true)
+	x = b.convBN(x, width*expansion, 1, 1, false)
+
+	shortcut := in
+	if project {
+		shortcut = b.convBN(in, width*expansion, 1, stride, false)
+	}
+	sum := b.g.Add(b.name("add"), &nn.Add{}, x, shortcut)
+	return b.relu(sum)
+}

@@ -1,0 +1,191 @@
+package models
+
+import (
+	"fmt"
+	"testing"
+
+	"clsacim/internal/im2col"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// TestTableIAllRows verifies every row of the TinyYOLOv4 base-layer
+// table: IFM/OFM shapes (post-partition, i.e. padded IFMs), PE counts,
+// and per-layer cycles.
+func TestTableIAllRows(t *testing.T) {
+	g, _ := canonical(t, TinyYOLOv4)
+	rows := []struct {
+		name     string
+		ifm, ofm tensor.Shape
+		pes      int
+	}{
+		{"conv2d", tensor.NewShape(417, 417, 3), tensor.NewShape(208, 208, 32), 1},
+		{"conv2d_1", tensor.NewShape(209, 209, 32), tensor.NewShape(104, 104, 64), 2},
+		{"conv2d_2", tensor.NewShape(106, 106, 64), tensor.NewShape(104, 104, 64), 3},
+		{"conv2d_3", tensor.NewShape(106, 106, 32), tensor.NewShape(104, 104, 32), 2},
+		{"conv2d_4", tensor.NewShape(106, 106, 32), tensor.NewShape(104, 104, 32), 2},
+		{"conv2d_5", tensor.NewShape(104, 104, 64), tensor.NewShape(104, 104, 64), 1},
+		{"conv2d_6", tensor.NewShape(54, 54, 128), tensor.NewShape(52, 52, 128), 5},
+		{"conv2d_7", tensor.NewShape(54, 54, 64), tensor.NewShape(52, 52, 64), 3},
+		{"conv2d_8", tensor.NewShape(54, 54, 64), tensor.NewShape(52, 52, 64), 3},
+		{"conv2d_9", tensor.NewShape(52, 52, 128), tensor.NewShape(52, 52, 128), 1},
+		{"conv2d_10", tensor.NewShape(28, 28, 256), tensor.NewShape(26, 26, 256), 9},
+		{"conv2d_11", tensor.NewShape(28, 28, 128), tensor.NewShape(26, 26, 128), 5},
+		{"conv2d_12", tensor.NewShape(28, 28, 128), tensor.NewShape(26, 26, 128), 5},
+		{"conv2d_13", tensor.NewShape(26, 26, 256), tensor.NewShape(26, 26, 256), 1},
+		{"conv2d_14", tensor.NewShape(15, 15, 512), tensor.NewShape(13, 13, 512), 36},
+		{"conv2d_15", tensor.NewShape(13, 13, 512), tensor.NewShape(13, 13, 256), 2},
+		{"conv2d_16", tensor.NewShape(15, 15, 256), tensor.NewShape(13, 13, 512), 18},
+		{"conv2d_17", tensor.NewShape(13, 13, 512), tensor.NewShape(13, 13, 255), 2},
+		{"conv2d_18", tensor.NewShape(13, 13, 256), tensor.NewShape(13, 13, 128), 1},
+		{"conv2d_19", tensor.NewShape(28, 28, 384), tensor.NewShape(26, 26, 256), 14},
+		{"conv2d_20", tensor.NewShape(26, 26, 256), tensor.NewShape(26, 26, 255), 1},
+	}
+	total := 0
+	for _, r := range rows {
+		n := g.ByName(r.name)
+		if n == nil {
+			t.Fatalf("layer %s missing", r.name)
+		}
+		if got := n.Inputs[0].OutShape; !got.Equal(r.ifm) {
+			t.Errorf("%s IFM = %v, want %v", r.name, got, r.ifm)
+		}
+		if !n.OutShape.Equal(r.ofm) {
+			t.Errorf("%s OFM = %v, want %v", r.name, n.OutShape, r.ofm)
+		}
+		tl, err := im2col.TileBase(n, pe256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tl.PEs() != r.pes {
+			t.Errorf("%s PEs = %d, want %d", r.name, tl.PEs(), r.pes)
+		}
+		total += tl.PEs()
+	}
+	if total != 117 {
+		t.Errorf("summed PEs = %d, want PEmin 117", total)
+	}
+}
+
+// TestVGGStageShapes audits the canonical VGG16 spatial pyramid.
+func TestVGGStageShapes(t *testing.T) {
+	g, res := canonical(t, VGG16)
+	wantH := []int{224, 224, 112, 112, 56, 56, 56, 28, 28, 28, 14, 14, 14}
+	wantC := []int{64, 64, 128, 128, 256, 256, 256, 512, 512, 512, 512, 512, 512}
+	if len(res.BaseLayers) != len(wantH) {
+		t.Fatalf("base layers = %d", len(res.BaseLayers))
+	}
+	for i, n := range res.BaseLayers {
+		if n.OutShape.H != wantH[i] || n.OutShape.W != wantH[i] || n.OutShape.C != wantC[i] {
+			t.Errorf("conv %d out = %v, want (%d,%d,%d)", i, n.OutShape, wantH[i], wantH[i], wantC[i])
+		}
+	}
+	// Final feature map after the last pool is 7x7x512.
+	out := g.Outputs[0]
+	if !out.OutShape.Equal(tensor.NewShape(7, 7, 512)) {
+		t.Errorf("VGG16 output = %v, want (7, 7, 512)", out.OutShape)
+	}
+}
+
+// TestResNet50StageShapes audits stem, stage transitions, and head.
+func TestResNet50StageShapes(t *testing.T) {
+	g, res := canonical(t, ResNet50)
+	// Stem conv: 224 -> 112.
+	stem := res.BaseLayers[0]
+	if !stem.OutShape.Equal(tensor.NewShape(112, 112, 64)) {
+		t.Errorf("stem out = %v", stem.OutShape)
+	}
+	// Spatial sizes present among conv outputs: 112, 56, 28, 14, 7.
+	sizes := map[int]int{}
+	for _, n := range res.BaseLayers {
+		sizes[n.OutShape.H]++
+	}
+	for _, h := range []int{112, 56, 28, 14, 7} {
+		if sizes[h] == 0 {
+			t.Errorf("no conv outputs at %dx%d", h, h)
+		}
+	}
+	// Head: global average pool to (1, 1, 2048).
+	out := g.Outputs[0]
+	if !out.OutShape.Equal(tensor.NewShape(1, 1, 2048)) {
+		t.Errorf("ResNet50 output = %v, want (1, 1, 2048)", out.OutShape)
+	}
+	// Exactly 4 residual projection shortcuts (one per stage).
+	proj := 0
+	for _, n := range g.Nodes {
+		if n.Kind() == nn.OpAdd {
+			// A projection block's Add has two conv-derived inputs.
+			proj++
+		}
+	}
+	if proj != 16 {
+		t.Errorf("ResNet50 has %d Add nodes, want 16 bottleneck blocks", proj)
+	}
+}
+
+// TestYOLOHeadShapes: both YOLO variants end in 255-channel heads at the
+// 13x13 and 26x26 scales.
+func TestYOLOHeadShapes(t *testing.T) {
+	for _, id := range []ID{TinyYOLOv3, TinyYOLOv4} {
+		g := MustBuild(id, Options{})
+		if len(g.Outputs) != 2 {
+			t.Fatalf("%s has %d outputs", id, len(g.Outputs))
+		}
+		want := map[int]bool{13: false, 26: false}
+		for _, out := range g.Outputs {
+			if out.OutShape.C != 255 {
+				t.Errorf("%s head channels = %d", id, out.OutShape.C)
+			}
+			want[out.OutShape.H] = true
+		}
+		if !want[13] || !want[26] {
+			t.Errorf("%s heads at wrong scales", id)
+		}
+	}
+}
+
+// TestConvNamesSequential: TF-style conv2d naming is gapless and in
+// creation order for every zoo model.
+func TestConvNamesSequential(t *testing.T) {
+	for _, id := range List() {
+		g := MustBuild(id, Options{})
+		idx := 0
+		for _, n := range g.Nodes {
+			if n.Kind() != nn.OpConv2D {
+				continue
+			}
+			want := "conv2d"
+			if idx > 0 {
+				want = fmt.Sprintf("conv2d_%d", idx)
+			}
+			if n.Name != want {
+				t.Fatalf("%s: conv %d named %q, want %q", id, idx, n.Name, want)
+			}
+			idx++
+		}
+	}
+}
+
+// TestFunctionalYOLOHeads: with weights, a scaled-down TinyYOLOv4
+// executes end to end and produces finite outputs at both scales.
+func TestFunctionalYOLOHeads(t *testing.T) {
+	g := MustBuild(TinyYOLOv4, Options{WithWeights: true, Seed: 2, InputSize: 64})
+	in := InputFor(g, 3)
+	outs, err := (&nn.Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("%d outputs", len(outs))
+	}
+	for i, o := range outs {
+		if o.MaxAbs() == 0 {
+			t.Errorf("output %d is all zeros", i)
+		}
+		for _, v := range o.Data[:10] {
+			if v != v { // NaN
+				t.Fatalf("output %d contains NaN", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package models
+
+import (
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// tinyConvNet builds a small sequential CNN (three convolutions and a
+// max pool) for fast functional and scheduling tests.
+func (b *builder) tinyConvNet() (*nn.Graph, error) {
+	n := b.inputSize(16)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+	x := b.convBNLeaky(in, 8, 3, 1)
+	x = b.maxpool(x, 2, 2, false)
+	x = b.convBNLeaky(x, 16, 3, 1)
+	x = b.conv(x, 4, 1, 1, false, true)
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}
+
+// tinyBranchNet builds a small non-sequential CNN exercising residual
+// Add, channel Concat, UpSample, and stride-2 downsampling — the op mix
+// CLSA-CIM's dependency stage must handle.
+func (b *builder) tinyBranchNet() (*nn.Graph, error) {
+	n := b.inputSize(16)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+	stem := b.convBNLeaky(in, 8, 3, 1)
+
+	// Residual branch.
+	r := b.convBNLeaky(stem, 8, 3, 1)
+	sum := b.g.Add(b.name("add"), &nn.Add{}, r, stem)
+
+	// Downsample + upsample branch, concatenated with the trunk.
+	d := b.convBNLeaky(sum, 16, 3, 2)
+	u := b.upsample(b.convBNLeaky(d, 8, 1, 1), 2)
+	cat := b.concatC(u, sum)
+
+	head := b.conv(cat, 4, 1, 1, false, true)
+	b.g.MarkOutput(head)
+	return b.g, b.g.Validate()
+}
+
+// tinyMLP builds pool->flatten->dense->dense, exercising the Dense base
+// layer path.
+func (b *builder) tinyMLP() (*nn.Graph, error) {
+	n := b.inputSize(8)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 2))
+	x := b.g.Add(b.name("gap"), &nn.AvgPool{KH: 2, KW: 2, SH: 2, SW: 2}, in)
+	x = b.g.Add(b.name("flatten"), &nn.Flatten{}, x)
+
+	d1 := &nn.Dense{KI: x.OutShape.C, KO: 32}
+	if b.opt.WithWeights {
+		d1.W = nn.NewConvWeights(1, 1, d1.KI, d1.KO)
+		d1.W.FillRand(b.nextSeed(), 0.2)
+		d1.Bias = randSlice(b.nextSeed(), d1.KO, 0.1)
+	}
+	x = b.g.Add("dense", d1, x)
+	x = b.relu(x)
+
+	d2 := &nn.Dense{KI: 32, KO: 10}
+	if b.opt.WithWeights {
+		d2.W = nn.NewConvWeights(1, 1, 32, 10)
+		d2.W.FillRand(b.nextSeed(), 0.2)
+		d2.Bias = randSlice(b.nextSeed(), 10, 0.1)
+	}
+	x = b.g.Add("dense_1", d2, x)
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}

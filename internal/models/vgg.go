@@ -1,0 +1,27 @@
+package models
+
+import (
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// vgg builds a VGG feature extractor (classifier head omitted, matching
+// the paper's base-layer counts: 13 convolutions for VGG16, 16 for
+// VGG19). blocks gives the number of 3x3 convolutions per stage; stage
+// channel widths are the published 64/128/256/512/512.
+func (b *builder) vgg(blocks []int) (*nn.Graph, error) {
+	n := b.inputSize(224)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+	channels := []int{64, 128, 256, 512, 512}
+
+	x := in
+	for stage, reps := range blocks {
+		for r := 0; r < reps; r++ {
+			x = b.conv(x, channels[stage], 3, 1, true, true)
+			x = b.relu(x)
+		}
+		x = b.maxpool(x, 2, 2, false)
+	}
+	b.g.MarkOutput(x)
+	return b.g, b.g.Validate()
+}

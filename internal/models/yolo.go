@@ -1,0 +1,98 @@
+package models
+
+import (
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// tinyYOLOv3 builds the darknet yolov3-tiny object-detection network
+// (13 convolutions, two detection heads). With 256x256 PEs it requires
+// exactly 142 crossbars (paper Table II).
+func (b *builder) tinyYOLOv3() (*nn.Graph, error) {
+	n := b.inputSize(416)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+
+	x := b.convBNLeaky(in, 16, 3, 1) // conv2d
+	x = b.maxpool(x, 2, 2, false)
+	x = b.convBNLeaky(x, 32, 3, 1) // conv2d_1
+	x = b.maxpool(x, 2, 2, false)
+	x = b.convBNLeaky(x, 64, 3, 1) // conv2d_2
+	x = b.maxpool(x, 2, 2, false)
+	x = b.convBNLeaky(x, 128, 3, 1) // conv2d_3
+	x = b.maxpool(x, 2, 2, false)
+	route := b.convBNLeaky(x, 256, 3, 1) // conv2d_4 (26x26x256 route source)
+	x = b.maxpool(route, 2, 2, false)
+	x = b.convBNLeaky(x, 512, 3, 1)     // conv2d_5
+	x = b.maxpool(x, 2, 1, true)        // stride-1 "same" pool keeps 13x13
+	x = b.convBNLeaky(x, 1024, 3, 1)    // conv2d_6
+	neck := b.convBNLeaky(x, 256, 1, 1) // conv2d_7
+
+	// Head 1: 13x13 scale.
+	h1 := b.convBNLeaky(neck, 512, 3, 1) // conv2d_8
+	h1 = b.headConv(h1, 255)             // conv2d_9
+	b.g.MarkOutput(h1)
+
+	// Head 2: 26x26 scale via upsample + route.
+	u := b.convBNLeaky(neck, 128, 1, 1) // conv2d_10
+	u = b.upsample(u, 2)
+	cat := b.concatC(u, route)
+	h2 := b.convBNLeaky(cat, 256, 3, 1) // conv2d_11
+	h2 = b.headConv(h2, 255)            // conv2d_12
+	b.g.MarkOutput(h2)
+
+	return b.g, b.g.Validate()
+}
+
+// cspBlock is the CSPDarknet-tiny block: a 3x3 conv, a grouped-route
+// split on the second channel half, two 3x3 convs with partial concat, a
+// 1x1 transition conv, an outer concat, and a 2x2 max pool. It returns
+// (pooled output, transition-conv output) — the latter feeds YOLOv4's
+// upsample route in the final block.
+func (b *builder) cspBlock(in *nn.Node, c int) (out, transition *nn.Node) {
+	x := b.convBNLeaky(in, c, 3, 1)
+	half := b.sliceChannels(x, c/2, c)
+	y := b.convBNLeaky(half, c/2, 3, 1)
+	z := b.convBNLeaky(y, c/2, 3, 1)
+	inner := b.concatC(z, y)
+	t := b.convBNLeaky(inner, c, 1, 1)
+	outer := b.concatC(x, t)
+	return b.maxpool(outer, 2, 2, false), t
+}
+
+// tinyYOLOv4 builds the darknet yolov4-tiny network: CSPDarknet53-tiny
+// backbone (21 convolutions in total) with two detection heads. With
+// 256x256 PEs it requires exactly 117 crossbars = PEmin of the paper's
+// §V-A case study, and its layer table reproduces paper Table I.
+//
+// Note: the paper's text says "18 Conv2D layers" but its Table I names
+// layers up to conv2d_20 (21 convolutions) and states PEmin = 117, which
+// matches the standard 21-convolution topology built here (see
+// DESIGN.md).
+func (b *builder) tinyYOLOv4() (*nn.Graph, error) {
+	n := b.inputSize(416)
+	in := b.g.AddInput("input", tensor.NewShape(n, n, 3))
+
+	x := b.convBNLeaky(in, 32, 3, 2) // conv2d
+	x = b.convBNLeaky(x, 64, 3, 2)   // conv2d_1
+	x, _ = b.cspBlock(x, 64)         // conv2d_2 .. conv2d_5
+	x, _ = b.cspBlock(x, 128)        // conv2d_6 .. conv2d_9
+	x, route := b.cspBlock(x, 256)   // conv2d_10 .. conv2d_13 (route = conv2d_13 out)
+
+	x = b.convBNLeaky(x, 512, 3, 1)     // conv2d_14
+	neck := b.convBNLeaky(x, 256, 1, 1) // conv2d_15
+
+	// Head 1: 13x13 scale.
+	h1 := b.convBNLeaky(neck, 512, 3, 1) // conv2d_16
+	h1 = b.headConv(h1, 255)             // conv2d_17
+	b.g.MarkOutput(h1)
+
+	// Head 2: 26x26 scale.
+	u := b.convBNLeaky(neck, 128, 1, 1) // conv2d_18
+	u = b.upsample(u, 2)
+	cat := b.concatC(u, route)
+	h2 := b.convBNLeaky(cat, 256, 3, 1) // conv2d_19
+	h2 = b.headConv(h2, 255)            // conv2d_20
+	b.g.MarkOutput(h2)
+
+	return b.g, b.g.Validate()
+}

@@ -1,0 +1,114 @@
+package nn
+
+import "fmt"
+
+// Clone returns a deep copy of the graph: fresh nodes and operator
+// structs, with parameter slices and weight tensors copied. Compiling a
+// model mutates its graph (BN folding, partitioning, quantization,
+// duplication rewrites), so every compilation works on a clone.
+func (g *Graph) Clone() *Graph {
+	out := NewGraph()
+	out.nextID = g.nextID
+	// Two passes: rewrite passes may append producers after their
+	// consumers in g.Nodes, so input pointers are resolved only after
+	// every node has a clone.
+	mapping := make(map[*Node]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		c := &Node{ID: n.ID, Name: n.Name, Op: cloneOp(n.Op), OutShape: n.OutShape}
+		mapping[n] = c
+		out.Nodes = append(out.Nodes, c)
+		out.byName[c.Name] = c
+	}
+	for _, n := range g.Nodes {
+		c := mapping[n]
+		c.Inputs = make([]*Node, len(n.Inputs))
+		for i, in := range n.Inputs {
+			c.Inputs[i] = mapping[in]
+		}
+	}
+	if g.Input != nil {
+		out.Input = mapping[g.Input]
+	}
+	for _, o := range g.Outputs {
+		out.Outputs = append(out.Outputs, mapping[o])
+	}
+	return out
+}
+
+func cloneOp(op Op) Op {
+	switch o := op.(type) {
+	case *Input:
+		c := *o
+		return &c
+	case *Conv2D:
+		c := *o
+		if o.W != nil {
+			c.W = o.W.Clone()
+		}
+		c.Bias = cloneF32(o.Bias)
+		return &c
+	case *Dense:
+		c := *o
+		if o.W != nil {
+			c.W = o.W.Clone()
+		}
+		c.Bias = cloneF32(o.Bias)
+		return &c
+	case *DepthwiseConv2D:
+		c := *o
+		if o.W != nil {
+			c.W = o.W.Clone()
+		}
+		c.Bias = cloneF32(o.Bias)
+		return &c
+	case *BatchNorm:
+		c := *o
+		c.Gamma = cloneF32(o.Gamma)
+		c.Beta = cloneF32(o.Beta)
+		c.Mean = cloneF32(o.Mean)
+		c.Var = cloneF32(o.Var)
+		return &c
+	case *BiasAdd:
+		c := *o
+		c.B = cloneF32(o.B)
+		return &c
+	case *Activation:
+		c := *o
+		return &c
+	case *MaxPool:
+		c := *o
+		return &c
+	case *AvgPool:
+		c := *o
+		return &c
+	case *Pad:
+		c := *o
+		return &c
+	case *Concat:
+		c := *o
+		return &c
+	case *Add:
+		c := *o
+		return &c
+	case *UpSample:
+		c := *o
+		return &c
+	case *Slice:
+		c := *o
+		return &c
+	case *Flatten:
+		c := *o
+		return &c
+	default:
+		panic(fmt.Sprintf("nn: cloneOp: unsupported op %T", op))
+	}
+}
+
+func cloneF32(s []float32) []float32 {
+	if s == nil {
+		return nil
+	}
+	out := make([]float32, len(s))
+	copy(out, s)
+	return out
+}

@@ -1,0 +1,420 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"clsacim/internal/tensor"
+)
+
+// Executor runs a graph on the CPU with direct (non-im2col) reference
+// implementations of every operator. It is the functional oracle against
+// which the im2col lowering, the crossbar model, and all graph rewrites
+// are verified.
+type Executor struct {
+	// KeepAll retains every intermediate tensor in the result map;
+	// otherwise only marked outputs are guaranteed present.
+	KeepAll bool
+	// BaseOverride, when non-nil, executes base layers (Conv2D/Dense)
+	// instead of the built-in float reference — the hook through which
+	// the functional crossbar model (package cim) runs whole graphs
+	// with quantized in-memory MVMs.
+	BaseOverride func(n *Node, in *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Run executes g on the given input tensor and returns a map from node to
+// produced tensor. The input tensor shape must match the graph input.
+func (e *Executor) Run(g *Graph, input *tensor.Tensor) (map[*Node]*tensor.Tensor, error) {
+	if g.Input == nil {
+		return nil, fmt.Errorf("nn: graph has no input")
+	}
+	if !input.Shape.Equal(g.Input.OutShape) {
+		return nil, fmt.Errorf("nn: input shape %v != graph input %v", input.Shape, g.Input.OutShape)
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	vals := make(map[*Node]*tensor.Tensor, len(order))
+	vals[g.Input] = input
+	for _, n := range order {
+		if n == g.Input {
+			continue
+		}
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		for i, p := range n.Inputs {
+			t, ok := vals[p]
+			if !ok {
+				return nil, fmt.Errorf("nn: node %v: missing input value from %v", n, p)
+			}
+			ins[i] = t
+		}
+		var out *tensor.Tensor
+		var err error
+		if e.BaseOverride != nil && n.IsBase() {
+			out, err = e.BaseOverride(n, ins[0])
+		} else {
+			out, err = evalNode(n, ins)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("nn: node %v: %w", n, err)
+		}
+		if !out.Shape.Equal(n.OutShape) {
+			return nil, fmt.Errorf("nn: node %v: executor produced %v, graph says %v", n, out.Shape, n.OutShape)
+		}
+		vals[n] = out
+	}
+	if !e.KeepAll {
+		marked := make(map[*Node]bool, len(g.Outputs))
+		for _, o := range g.Outputs {
+			marked[o] = true
+		}
+		for n := range vals {
+			if !marked[n] && n != g.Input {
+				// Keep the map small for big graphs; retain outputs only.
+				delete(vals, n)
+			}
+		}
+	}
+	return vals, nil
+}
+
+// RunOutputs executes g and returns the marked output tensors in order.
+func (e *Executor) RunOutputs(g *Graph, input *tensor.Tensor) ([]*tensor.Tensor, error) {
+	vals, err := e.Run(g, input)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, o := range g.Outputs {
+		t, ok := vals[o]
+		if !ok {
+			return nil, fmt.Errorf("nn: output %v missing from results", o)
+		}
+		outs[i] = t
+	}
+	return outs, nil
+}
+
+func evalNode(n *Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch op := n.Op.(type) {
+	case *Conv2D:
+		if op.W == nil {
+			return nil, fmt.Errorf("shape-only Conv2D has no weights")
+		}
+		return evalConv2D(op, ins[0]), nil
+	case *Dense:
+		if op.W == nil {
+			return nil, fmt.Errorf("shape-only Dense has no weights")
+		}
+		return evalDense(op, ins[0]), nil
+	case *DepthwiseConv2D:
+		if op.W == nil {
+			return nil, fmt.Errorf("shape-only DepthwiseConv2D has no weights")
+		}
+		return evalDepthwise(op, ins[0]), nil
+	case *BatchNorm:
+		return evalBatchNorm(op, ins[0]), nil
+	case *BiasAdd:
+		return evalBiasAdd(op, ins[0]), nil
+	case *Activation:
+		return evalActivation(op, ins[0]), nil
+	case *MaxPool:
+		return evalMaxPool(op, ins[0]), nil
+	case *AvgPool:
+		return evalAvgPool(op, ins[0]), nil
+	case *Pad:
+		return evalPad(op, ins[0]), nil
+	case *Concat:
+		return evalConcat(op, ins), nil
+	case *Add:
+		return evalAdd(ins[0], ins[1]), nil
+	case *UpSample:
+		return evalUpSample(op, ins[0]), nil
+	case *Slice:
+		return evalSlice(op, ins[0]), nil
+	case *Flatten:
+		return tensor.FromSlice(tensor.NewShape(1, 1, ins[0].Shape.Elems()), ins[0].Data), nil
+	default:
+		return nil, fmt.Errorf("executor: unsupported op %v", n.Kind())
+	}
+}
+
+func evalConv2D(op *Conv2D, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	oh := (s.H+op.Pad.Top+op.Pad.Bottom-op.KH)/op.SH + 1
+	ow := (s.W+op.Pad.Left+op.Pad.Right-op.KW)/op.SW + 1
+	out := tensor.New(tensor.NewShape(oh, ow, op.KO))
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			ih0 := y*op.SH - op.Pad.Top
+			iw0 := x*op.SW - op.Pad.Left
+			for ko := 0; ko < op.KO; ko++ {
+				var acc float64
+				for kh := 0; kh < op.KH; kh++ {
+					ih := ih0 + kh
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for kw := 0; kw < op.KW; kw++ {
+						iw := iw0 + kw
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						for ki := 0; ki < op.KI; ki++ {
+							acc += float64(in.At(ih, iw, ki)) * float64(op.W.At(kh, kw, ki, ko))
+						}
+					}
+				}
+				if op.Bias != nil {
+					acc += float64(op.Bias[ko])
+				}
+				out.Set(y, x, ko, float32(acc))
+			}
+		}
+	}
+	return out
+}
+
+func evalDepthwise(op *DepthwiseConv2D, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	oh := (s.H+op.Pad.Top+op.Pad.Bottom-op.KH)/op.SH + 1
+	ow := (s.W+op.Pad.Left+op.Pad.Right-op.KW)/op.SW + 1
+	out := tensor.New(tensor.NewShape(oh, ow, op.C))
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < op.C; c++ {
+				var acc float64
+				for kh := 0; kh < op.KH; kh++ {
+					ih := y*op.SH - op.Pad.Top + kh
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for kw := 0; kw < op.KW; kw++ {
+						iw := x*op.SW - op.Pad.Left + kw
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						acc += float64(in.At(ih, iw, c)) * float64(op.W.At(kh, kw, c, 0))
+					}
+				}
+				if op.Bias != nil {
+					acc += float64(op.Bias[c])
+				}
+				out.Set(y, x, c, float32(acc))
+			}
+		}
+	}
+	return out
+}
+
+func evalDense(op *Dense, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(tensor.NewShape(1, 1, op.KO))
+	for ko := 0; ko < op.KO; ko++ {
+		var acc float64
+		for ki := 0; ki < op.KI; ki++ {
+			acc += float64(in.Data[ki]) * float64(op.W.At(0, 0, ki, ko))
+		}
+		if op.Bias != nil {
+			acc += float64(op.Bias[ko])
+		}
+		out.Data[ko] = float32(acc)
+	}
+	return out
+}
+
+func evalBatchNorm(op *BatchNorm, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	out := tensor.New(s)
+	scale := make([]float32, s.C)
+	shift := make([]float32, s.C)
+	for c := 0; c < s.C; c++ {
+		inv := float32(1.0 / math.Sqrt(float64(op.Var[c])+float64(op.Eps)))
+		scale[c] = op.Gamma[c] * inv
+		shift[c] = op.Beta[c] - op.Mean[c]*scale[c]
+	}
+	for i, v := range in.Data {
+		c := i % s.C
+		out.Data[i] = v*scale[c] + shift[c]
+	}
+	return out
+}
+
+func evalBiasAdd(op *BiasAdd, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	out := tensor.New(s)
+	for i, v := range in.Data {
+		out.Data[i] = v + op.B[i%s.C]
+	}
+	return out
+}
+
+func evalActivation(op *Activation, in *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(in.Shape)
+	switch op.Func {
+	case ActLinear:
+		copy(out.Data, in.Data)
+	case ActReLU:
+		for i, v := range in.Data {
+			if v > 0 {
+				out.Data[i] = v
+			}
+		}
+	case ActLeakyReLU:
+		for i, v := range in.Data {
+			if v > 0 {
+				out.Data[i] = v
+			} else {
+				out.Data[i] = v * op.Alpha
+			}
+		}
+	}
+	return out
+}
+
+func evalMaxPool(op *MaxPool, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	oh := (s.H+op.Pad.Top+op.Pad.Bottom-op.KH)/op.SH + 1
+	ow := (s.W+op.Pad.Left+op.Pad.Right-op.KW)/op.SW + 1
+	out := tensor.New(tensor.NewShape(oh, ow, s.C))
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < s.C; c++ {
+				best := float32(math.Inf(-1))
+				for kh := 0; kh < op.KH; kh++ {
+					ih := y*op.SH - op.Pad.Top + kh
+					if ih < 0 || ih >= s.H {
+						continue
+					}
+					for kw := 0; kw < op.KW; kw++ {
+						iw := x*op.SW - op.Pad.Left + kw
+						if iw < 0 || iw >= s.W {
+							continue
+						}
+						if v := in.At(ih, iw, c); v > best {
+							best = v
+						}
+					}
+				}
+				out.Set(y, x, c, best)
+			}
+		}
+	}
+	return out
+}
+
+func evalAvgPool(op *AvgPool, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	kh, kw, sh, sw := op.KH, op.KW, op.SH, op.SW
+	if op.Global {
+		kh, kw, sh, sw = s.H, s.W, s.H, s.W
+	}
+	oh := (s.H-kh)/sh + 1
+	ow := (s.W-kw)/sw + 1
+	out := tensor.New(tensor.NewShape(oh, ow, s.C))
+	norm := 1.0 / float64(kh*kw)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			for c := 0; c < s.C; c++ {
+				var acc float64
+				for dh := 0; dh < kh; dh++ {
+					for dw := 0; dw < kw; dw++ {
+						acc += float64(in.At(y*sh+dh, x*sw+dw, c))
+					}
+				}
+				out.Set(y, x, c, float32(acc*norm))
+			}
+		}
+	}
+	return out
+}
+
+func evalPad(op *Pad, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	out := tensor.New(tensor.NewShape(s.H+op.Pad.Top+op.Pad.Bottom, s.W+op.Pad.Left+op.Pad.Right, s.C))
+	if op.Value != 0 {
+		out.Fill(op.Value)
+	}
+	for h := 0; h < s.H; h++ {
+		for w := 0; w < s.W; w++ {
+			for c := 0; c < s.C; c++ {
+				out.Set(h+op.Pad.Top, w+op.Pad.Left, c, in.At(h, w, c))
+			}
+		}
+	}
+	return out
+}
+
+func evalConcat(op *Concat, ins []*tensor.Tensor) *tensor.Tensor {
+	shapes := make([]tensor.Shape, len(ins))
+	for i, t := range ins {
+		shapes[i] = t.Shape
+	}
+	outShape, err := op.InferShape(shapes)
+	if err != nil {
+		panic(err) // validated at graph construction
+	}
+	out := tensor.New(outShape)
+	offset := 0
+	for _, t := range ins {
+		s := t.Shape
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < s.C; c++ {
+					switch op.Axis {
+					case AxisH:
+						out.Set(h+offset, w, c, t.At(h, w, c))
+					case AxisW:
+						out.Set(h, w+offset, c, t.At(h, w, c))
+					case AxisC:
+						out.Set(h, w, c+offset, t.At(h, w, c))
+					}
+				}
+			}
+		}
+		switch op.Axis {
+		case AxisH:
+			offset += s.H
+		case AxisW:
+			offset += s.W
+		case AxisC:
+			offset += s.C
+		}
+	}
+	return out
+}
+
+func evalAdd(a, b *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(a.Shape)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+func evalUpSample(op *UpSample, in *tensor.Tensor) *tensor.Tensor {
+	s := in.Shape
+	f := op.Factor
+	out := tensor.New(tensor.NewShape(s.H*f, s.W*f, s.C))
+	for h := 0; h < s.H*f; h++ {
+		for w := 0; w < s.W*f; w++ {
+			for c := 0; c < s.C; c++ {
+				out.Set(h, w, c, in.At(h/f, w/f, c))
+			}
+		}
+	}
+	return out
+}
+
+func evalSlice(op *Slice, in *tensor.Tensor) *tensor.Tensor {
+	b := op.Box
+	out := tensor.New(tensor.NewShape(b.DH(), b.DW(), b.DC()))
+	for h := b.H0; h < b.H1; h++ {
+		for w := b.W0; w < b.W1; w++ {
+			for c := b.C0; c < b.C1; c++ {
+				out.Set(h-b.H0, w-b.W0, c-b.C0, in.At(h, w, c))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"clsacim/internal/region"
+	"clsacim/internal/tensor"
+)
+
+func runSingle(t *testing.T, op Op, in *tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	g := NewGraph()
+	input := g.AddInput("input", in.Shape)
+	n := g.Add("op", op, input)
+	g.MarkOutput(n)
+	outs, err := (&Executor{}).RunOutputs(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs[0]
+}
+
+func TestExecConv2DHandComputed(t *testing.T) {
+	// 2x2 input, 2x2 kernel, valid: out = sum(in * w).
+	in := tensor.FromSlice(shape(2, 2, 1), []float32{1, 2, 3, 4})
+	w := NewConvWeights(2, 2, 1, 1)
+	copy(w.Data, []float32{10, 20, 30, 40})
+	out := runSingle(t, &Conv2D{KH: 2, KW: 2, SH: 1, SW: 1, KI: 1, KO: 1, W: w}, in)
+	if got := out.Data[0]; got != 1*10+2*20+3*30+4*40 {
+		t.Errorf("conv = %v, want 300", got)
+	}
+}
+
+func TestExecConv2DStridePad(t *testing.T) {
+	// Identity 1x1 kernel with stride 2 picks every other pixel.
+	in := tensor.New(shape(4, 4, 1))
+	for i := range in.Data {
+		in.Data[i] = float32(i)
+	}
+	w := NewConvWeights(1, 1, 1, 1)
+	w.Data[0] = 1
+	out := runSingle(t, &Conv2D{KH: 1, KW: 1, SH: 2, SW: 2, KI: 1, KO: 1, W: w}, in)
+	want := []float32{0, 2, 8, 10}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Errorf("strided conv[%d] = %v, want %v", i, out.Data[i], v)
+		}
+	}
+	// Padding contributes zeros.
+	w3 := NewConvWeights(3, 3, 1, 1)
+	for i := range w3.Data {
+		w3.Data[i] = 1
+	}
+	out = runSingle(t, &Conv2D{KH: 3, KW: 3, SH: 1, SW: 1, KI: 1, KO: 1,
+		Pad: Padding{1, 1, 1, 1}, W: w3}, in)
+	// Top-left output: sum of in[0:2,0:2] = 0+1+4+5 = 10.
+	if out.At(0, 0, 0) != 10 {
+		t.Errorf("padded conv corner = %v, want 10", out.At(0, 0, 0))
+	}
+	if !out.Shape.Equal(shape(4, 4, 1)) {
+		t.Errorf("padded conv shape = %v", out.Shape)
+	}
+}
+
+func TestExecConvBias(t *testing.T) {
+	in := tensor.FromSlice(shape(1, 1, 1), []float32{2})
+	w := NewConvWeights(1, 1, 1, 2)
+	copy(w.Data, []float32{3, 5})
+	out := runSingle(t, &Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 2, W: w,
+		Bias: []float32{10, 20}}, in)
+	if out.Data[0] != 16 || out.Data[1] != 30 {
+		t.Errorf("conv+bias = %v", out.Data)
+	}
+}
+
+func TestExecDense(t *testing.T) {
+	in := tensor.FromSlice(shape(1, 1, 3), []float32{1, 2, 3})
+	w := NewConvWeights(1, 1, 3, 2)
+	// w[ki][ko]: column 0 = (1,0,1), column 1 = (0,1,0).
+	w.Set(0, 0, 0, 0, 1)
+	w.Set(0, 0, 2, 0, 1)
+	w.Set(0, 0, 1, 1, 1)
+	out := runSingle(t, &Dense{KI: 3, KO: 2, W: w, Bias: []float32{0.5, -0.5}}, in)
+	if out.Data[0] != 4.5 || out.Data[1] != 1.5 {
+		t.Errorf("dense = %v", out.Data)
+	}
+}
+
+func TestExecBatchNorm(t *testing.T) {
+	in := tensor.FromSlice(shape(1, 1, 2), []float32{3, -1})
+	bn := &BatchNorm{
+		Gamma: []float32{2, 1},
+		Beta:  []float32{1, 0},
+		Mean:  []float32{1, -1},
+		Var:   []float32{4, 1},
+		Eps:   0,
+	}
+	out := runSingle(t, bn, in)
+	// (3-1)/2*2+1 = 3; (-1 - -1)/1*1+0 = 0.
+	if math.Abs(float64(out.Data[0]-3)) > 1e-6 || math.Abs(float64(out.Data[1])) > 1e-6 {
+		t.Errorf("bn = %v", out.Data)
+	}
+}
+
+func TestExecActivations(t *testing.T) {
+	in := tensor.FromSlice(shape(1, 1, 3), []float32{-2, 0, 3})
+	relu := runSingle(t, &Activation{Func: ActReLU}, in)
+	if relu.Data[0] != 0 || relu.Data[2] != 3 {
+		t.Errorf("relu = %v", relu.Data)
+	}
+	leaky := runSingle(t, &Activation{Func: ActLeakyReLU, Alpha: 0.1}, in)
+	if math.Abs(float64(leaky.Data[0]+0.2)) > 1e-6 || leaky.Data[2] != 3 {
+		t.Errorf("leaky = %v", leaky.Data)
+	}
+	lin := runSingle(t, &Activation{Func: ActLinear}, in)
+	if lin.Data[0] != -2 {
+		t.Errorf("linear = %v", lin.Data)
+	}
+}
+
+func TestExecMaxPool(t *testing.T) {
+	in := tensor.FromSlice(shape(2, 2, 1), []float32{1, 5, 2, 4})
+	out := runSingle(t, &MaxPool{KH: 2, KW: 2, SH: 2, SW: 2}, in)
+	if out.Data[0] != 5 {
+		t.Errorf("maxpool = %v", out.Data[0])
+	}
+	// Stride-1 "same" pool with negative inputs: padding must not win.
+	neg := tensor.FromSlice(shape(2, 2, 1), []float32{-1, -5, -2, -4})
+	out = runSingle(t, &MaxPool{KH: 2, KW: 2, SH: 1, SW: 1, Pad: Padding{0, 1, 0, 1}}, neg)
+	if out.At(1, 1, 0) != -4 {
+		t.Errorf("padded maxpool corner = %v, want -4 (not 0)", out.At(1, 1, 0))
+	}
+}
+
+func TestExecAvgPool(t *testing.T) {
+	in := tensor.FromSlice(shape(2, 2, 1), []float32{1, 2, 3, 6})
+	out := runSingle(t, &AvgPool{KH: 2, KW: 2, SH: 2, SW: 2}, in)
+	if out.Data[0] != 3 {
+		t.Errorf("avgpool = %v", out.Data[0])
+	}
+	gap := runSingle(t, &AvgPool{Global: true}, in)
+	if gap.Data[0] != 3 {
+		t.Errorf("gap = %v", gap.Data[0])
+	}
+}
+
+func TestExecPadSliceConcatUpsample(t *testing.T) {
+	in := tensor.FromSlice(shape(2, 2, 1), []float32{1, 2, 3, 4})
+	padded := runSingle(t, &Pad{Pad: Padding{1, 0, 0, 1}}, in)
+	if !padded.Shape.Equal(shape(3, 3, 1)) || padded.At(0, 0, 0) != 0 || padded.At(1, 0, 0) != 1 {
+		t.Errorf("pad wrong: %v %v", padded.Shape, padded.Data)
+	}
+	sl := runSingle(t, &Slice{Box: region.NewBox(1, 2, 0, 2, 0, 1)}, in)
+	if sl.Data[0] != 3 || sl.Data[1] != 4 {
+		t.Errorf("slice = %v", sl.Data)
+	}
+	up := runSingle(t, &UpSample{Factor: 2}, in)
+	if !up.Shape.Equal(shape(4, 4, 1)) || up.At(0, 1, 0) != 1 || up.At(3, 3, 0) != 4 {
+		t.Errorf("upsample wrong")
+	}
+
+	g := NewGraph()
+	input := g.AddInput("input", shape(1, 1, 2))
+	a := g.Add("a", &Activation{Func: ActLinear}, input)
+	b := g.Add("b", &Activation{Func: ActReLU}, input)
+	cat := g.Add("cat", &Concat{Axis: AxisC}, a, b)
+	g.MarkOutput(cat)
+	outs, err := (&Executor{}).RunOutputs(g, tensor.FromSlice(shape(1, 1, 2), []float32{-1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{-1, 2, 0, 2}
+	for i, v := range want {
+		if outs[0].Data[i] != v {
+			t.Errorf("concat[%d] = %v, want %v", i, outs[0].Data[i], v)
+		}
+	}
+}
+
+func TestExecAddAndFlatten(t *testing.T) {
+	g := NewGraph()
+	in := g.AddInput("input", shape(2, 1, 1))
+	a := g.Add("a", &Activation{Func: ActLinear}, in)
+	s := g.Add("s", &Add{}, a, in)
+	f := g.Add("f", &Flatten{}, s)
+	g.MarkOutput(f)
+	outs, err := (&Executor{}).RunOutputs(g, tensor.FromSlice(shape(2, 1, 1), []float32{3, 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Data[0] != 6 || outs[0].Data[1] != 8 {
+		t.Errorf("add+flatten = %v", outs[0].Data)
+	}
+	if !outs[0].Shape.Equal(shape(1, 1, 2)) {
+		t.Errorf("flatten shape = %v", outs[0].Shape)
+	}
+}
+
+func TestExecInputValidation(t *testing.T) {
+	g, _, _, _ := chain(t)
+	if _, err := (&Executor{}).Run(g, tensor.New(shape(4, 4, 3))); err == nil {
+		t.Error("wrong input shape accepted")
+	}
+}
+
+func TestExecShapeOnlyConvFails(t *testing.T) {
+	g := NewGraph()
+	in := g.AddInput("input", shape(4, 4, 1))
+	c := g.Add("c", &Conv2D{KH: 1, KW: 1, SH: 1, SW: 1, KI: 1, KO: 1}, in)
+	g.MarkOutput(c)
+	if _, err := (&Executor{}).Run(g, tensor.New(shape(4, 4, 1))); err == nil {
+		t.Error("shape-only conv executed")
+	}
+}
+
+func TestExecKeepAll(t *testing.T) {
+	g, c1, r, _ := chain(t)
+	op := c1.Op.(*Conv2D)
+	op.W = NewConvWeights(3, 3, 3, 4)
+	c2op := g.ByName("c2").Op.(*Conv2D)
+	c2op.W = NewConvWeights(1, 1, 4, 2)
+	in := tensor.New(shape(8, 8, 3))
+	vals, err := (&Executor{KeepAll: true}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[r] == nil || vals[c1] == nil {
+		t.Error("KeepAll dropped intermediates")
+	}
+	vals2, err := (&Executor{}).Run(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals2[r] != nil {
+		t.Error("non-KeepAll retained intermediates")
+	}
+}

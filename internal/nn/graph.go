@@ -1,0 +1,325 @@
+package nn
+
+import (
+	"fmt"
+
+	"clsacim/internal/tensor"
+)
+
+// Node is a single operator instance in a Graph. Nodes are created
+// through Graph.Add, which performs immediate shape inference.
+type Node struct {
+	ID       int
+	Name     string
+	Op       Op
+	Inputs   []*Node
+	OutShape tensor.Shape
+}
+
+// Kind returns the node's operator kind.
+func (n *Node) Kind() OpKind { return n.Op.Kind() }
+
+// IsBase reports whether the node is a base layer (Conv2D/Dense).
+func (n *Node) IsBase() bool { return IsBase(n.Op) }
+
+// String renders "name#id(Kind)".
+func (n *Node) String() string {
+	return fmt.Sprintf("%s#%d(%v)", n.Name, n.ID, n.Kind())
+}
+
+// Graph is a directed acyclic graph of operators with a single input
+// node and one or more output nodes. Nodes hold direct pointers to their
+// producers; consumer lists are derived on demand.
+type Graph struct {
+	Nodes   []*Node
+	Input   *Node
+	Outputs []*Node
+
+	nextID int
+	byName map[string]*Node
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{byName: make(map[string]*Node)}
+}
+
+// AddInput creates the graph's input node. It panics if called twice.
+func (g *Graph) AddInput(name string, shape tensor.Shape) *Node {
+	if g.Input != nil {
+		panic("nn: graph already has an input node")
+	}
+	n := g.Add(name, &Input{Shape: shape})
+	g.Input = n
+	return n
+}
+
+// Add appends a node computing op over the given inputs, inferring its
+// output shape. It panics on shape errors: graph construction errors are
+// programming bugs in model builders, caught by tests. Use TryAdd for an
+// error-returning variant.
+func (g *Graph) Add(name string, op Op, inputs ...*Node) *Node {
+	n, err := g.TryAdd(name, op, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// TryAdd is Add returning shape-inference errors instead of panicking.
+func (g *Graph) TryAdd(name string, op Op, inputs ...*Node) (*Node, error) {
+	shapes := make([]tensor.Shape, len(inputs))
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("nn: nil input %d to %q", i, name)
+		}
+		shapes[i] = in.OutShape
+	}
+	out, err := op.InferShape(shapes)
+	if err != nil {
+		return nil, fmt.Errorf("nn: node %q: %w", name, err)
+	}
+	if name == "" {
+		name = fmt.Sprintf("%v_%d", op.Kind(), g.nextID)
+	}
+	if _, dup := g.byName[name]; dup {
+		return nil, fmt.Errorf("nn: duplicate node name %q", name)
+	}
+	n := &Node{ID: g.nextID, Name: name, Op: op, Inputs: append([]*Node(nil), inputs...), OutShape: out}
+	g.nextID++
+	g.Nodes = append(g.Nodes, n)
+	g.byName[name] = n
+	return n, nil
+}
+
+// MarkOutput appends n to the graph's output list.
+func (g *Graph) MarkOutput(n *Node) { g.Outputs = append(g.Outputs, n) }
+
+// ByName returns the node with the given name, or nil.
+func (g *Graph) ByName(name string) *Node { return g.byName[name] }
+
+// Consumers returns a map from each node to the nodes that read its
+// output, in deterministic (insertion) order.
+func (g *Graph) Consumers() map[*Node][]*Node {
+	out := make(map[*Node][]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			out[in] = append(out[in], n)
+		}
+	}
+	return out
+}
+
+// TopoSort returns the nodes in a topological order (producers before
+// consumers). It returns an error if the graph contains a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		indeg[n] += 0
+		seen := make(map[*Node]bool, len(n.Inputs))
+		for _, in := range n.Inputs {
+			// Multi-edges (same producer twice) count once for in-degree.
+			if !seen[in] {
+				indeg[n]++
+				seen[in] = true
+			}
+		}
+	}
+	cons := g.Consumers()
+	var queue []*Node
+	for _, n := range g.Nodes {
+		if indeg[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	var order []*Node
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		released := make(map[*Node]bool)
+		for _, c := range cons[n] {
+			if released[c] {
+				continue
+			}
+			released[c] = true
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(g.Nodes) {
+		return nil, fmt.Errorf("nn: graph contains a cycle (%d of %d nodes ordered)", len(order), len(g.Nodes))
+	}
+	return order, nil
+}
+
+// Validate checks structural invariants: a single input node exists, all
+// node inputs belong to the graph, shapes re-infer consistently, at least
+// one output is marked, and the graph is acyclic.
+func (g *Graph) Validate() error {
+	if g.Input == nil {
+		return fmt.Errorf("nn: graph has no input node")
+	}
+	if len(g.Outputs) == 0 {
+		return fmt.Errorf("nn: graph has no marked outputs")
+	}
+	member := make(map[*Node]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		member[n] = true
+	}
+	for _, n := range g.Nodes {
+		shapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			if !member[in] {
+				return fmt.Errorf("nn: node %v references foreign node %v", n, in)
+			}
+			shapes[i] = in.OutShape
+		}
+		got, err := n.Op.InferShape(shapes)
+		if err != nil {
+			return fmt.Errorf("nn: node %v: %w", n, err)
+		}
+		if !got.Equal(n.OutShape) {
+			return fmt.Errorf("nn: node %v: stored shape %v != inferred %v", n, n.OutShape, got)
+		}
+	}
+	for _, out := range g.Outputs {
+		if !member[out] {
+			return fmt.Errorf("nn: output %v not in graph", out)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReplaceUses rewires every consumer of old (and the graph output list)
+// to read from new instead. old itself is left in place; call Prune to
+// drop it if it became dead.
+func (g *Graph) ReplaceUses(old, new *Node) {
+	for _, n := range g.Nodes {
+		for i, in := range n.Inputs {
+			if in == old {
+				n.Inputs[i] = new
+			}
+		}
+	}
+	for i, out := range g.Outputs {
+		if out == old {
+			g.Outputs[i] = new
+		}
+	}
+}
+
+// ReplaceUsesExcept rewires consumers of old to new, skipping the given
+// nodes. Insertion passes use it to splice a node after old without
+// rewiring the spliced node's own input.
+func (g *Graph) ReplaceUsesExcept(old, new *Node, skip ...*Node) {
+	skipSet := make(map[*Node]bool, len(skip))
+	for _, s := range skip {
+		skipSet[s] = true
+	}
+	for _, n := range g.Nodes {
+		if skipSet[n] {
+			continue
+		}
+		for i, in := range n.Inputs {
+			if in == old {
+				n.Inputs[i] = new
+			}
+		}
+	}
+	for i, out := range g.Outputs {
+		if out == old {
+			g.Outputs[i] = new
+		}
+	}
+}
+
+// Prune removes nodes that cannot reach any graph output, returning the
+// number of nodes removed. The input node is always kept.
+func (g *Graph) Prune() int {
+	live := make(map[*Node]bool)
+	var mark func(n *Node)
+	mark = func(n *Node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, in := range n.Inputs {
+			mark(in)
+		}
+	}
+	for _, out := range g.Outputs {
+		mark(out)
+	}
+	if g.Input != nil {
+		live[g.Input] = true
+	}
+	kept := g.Nodes[:0]
+	removed := 0
+	for _, n := range g.Nodes {
+		if live[n] {
+			kept = append(kept, n)
+		} else {
+			delete(g.byName, n.Name)
+			removed++
+		}
+	}
+	g.Nodes = kept
+	return removed
+}
+
+// RefreshShapes re-runs shape inference over the whole graph in
+// topological order, updating stored shapes. Rewrite passes call it after
+// mutating operator attributes.
+func (g *Graph) RefreshShapes() error {
+	order, err := g.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, n := range order {
+		shapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			shapes[i] = in.OutShape
+		}
+		out, err := n.Op.InferShape(shapes)
+		if err != nil {
+			return fmt.Errorf("nn: node %v: %w", n, err)
+		}
+		n.OutShape = out
+	}
+	return nil
+}
+
+// BaseLayers returns the graph's base-layer nodes in topological order.
+func (g *Graph) BaseLayers() []*Node {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil
+	}
+	var out []*Node
+	for _, n := range order {
+		if n.IsBase() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// FreshName returns name if unused, otherwise name suffixed with the next
+// free ordinal. Rewrite passes use it to generate unique node names.
+func (g *Graph) FreshName(name string) string {
+	if _, ok := g.byName[name]; !ok {
+		return name
+	}
+	for i := 1; ; i++ {
+		cand := fmt.Sprintf("%s_%d", name, i)
+		if _, ok := g.byName[cand]; !ok {
+			return cand
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ConvWeights holds a convolution kernel tensor with logical layout
+// (KH, KW, KI, KO), stored row-major in that order. Dense layers reuse it
+// with KH = KW = 1.
+type ConvWeights struct {
+	KH, KW, KI, KO int
+	Data           []float32
+}
+
+// NewConvWeights allocates a zero-filled kernel tensor.
+func NewConvWeights(kh, kw, ki, ko int) *ConvWeights {
+	if kh <= 0 || kw <= 0 || ki <= 0 || ko <= 0 {
+		panic(fmt.Sprintf("nn: invalid kernel dims (%d,%d,%d,%d)", kh, kw, ki, ko))
+	}
+	return &ConvWeights{KH: kh, KW: kw, KI: ki, KO: ko, Data: make([]float32, kh*kw*ki*ko)}
+}
+
+// Index returns the flat index of (kh, kw, ki, ko).
+func (w *ConvWeights) Index(kh, kw, ki, ko int) int {
+	return ((kh*w.KW+kw)*w.KI+ki)*w.KO + ko
+}
+
+// At returns the weight at (kh, kw, ki, ko).
+func (w *ConvWeights) At(kh, kw, ki, ko int) float32 { return w.Data[w.Index(kh, kw, ki, ko)] }
+
+// Set stores v at (kh, kw, ki, ko).
+func (w *ConvWeights) Set(kh, kw, ki, ko int, v float32) { w.Data[w.Index(kh, kw, ki, ko)] = v }
+
+// Clone returns a deep copy of w.
+func (w *ConvWeights) Clone() *ConvWeights {
+	out := NewConvWeights(w.KH, w.KW, w.KI, w.KO)
+	copy(out.Data, w.Data)
+	return out
+}
+
+// FillRand fills w with uniform values in [-scale, scale) from a
+// deterministic source.
+func (w *ConvWeights) FillRand(seed int64, scale float32) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range w.Data {
+		w.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// MaxAbs returns the maximum absolute weight value.
+func (w *ConvWeights) MaxAbs() float32 {
+	var m float32
+	for _, v := range w.Data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// RowCount returns the unrolled im2col kernel-matrix row count
+// KW*KH*KI (paper Fig. 3).
+func (w *ConvWeights) RowCount() int { return w.KH * w.KW * w.KI }

@@ -1,0 +1,122 @@
+// Package quant implements symmetric linear quantization used to lower
+// base-layer weights onto RRAM crossbar cells with limited resolution
+// (paper §III-A: existing PEs offer up to 4-bit cells, so weights are
+// quantized and, if necessary, bit-sliced across multiple cells).
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes a symmetric linear quantizer mapping float values to
+// signed integers in [-(2^(bits-1)-1), 2^(bits-1)-1].
+type Params struct {
+	Bits  int
+	Scale float32 // float value represented by one integer step
+}
+
+// MaxLevel returns the largest representable integer magnitude.
+func (p Params) MaxLevel() int32 {
+	if p.Bits <= 1 {
+		return 0
+	}
+	return int32(1)<<(p.Bits-1) - 1
+}
+
+// Calibrate returns quantization parameters for the given number of bits
+// covering values up to maxAbs. A zero maxAbs yields scale 1 (all values
+// quantize to zero anyway).
+func Calibrate(bits int, maxAbs float32) (Params, error) {
+	if bits < 2 || bits > 16 {
+		return Params{}, fmt.Errorf("quant: bits %d outside [2,16]", bits)
+	}
+	p := Params{Bits: bits}
+	if maxAbs <= 0 {
+		p.Scale = 1
+		return p, nil
+	}
+	p.Scale = maxAbs / float32(p.MaxLevel())
+	return p, nil
+}
+
+// Quantize maps v to its integer level, clamped to the representable range.
+func (p Params) Quantize(v float32) int32 {
+	if p.Scale == 0 {
+		return 0
+	}
+	q := int32(math.RoundToEven(float64(v / p.Scale)))
+	m := p.MaxLevel()
+	if q > m {
+		q = m
+	}
+	if q < -m {
+		q = -m
+	}
+	return q
+}
+
+// Dequantize maps an integer level back to float.
+func (p Params) Dequantize(q int32) float32 { return float32(q) * p.Scale }
+
+// FakeQuant rounds v through the quantizer (quantize then dequantize).
+func (p Params) FakeQuant(v float32) float32 { return p.Dequantize(p.Quantize(v)) }
+
+// QuantizeSlice quantizes all values into a fresh int32 slice.
+func (p Params) QuantizeSlice(vs []float32) []int32 {
+	out := make([]int32, len(vs))
+	for i, v := range vs {
+		out[i] = p.Quantize(v)
+	}
+	return out
+}
+
+// FakeQuantSlice rounds every value through the quantizer in place.
+func (p Params) FakeQuantSlice(vs []float32) {
+	for i, v := range vs {
+		vs[i] = p.FakeQuant(v)
+	}
+}
+
+// MaxError returns the worst-case rounding error of the quantizer for
+// in-range values: half a step.
+func (p Params) MaxError() float32 { return p.Scale / 2 }
+
+// BitSlices decomposes a quantized level q into k cell values of
+// cellBits each (little-endian), representing the sign-magnitude
+// bit-slicing used when the weight resolution exceeds the RRAM cell
+// resolution. The sign is returned separately (differential crossbar
+// pairs in hardware).
+func BitSlices(q int32, cellBits, k int) (sign int32, cells []int32) {
+	sign = 1
+	if q < 0 {
+		sign = -1
+		q = -q
+	}
+	mask := int32(1)<<cellBits - 1
+	cells = make([]int32, k)
+	for i := 0; i < k; i++ {
+		cells[i] = q & mask
+		q >>= cellBits
+	}
+	return sign, cells
+}
+
+// FromBitSlices reassembles a level from its sign and cell values.
+func FromBitSlices(sign int32, cells []int32, cellBits int) int32 {
+	var q int32
+	for i := len(cells) - 1; i >= 0; i-- {
+		q = q<<cellBits | cells[i]
+	}
+	return sign * q
+}
+
+// SlicesNeeded returns how many cellBits-wide cells hold a weightBits
+// magnitude (weightBits excludes the sign bit handled differentially).
+func SlicesNeeded(weightBits, cellBits int) int {
+	mag := weightBits - 1
+	if mag < 1 {
+		mag = 1
+	}
+	return (mag + cellBits - 1) / cellBits
+}

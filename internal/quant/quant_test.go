@@ -1,0 +1,129 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalibrate(t *testing.T) {
+	p, err := Calibrate(8, 1.27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxLevel() != 127 {
+		t.Errorf("MaxLevel = %d", p.MaxLevel())
+	}
+	if math.Abs(float64(p.Scale)-0.01) > 1e-6 {
+		t.Errorf("Scale = %v, want 0.01", p.Scale)
+	}
+	if _, err := Calibrate(1, 1); err == nil {
+		t.Error("bits=1 accepted")
+	}
+	if _, err := Calibrate(17, 1); err == nil {
+		t.Error("bits=17 accepted")
+	}
+	pz, err := Calibrate(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pz.Quantize(0) != 0 {
+		t.Error("zero-range quantizer must map to 0")
+	}
+}
+
+func TestQuantizeClamps(t *testing.T) {
+	p, _ := Calibrate(4, 1) // levels -7..7
+	if got := p.Quantize(100); got != 7 {
+		t.Errorf("over-range = %d, want 7", got)
+	}
+	if got := p.Quantize(-100); got != -7 {
+		t.Errorf("under-range = %d, want -7", got)
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	p, _ := Calibrate(8, 2)
+	for _, v := range []float32{-2, -1.3, -0.01, 0, 0.5, 1.999, 2} {
+		fq := p.FakeQuant(v)
+		if d := float32(math.Abs(float64(fq - v))); d > p.MaxError()+1e-6 {
+			t.Errorf("FakeQuant(%v) = %v, err %v > %v", v, fq, d, p.MaxError())
+		}
+	}
+}
+
+func TestSlices(t *testing.T) {
+	vs := []float32{-1, 0, 1}
+	p, _ := Calibrate(8, 1)
+	q := p.QuantizeSlice(vs)
+	if q[0] != -127 || q[1] != 0 || q[2] != 127 {
+		t.Errorf("QuantizeSlice = %v", q)
+	}
+	p.FakeQuantSlice(vs)
+	if vs[0] != -1 || vs[2] != 1 {
+		t.Errorf("FakeQuantSlice = %v", vs)
+	}
+}
+
+func TestBitSlicesKnown(t *testing.T) {
+	sign, cells := BitSlices(-0b1011001, 4, 2)
+	if sign != -1 {
+		t.Errorf("sign = %d", sign)
+	}
+	if cells[0] != 0b1001 || cells[1] != 0b101 {
+		t.Errorf("cells = %b", cells)
+	}
+	if got := FromBitSlices(sign, cells, 4); got != -0b1011001 {
+		t.Errorf("roundtrip = %d", got)
+	}
+}
+
+func TestSlicesNeeded(t *testing.T) {
+	cases := []struct{ wb, cb, want int }{
+		{8, 4, 2}, {4, 4, 1}, {8, 2, 4}, {2, 4, 1}, {9, 4, 2}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		if got := SlicesNeeded(c.wb, c.cb); got != c.want {
+			t.Errorf("SlicesNeeded(%d,%d) = %d, want %d", c.wb, c.cb, got, c.want)
+		}
+	}
+}
+
+// TestQuickBitSliceRoundTrip verifies sign-magnitude bit slicing is
+// lossless for any level representable in the slice budget.
+func TestQuickBitSliceRoundTrip(t *testing.T) {
+	f := func(raw int16, cb8 uint8) bool {
+		cellBits := int(cb8%4) + 1 // 1..4
+		k := SlicesNeeded(16, cellBits)
+		q := int32(raw)
+		sign, cells := BitSlices(q, cellBits, k)
+		for _, c := range cells {
+			if c < 0 || c >= 1<<cellBits {
+				return false
+			}
+		}
+		return FromBitSlices(sign, cells, cellBits) == q
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFakeQuantIdempotent checks quantizing twice equals once.
+func TestQuickFakeQuantIdempotent(t *testing.T) {
+	f := func(v float32, bits8 uint8) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		bits := int(bits8%15) + 2
+		p, err := Calibrate(bits, 4)
+		if err != nil {
+			return false
+		}
+		once := p.FakeQuant(v)
+		return p.FakeQuant(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,264 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func box(h0, h1, w0, w1, c0, c1 int) Box { return NewBox(h0, h1, w0, w1, c0, c1) }
+
+func TestEmpty(t *testing.T) {
+	cases := []struct {
+		b    Box
+		want bool
+	}{
+		{box(0, 1, 0, 1, 0, 1), false},
+		{box(0, 0, 0, 1, 0, 1), true},
+		{box(0, 1, 5, 5, 0, 1), true},
+		{box(0, 1, 0, 1, 3, 2), true},
+		{Box{}, true},
+		{Full(4, 4, 4), false},
+	}
+	for _, tc := range cases {
+		if got := tc.b.Empty(); got != tc.want {
+			t.Errorf("%v.Empty() = %v, want %v", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestVolumeAndPixels(t *testing.T) {
+	b := box(1, 4, 2, 7, 0, 3)
+	if got := b.Volume(); got != 3*5*3 {
+		t.Errorf("Volume = %d, want 45", got)
+	}
+	if got := b.Pixels(); got != 15 {
+		t.Errorf("Pixels = %d, want 15", got)
+	}
+	if got := (Box{}).Volume(); got != 0 {
+		t.Errorf("empty Volume = %d", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := box(0, 10, 0, 10, 0, 4)
+	b := box(5, 15, 3, 7, 1, 9)
+	want := box(5, 10, 3, 7, 1, 4)
+	if got := a.Intersect(b); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersects(b) {
+		t.Error("Intersects = false, want true")
+	}
+	c := box(10, 12, 0, 10, 0, 4) // touches a at H=10 (half-open: disjoint)
+	if a.Intersects(c) {
+		t.Error("half-open boxes touching at a face must not intersect")
+	}
+}
+
+func TestUnionContains(t *testing.T) {
+	a := box(0, 2, 0, 2, 0, 1)
+	b := box(5, 6, 1, 3, 0, 2)
+	u := a.Union(b)
+	if !u.ContainsBox(a) || !u.ContainsBox(b) {
+		t.Errorf("union %v does not contain operands", u)
+	}
+	if got := a.Union(Box{}); got != a {
+		t.Errorf("union with empty = %v, want %v", got, a)
+	}
+	if got := (Box{}).Union(b); got != b {
+		t.Errorf("empty union b = %v, want %v", got, b)
+	}
+	if !u.Contains(5, 2, 1) {
+		t.Error("Contains(5,2,1) = false")
+	}
+	if u.Contains(6, 0, 0) {
+		t.Error("Contains(6,0,0) = true (out of half-open bound)")
+	}
+}
+
+func TestTranslateClamp(t *testing.T) {
+	b := box(2, 5, 2, 5, 0, 3)
+	got := b.Translate(-3, 1, 0)
+	want := box(-1, 2, 3, 6, 0, 3)
+	if got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+	clamped := got.ClampTo(4, 4, 3)
+	want = box(0, 2, 3, 4, 0, 3)
+	if clamped != want {
+		t.Errorf("ClampTo = %v, want %v", clamped, want)
+	}
+}
+
+func TestCanonEq(t *testing.T) {
+	e1 := box(3, 3, 0, 5, 0, 1)
+	e2 := box(0, 0, 0, 0, 0, 0)
+	if e1.Canon() != e2.Canon() {
+		t.Error("canonical empties differ")
+	}
+	if !e1.Eq(e2) {
+		t.Error("empty boxes must be Eq")
+	}
+	a := box(0, 1, 0, 1, 0, 1)
+	if a.Eq(e1) {
+		t.Error("non-empty Eq empty")
+	}
+}
+
+func TestSplitHExact(t *testing.T) {
+	b := Full(10, 4, 2)
+	for n := 1; n <= 12; n++ {
+		parts := b.SplitH(n, 1)
+		if !CoversExactly(b, parts) {
+			t.Errorf("SplitH(%d) does not tile: %v", n, parts)
+		}
+		if n <= 10 && len(parts) != n {
+			t.Errorf("SplitH(%d) returned %d parts", n, len(parts))
+		}
+		if n > 10 && len(parts) != 10 {
+			t.Errorf("SplitH(%d) returned %d parts, want clamp to 10", n, len(parts))
+		}
+		// Balanced: sizes differ by at most one.
+		min, max := 1<<30, 0
+		for _, p := range parts {
+			if d := p.DH(); d < min {
+				min = d
+			}
+			if d := p.DH(); d > max {
+				max = d
+			}
+		}
+		if n <= 10 && max-min > 1 {
+			t.Errorf("SplitH(%d) unbalanced: min %d max %d", n, min, max)
+		}
+	}
+}
+
+func TestSplitHAligned(t *testing.T) {
+	b := Full(13, 4, 1)
+	parts := b.SplitH(4, 2)
+	if !CoversExactly(b, parts) {
+		t.Fatalf("aligned split does not tile: %v", parts)
+	}
+	for i, p := range parts {
+		if i < len(parts)-1 && p.H1%2 != 0 {
+			t.Errorf("boundary %d of part %d not aligned to 2", p.H1, i)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	b := Full(8, 12, 3)
+	parts := b.Grid(3, 4, 1, 1)
+	if len(parts) != 12 {
+		t.Fatalf("Grid(3,4) gave %d parts", len(parts))
+	}
+	if !CoversExactly(b, parts) {
+		t.Error("grid does not tile")
+	}
+}
+
+func TestCoversExactlyRejects(t *testing.T) {
+	b := Full(4, 4, 1)
+	// Overlapping parts.
+	if CoversExactly(b, []Box{box(0, 3, 0, 4, 0, 1), box(2, 4, 0, 4, 0, 1)}) {
+		t.Error("accepted overlapping cover")
+	}
+	// Incomplete cover.
+	if CoversExactly(b, []Box{box(0, 2, 0, 4, 0, 1)}) {
+		t.Error("accepted partial cover")
+	}
+	// Out-of-bounds part.
+	if CoversExactly(b, []Box{box(0, 5, 0, 4, 0, 1)}) {
+		t.Error("accepted out-of-bounds cover")
+	}
+}
+
+func randBox(r *rand.Rand) Box {
+	h0, w0, c0 := r.Intn(20)-10, r.Intn(20)-10, r.Intn(20)-10
+	return Box{h0, h0 + r.Intn(12), w0, w0 + r.Intn(12), c0, c0 + r.Intn(12)}
+}
+
+// TestQuickIntersectProperties checks algebraic properties of Intersect
+// on random boxes: commutativity, idempotence, containment, and volume
+// consistency with point membership.
+func TestQuickIntersectProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randBox(r), randBox(r)
+		iv := a.Intersect(b)
+		if !iv.Canon().Eq(b.Intersect(a).Canon()) {
+			return false
+		}
+		if !a.Intersect(a).Canon().Eq(a.Canon()) {
+			return false
+		}
+		if !iv.Empty() && (!a.ContainsBox(iv) || !b.ContainsBox(iv)) {
+			return false
+		}
+		// Point-count cross-check on a small window.
+		count := 0
+		for h := -12; h < 12; h++ {
+			for w := -12; w < 12; w++ {
+				for c := -12; c < 12; c++ {
+					if a.Contains(h, w, c) && b.Contains(h, w, c) {
+						count++
+					}
+				}
+			}
+		}
+		return count == iv.Volume()
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitProperties checks that random splits always tile their
+// box exactly with aligned internal boundaries.
+func TestQuickSplitProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		h := 1 + r.Intn(40)
+		b := Full(h, 1+r.Intn(10), 1+r.Intn(8))
+		n := 1 + r.Intn(12)
+		align := 1 + r.Intn(4)
+		parts := b.SplitH(n, align)
+		if !CoversExactly(b, parts) {
+			return false
+		}
+		for i, p := range parts {
+			if i < len(parts)-1 && p.H1%align != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickUnionContains checks that the union always contains both
+// operands and is the smallest such box on the H axis.
+func TestQuickUnionContains(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			return false
+		}
+		if !a.Empty() && !b.Empty() {
+			if u.H0 != min(a.H0, b.H0) || u.H1 != max(a.H1, b.H1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+package schedule
+
+import (
+	"fmt"
+
+	"clsacim/internal/deps"
+)
+
+// PathStep is one element of a critical path: the executed item plus
+// the reason it could not start earlier.
+type PathStep struct {
+	Item Item
+	// Cause explains what bound the step's start time: "dep" (a data
+	// dependency), "resource" (the previous set on the same replica),
+	// or "start" (ready at time zero).
+	Cause string
+}
+
+// CriticalPath walks backward from the set that finishes at the
+// makespan, at each step moving to whichever predecessor determined the
+// current set's start time — the data dependency whose completion (plus
+// edge cost) equals the start, or the previous set on the same replica.
+// The returned path is in execution order (earliest first) and explains
+// which layer chain limits the inference latency.
+func (s *Schedule) CriticalPath(dg *deps.Graph, opt Options) ([]PathStep, error) {
+	if s.Makespan == 0 {
+		return nil, fmt.Errorf("schedule: empty schedule")
+	}
+	// Locate the finishing set.
+	var cur Item
+	found := false
+	for li := range s.Items {
+		for _, it := range s.Items[li] {
+			if it.End == s.Makespan {
+				cur = it
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("schedule: no item ends at makespan %d", s.Makespan)
+	}
+
+	var rev []PathStep
+	for {
+		step := PathStep{Item: cur, Cause: "start"}
+		// Previous set on the same replica.
+		d := dg.Plan.Layers[cur.Layer].Group.Dup
+		prevSet := cur.Set - d
+		var next Item
+		if prevSet >= 0 {
+			prev := s.Items[cur.Layer][prevSet]
+			if prev.End == cur.Start {
+				step.Cause = "resource"
+				next = prev
+			}
+		}
+		if step.Cause == "start" {
+			for _, dep := range dg.Deps[cur.Layer][cur.Set] {
+				end := s.Items[dep.Layer][dep.Set].End
+				if opt.EdgeCost != nil {
+					end += opt.EdgeCost(dep, cur.Layer)
+				}
+				if end == cur.Start {
+					step.Cause = "dep"
+					next = s.Items[dep.Layer][dep.Set]
+					break
+				}
+			}
+		}
+		rev = append(rev, step)
+		if step.Cause == "start" {
+			break
+		}
+		cur = next
+		if len(rev) > 1<<22 {
+			return nil, fmt.Errorf("schedule: critical path does not terminate")
+		}
+	}
+	// Reverse into execution order.
+	out := make([]PathStep, len(rev))
+	for i, st := range rev {
+		out[len(rev)-1-i] = st
+	}
+	return out, nil
+}
+
+// PathLayerSummary aggregates a critical path per layer: how many cycles
+// of the makespan each layer contributes (its executing spans on the
+// path).
+type PathLayerSummary struct {
+	Layer  int
+	Name   string
+	Cycles int64
+	Steps  int
+}
+
+// SummarizeCriticalPath groups consecutive path steps by layer and sums
+// their durations.
+func SummarizeCriticalPath(dg *deps.Graph, path []PathStep) []PathLayerSummary {
+	var out []PathLayerSummary
+	for _, st := range path {
+		li := st.Item.Layer
+		dur := st.Item.End - st.Item.Start
+		if n := len(out); n > 0 && out[n-1].Layer == li {
+			out[n-1].Cycles += dur
+			out[n-1].Steps++
+			continue
+		}
+		out = append(out, PathLayerSummary{
+			Layer:  li,
+			Name:   dg.Plan.Layers[li].Group.Node.Name,
+			Cycles: dur,
+			Steps:  1,
+		})
+	}
+	return out
+}

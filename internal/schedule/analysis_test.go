@@ -1,0 +1,89 @@
+package schedule
+
+import (
+	"testing"
+
+	"clsacim/internal/models"
+	"clsacim/internal/sets"
+)
+
+func TestCriticalPathProperties(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 32, 52)
+	s, err := Build(dg, CrossLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.CriticalPath(dg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	// Ends at the makespan, starts at a zero-bound step.
+	if last := path[len(path)-1].Item; last.End != s.Makespan {
+		t.Errorf("path ends at %d, makespan %d", last.End, s.Makespan)
+	}
+	if first := path[0]; first.Cause != "start" {
+		t.Errorf("path begins with cause %q", first.Cause)
+	}
+	// Consecutive steps are tightly linked: each step's start equals the
+	// previous step's end (dep with zero edge cost, or same replica).
+	for i := 1; i < len(path); i++ {
+		if path[i].Item.Start != path[i-1].Item.End {
+			t.Fatalf("step %d: start %d != previous end %d",
+				i, path[i].Item.Start, path[i-1].Item.End)
+		}
+		if c := path[i].Cause; c != "dep" && c != "resource" {
+			t.Fatalf("step %d has cause %q", i, c)
+		}
+	}
+	// The path's total duration equals the makespan (tight chain from 0).
+	var total int64
+	for _, st := range path {
+		total += st.Item.End - st.Item.Start
+	}
+	if path[0].Item.Start == 0 && total != s.Makespan {
+		t.Errorf("path duration %d != makespan %d", total, s.Makespan)
+	}
+}
+
+func TestCriticalPathSummary(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyConvNet, 32, 0, sets.FineGranularity)
+	s, err := Build(dg, CrossLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := s.CriticalPath(dg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := SummarizeCriticalPath(dg, path)
+	if len(sum) == 0 {
+		t.Fatal("empty summary")
+	}
+	var total, steps int64
+	for _, l := range sum {
+		total += l.Cycles
+		steps += int64(l.Steps)
+	}
+	if steps != int64(len(path)) {
+		t.Errorf("summary covers %d steps, path has %d", steps, len(path))
+	}
+	// In the sequential TinyConvNet the first conv dominates the
+	// pipeline; it must carry most of the critical path.
+	first := sum[0]
+	if first.Name != "conv2d" {
+		t.Errorf("path starts at %s, want conv2d", first.Name)
+	}
+	if first.Cycles*2 < total {
+		t.Errorf("bottleneck conv2d carries %d of %d cycles", first.Cycles, total)
+	}
+}
+
+func TestCriticalPathEmptySchedule(t *testing.T) {
+	s := &Schedule{}
+	if _, err := s.CriticalPath(nil, Options{}); err == nil {
+		t.Error("empty schedule accepted")
+	}
+}

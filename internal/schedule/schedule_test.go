@@ -1,0 +1,317 @@
+package schedule
+
+import (
+	"testing"
+
+	"clsacim/internal/deps"
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/sets"
+)
+
+// compileDeps lowers a model to its dependency graph.
+func compileDeps(t *testing.T, id models.ID, inputSize, extra, targetSets int) (*nn.Graph, *mapping.Mapping, *deps.Graph) {
+	t.Helper()
+	g := models.MustBuild(id, models.Options{InputSize: inputSize})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mapping.Analyze(g, im2col.PEDims{Rows: 256, Cols: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := mapping.SolverNone
+	if extra > 0 {
+		solver = mapping.SolverDP
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs+extra, solver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Apply(g, plan, sol, plan.MinPEs+extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sets.Determine(g, m, sets.Options{TargetSets: targetSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := deps.Build(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, m, dg
+}
+
+// TestLayerByLayerMakespan: without duplication, lbl makespan is exactly
+// the sum of all layers' OFM pixel counts.
+func TestLayerByLayerMakespan(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 0, 26)
+	s, err := Build(dg, LayerByLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for _, ls := range dg.Plan.Layers {
+		want += int64(ls.Group.Node.OutShape.Pixels())
+	}
+	if s.Makespan != want {
+		t.Errorf("lbl makespan = %d, want sum of t_i = %d", s.Makespan, want)
+	}
+	if err := s.Validate(dg, Options{}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLayerByLayerWithDuplication: duplicates shorten each layer to
+// roughly t_i / d_i; total equals the rounded sum.
+func TestLayerByLayerWithDuplication(t *testing.T) {
+	_, m, dg := compileDeps(t, models.TinyYOLOv4, 416, 16, 26)
+	s, err := Build(dg, LayerByLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(dg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Each layer's span must not exceed ceil(t_i/d_i) by more than one
+	// set's worth of rounding.
+	for li, ls := range dg.Plan.Layers {
+		span := s.EndOf(li) - s.StartOf(li)
+		d := int64(m.Groups[li].Dup)
+		ti := int64(ls.Group.Node.OutShape.Pixels())
+		ideal := (ti + d - 1) / d
+		maxSet := int64(0)
+		for _, set := range ls.Sets {
+			if set.Cycles > maxSet {
+				maxSet = set.Cycles
+			}
+		}
+		if span > ideal+maxSet {
+			t.Errorf("layer %d span %d exceeds t/d %d + one set %d", li, span, ideal, maxSet)
+		}
+	}
+}
+
+// TestCrossLayerNeverSlower: xinf makespan is at most lbl makespan, on
+// every model and duplication setting.
+func TestCrossLayerNeverSlower(t *testing.T) {
+	cases := []struct {
+		id    models.ID
+		size  int
+		extra int
+	}{
+		{models.TinyYOLOv4, 416, 0},
+		{models.TinyYOLOv4, 416, 32},
+		{models.TinyYOLOv3, 416, 16},
+		{models.TinyBranchNet, 16, 0},
+		{models.ResNet50, 64, 8},
+		{models.TinyMLP, 8, 0},
+	}
+	for _, c := range cases {
+		_, _, dg := compileDeps(t, c.id, c.size, c.extra, 26)
+		lbl, err := Build(dg, LayerByLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xinf, err := Build(dg, CrossLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xinf.Makespan > lbl.Makespan {
+			t.Errorf("%s x=%d: xinf %d > lbl %d", c.id, c.extra, xinf.Makespan, lbl.Makespan)
+		}
+		if err := xinf.Validate(dg, Options{}); err != nil {
+			t.Errorf("%s: %v", c.id, err)
+		}
+		if err := lbl.Validate(dg, Options{}); err != nil {
+			t.Errorf("%s: %v", c.id, err)
+		}
+	}
+}
+
+// TestCrossLayerActiveInvariant: total active cycles equal sum t_i in
+// both modes (work conservation — the basis of paper Eq. 3).
+func TestCrossLayerActiveInvariant(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 32, 104)
+	var want int64
+	for _, ls := range dg.Plan.Layers {
+		want += int64(ls.Group.Node.OutShape.Pixels())
+	}
+	for _, mode := range []Mode{LayerByLayer, CrossLayer} {
+		s, err := Build(dg, mode, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got int64
+		for _, a := range s.LayerActive {
+			got += a
+		}
+		if got != want {
+			t.Errorf("%v: total active %d != total work %d", mode, got, want)
+		}
+		// Replica activity must sum to layer activity.
+		for li := range s.LayerActive {
+			var rep int64
+			for _, a := range s.ReplicaActive[li] {
+				rep += a
+			}
+			if rep != s.LayerActive[li] {
+				t.Errorf("%v layer %d: replica sum %d != layer %d", mode, li, rep, s.LayerActive[li])
+			}
+		}
+	}
+}
+
+// TestEdgeCostMonotone: adding dependency-edge cost cannot shorten the
+// cross-layer makespan.
+func TestEdgeCostMonotone(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyYOLOv4, 128, 8, 26)
+	prev := int64(0)
+	for _, cost := range []int64{0, 1, 5, 25} {
+		c := cost
+		opt := Options{}
+		if c > 0 {
+			opt.EdgeCost = func(deps.SetRef, int) int64 { return c }
+		}
+		s, err := Build(dg, CrossLayer, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(dg, opt); err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan < prev {
+			t.Errorf("cost %d: makespan %d < previous %d", c, s.Makespan, prev)
+		}
+		prev = s.Makespan
+	}
+}
+
+// TestValidateDetectsCorruption: a corrupted schedule must fail
+// validation in each specific way.
+func TestValidateDetectsCorruption(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyBranchNet, 16, 0, 4)
+	fresh := func() *Schedule {
+		s, err := Build(dg, CrossLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := fresh()
+	// Find a set with at least one dependency and move it before the dep.
+	found := false
+	for li := range dg.Deps {
+		for si, refs := range dg.Deps[li] {
+			if len(refs) == 0 {
+				continue
+			}
+			d := s.Items[li][si].End - s.Items[li][si].Start
+			s.Items[li][si].Start = 0
+			s.Items[li][si].End = d
+			found = true
+			break
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no dependent set found")
+	}
+	if err := s.Validate(dg, Options{}); err == nil {
+		t.Error("dependency violation not detected")
+	}
+
+	s = fresh()
+	s.Items[0][0].End += 5 // duration mismatch
+	if err := s.Validate(dg, Options{}); err == nil {
+		t.Error("duration corruption not detected")
+	}
+
+	s = fresh()
+	s.LayerActive[0] += 3
+	if err := s.Validate(dg, Options{}); err == nil {
+		t.Error("active-cycle corruption not detected")
+	}
+
+	// Layer-by-layer exclusivity.
+	l := func() *Schedule {
+		s, err := Build(dg, LayerByLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}()
+	// Pull layer 1 on top of layer 0 and renumber its replica chain
+	// consistently so only the exclusivity check fires.
+	shift := l.Items[1][0].Start
+	for si := range l.Items[1] {
+		l.Items[1][si].Start -= shift
+		l.Items[1][si].End -= shift
+	}
+	if err := l.Validate(dg, Options{}); err == nil {
+		t.Error("layer-by-layer overlap not detected")
+	}
+}
+
+// TestRoundRobinAssignment: set k runs on replica k mod d.
+func TestRoundRobinAssignment(t *testing.T) {
+	_, m, dg := compileDeps(t, models.TinyYOLOv4, 416, 32, 52)
+	s, err := Build(dg, CrossLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, items := range s.Items {
+		d := m.Groups[li].Dup
+		for si, it := range items {
+			if it.Replica != si%d {
+				t.Fatalf("layer %d set %d on replica %d, want %d", li, si, it.Replica, si%d)
+			}
+		}
+	}
+}
+
+// TestDeepPipelineChain: at fine set granularity a sequential conv chain
+// pipelines, with cross-layer makespan well below the layer sum.
+func TestDeepPipelineChain(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyConvNet, 32, 0, sets.FineGranularity)
+	lbl, err := Build(dg, LayerByLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xinf, err := Build(dg, CrossLayer, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without duplication the first conv (1024 pixels at 32x32) paces
+	// the pipeline; cross-layer makespan must approach that bound with
+	// only a small drain tail, far below the sequential sum.
+	var bottleneck int64
+	for _, ls := range dg.Plan.Layers {
+		if ti := int64(ls.Group.Node.OutShape.Pixels()); ti > bottleneck {
+			bottleneck = ti
+		}
+	}
+	if xinf.Makespan >= lbl.Makespan {
+		t.Fatalf("no pipelining: xinf %d vs lbl %d", xinf.Makespan, lbl.Makespan)
+	}
+	if xinf.Makespan > bottleneck+bottleneck/8 {
+		t.Errorf("fine-grained chain barely pipelined: xinf %d vs bottleneck %d (lbl %d)",
+			xinf.Makespan, bottleneck, lbl.Makespan)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if CrossLayer.String() != "xinf" || LayerByLayer.String() != "layer-by-layer" {
+		t.Error("mode names wrong")
+	}
+	if _, err := Build(nil, Mode(9), Options{}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

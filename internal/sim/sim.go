@@ -1,0 +1,316 @@
+// Package sim is a discrete-event system-level simulator for tiled CIM
+// architectures executing CLSA-CIM workloads — the "custom system-level
+// simulator" of paper §V. It executes the set-level workload on explicit
+// replica PE-group resources with an event queue, independently of the
+// analytic scheduler in package schedule; tests assert that both produce
+// identical timelines, which cross-validates the Stage IV recursion.
+//
+// Beyond timing, the simulator accounts per-PE active cycles (the inputs
+// to paper Eq. 2) and tracks the live intermediate-data footprint (a
+// proxy for the tile buffer / DRAM traffic requirements of §II-A).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"clsacim/internal/cim"
+	"clsacim/internal/deps"
+	"clsacim/internal/mapping"
+	"clsacim/internal/schedule"
+)
+
+// Result is the outcome of one simulation.
+type Result struct {
+	MakespanCycles int64
+	// PEActive[p] is the number of cycles PE p spent computing MVMs.
+	PEActive []int64
+	// LayerActive[l] sums busy cycles over layer l's replicas.
+	LayerActive []int64
+	// ReplicaActive[l][r] is replica r's busy time.
+	ReplicaActive [][]int64
+	// Items[l][s] is the executed timeline, same layout as a Schedule.
+	Items [][]schedule.Item
+	// PeakLiveElems is the maximum number of OFM elements simultaneously
+	// alive (produced but not yet consumed by every dependent set) — the
+	// aggregate buffer pressure on the architecture.
+	PeakLiveElems int64
+	// Utilization is paper Eq. 2 computed from PEActive.
+	Utilization float64
+}
+
+// event is a set completion.
+type event struct {
+	time       int64
+	layer, set int
+	seq        int64 // tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run simulates the workload dg on architecture arch with mapping m in
+// the given scheduling mode. edge is the optional dependency-edge cost
+// (NoC hops, GPEU processing); nil means idealized.
+func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, mode schedule.Mode, edge schedule.EdgeCostFn) (*Result, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dg.Plan.Layers) != len(m.Groups) {
+		return nil, fmt.Errorf("sim: plan has %d layers, mapping %d groups", len(dg.Plan.Layers), len(m.Groups))
+	}
+	switch mode {
+	case schedule.CrossLayer:
+		return runCrossLayer(arch, dg, m, edge)
+	case schedule.LayerByLayer:
+		return runLayerByLayer(arch, dg, m)
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %d", mode)
+	}
+}
+
+type simState struct {
+	res  *Result
+	arch cim.Config
+	dg   *deps.Graph
+	m    *mapping.Mapping
+	edge schedule.EdgeCostFn
+
+	depsLeft  [][]int           // unmet dependency count per set
+	readyAt   [][]int64         // max dependency completion (+edge cost) per set
+	consumers [][][]deps.SetRef // reverse edges: consumers[l][s]
+	consLeft  [][]int           // outstanding consumer count per set (buffer accounting)
+
+	// Per replica: ordered set indices and progress.
+	replicaSets [][][]int // [layer][replica][]setIdx
+	replicaPos  [][]int
+	replicaBusy [][]bool
+
+	queue eventQueue
+	seq   int64
+
+	liveElems int64
+}
+
+func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, edge schedule.EdgeCostFn) *simState {
+	nl := len(dg.Plan.Layers)
+	st := &simState{
+		arch: arch, dg: dg, m: m, edge: edge,
+		depsLeft:    make([][]int, nl),
+		readyAt:     make([][]int64, nl),
+		consumers:   make([][][]deps.SetRef, nl),
+		consLeft:    make([][]int, nl),
+		replicaSets: make([][][]int, nl),
+		replicaPos:  make([][]int, nl),
+		replicaBusy: make([][]bool, nl),
+		res: &Result{
+			PEActive:      make([]int64, arch.NumPEs),
+			LayerActive:   make([]int64, nl),
+			ReplicaActive: make([][]int64, nl),
+			Items:         make([][]schedule.Item, nl),
+		},
+	}
+	for li, ls := range dg.Plan.Layers {
+		ns := len(ls.Sets)
+		st.depsLeft[li] = make([]int, ns)
+		st.readyAt[li] = make([]int64, ns)
+		st.consumers[li] = make([][]deps.SetRef, ns)
+		st.consLeft[li] = make([]int, ns)
+		st.res.Items[li] = make([]schedule.Item, ns)
+		d := ls.Group.Dup
+		st.replicaSets[li] = make([][]int, d)
+		st.replicaPos[li] = make([]int, d)
+		st.replicaBusy[li] = make([]bool, d)
+		st.res.ReplicaActive[li] = make([]int64, d)
+		for si := range ls.Sets {
+			st.replicaSets[li][si%d] = append(st.replicaSets[li][si%d], si)
+		}
+	}
+	// Reverse dependency edges.
+	for li := range dg.Deps {
+		for si, refs := range dg.Deps[li] {
+			st.depsLeft[li][si] = len(refs)
+			for _, r := range refs {
+				st.consumers[r.Layer][r.Set] = append(st.consumers[r.Layer][r.Set],
+					deps.SetRef{Layer: li, Set: si, Vol: r.Vol})
+				st.consLeft[r.Layer][r.Set]++
+			}
+		}
+	}
+	return st
+}
+
+// chargePEs books busy cycles on the PEs of one replica.
+func (st *simState) chargePEs(li, rep int, cycles int64) {
+	g := st.m.Groups[li]
+	for _, pe := range g.ReplicaPEs(rep) {
+		st.res.PEActive[pe] += cycles
+	}
+	st.res.LayerActive[li] += cycles
+	st.res.ReplicaActive[li][rep] += cycles
+}
+
+// tryStart launches the head set of (layer, replica) if the replica is
+// idle and the set's dependencies are met. now is the current sim time.
+func (st *simState) tryStart(li, rep int, now int64) {
+	if st.replicaBusy[li][rep] {
+		return
+	}
+	pos := st.replicaPos[li][rep]
+	order := st.replicaSets[li][rep]
+	if pos >= len(order) {
+		return
+	}
+	si := order[pos]
+	if st.depsLeft[li][si] > 0 {
+		return
+	}
+	start := st.readyAt[li][si]
+	if now > start {
+		start = now
+	}
+	set := st.dg.Plan.Layers[li].Sets[si]
+	end := start + set.Cycles
+	st.replicaBusy[li][rep] = true
+	st.res.Items[li][si] = schedule.Item{Layer: li, Set: si, Replica: rep, Start: start, End: end}
+	st.seq++
+	heap.Push(&st.queue, event{time: end, layer: li, set: si, seq: st.seq})
+}
+
+// complete processes a set-completion event and returns newly runnable
+// work.
+func (st *simState) complete(e event, releaseConsumers bool) {
+	li, si := e.layer, e.set
+	ls := st.dg.Plan.Layers[li]
+	set := ls.Sets[si]
+	rep := si % ls.Group.Dup
+	st.chargePEs(li, rep, set.Cycles)
+	st.replicaBusy[li][rep] = false
+	st.replicaPos[li][rep]++
+
+	// Buffer accounting: the produced elements stay live until every
+	// consumer set has executed.
+	st.liveElems += int64(set.Box.Volume())
+	if st.liveElems > st.res.PeakLiveElems {
+		st.res.PeakLiveElems = st.liveElems
+	}
+	if st.consLeft[li][si] == 0 {
+		// No consumers (network output or unread layer): retire
+		// immediately to DRAM.
+		st.liveElems -= int64(set.Box.Volume())
+	}
+
+	if releaseConsumers {
+		for _, c := range st.consumers[li][si] {
+			cost := int64(0)
+			if st.edge != nil {
+				cost = st.edge(deps.SetRef{Layer: li, Set: si, Vol: c.Vol}, c.Layer)
+			}
+			if t := e.time + cost; t > st.readyAt[c.Layer][c.Set] {
+				st.readyAt[c.Layer][c.Set] = t
+			}
+			st.depsLeft[c.Layer][c.Set]--
+			d := st.dg.Plan.Layers[c.Layer].Group.Dup
+			st.tryStart(c.Layer, c.Set%d, e.time)
+		}
+	}
+	st.retireInputsOf(li, si)
+	// The replica may have further runnable sets.
+	st.tryStart(li, rep, e.time)
+}
+
+// retireInputsOf releases the buffer claims this set held on its
+// producers.
+func (st *simState) retireInputsOf(li, si int) {
+	for _, r := range st.dg.Deps[li][si] {
+		st.consLeft[r.Layer][r.Set]--
+		if st.consLeft[r.Layer][r.Set] == 0 {
+			st.liveElems -= int64(st.dg.Plan.Layers[r.Layer].Sets[r.Set].Box.Volume())
+		}
+	}
+}
+
+func runCrossLayer(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, edge schedule.EdgeCostFn) (*Result, error) {
+	st := newState(arch, dg, m, edge)
+	heap.Init(&st.queue)
+	// Seed: every replica whose head set has no dependencies.
+	for li, ls := range dg.Plan.Layers {
+		for rep := 0; rep < ls.Group.Dup; rep++ {
+			st.tryStart(li, rep, 0)
+		}
+	}
+	var now int64
+	for st.queue.Len() > 0 {
+		e := heap.Pop(&st.queue).(event)
+		now = e.time
+		st.complete(e, true)
+	}
+	return st.finish(dg, now)
+}
+
+func runLayerByLayer(arch cim.Config, dg *deps.Graph, m *mapping.Mapping) (*Result, error) {
+	st := newState(arch, dg, m, nil)
+	var now int64
+	// Execute layers one at a time in plan (topological) order; within a
+	// layer the replicas run their raster shares concurrently.
+	for li, ls := range dg.Plan.Layers {
+		// Force readiness: the previous layers have fully completed.
+		for si := range ls.Sets {
+			st.depsLeft[li][si] = 0
+			st.readyAt[li][si] = now
+		}
+		st.queue = st.queue[:0]
+		heap.Init(&st.queue)
+		for rep := 0; rep < ls.Group.Dup; rep++ {
+			st.tryStart(li, rep, now)
+		}
+		layerEnd := now
+		for st.queue.Len() > 0 {
+			e := heap.Pop(&st.queue).(event)
+			if e.time > layerEnd {
+				layerEnd = e.time
+			}
+			st.complete(e, false)
+		}
+		now = layerEnd
+	}
+	return st.finish(dg, now)
+}
+
+func (st *simState) finish(dg *deps.Graph, makespan int64) (*Result, error) {
+	st.res.MakespanCycles = makespan
+	for li := range dg.Deps {
+		for si := range dg.Deps[li] {
+			// An executed set has End > Start >= 0; unexecuted items
+			// remain at the zero value with End == 0 despite a positive
+			// duration.
+			if st.res.Items[li][si].End == 0 && dg.Plan.Layers[li].Sets[si].Cycles > 0 {
+				return nil, fmt.Errorf("sim: set L%d/S%d never executed (deadlock)", li, si)
+			}
+		}
+	}
+	if makespan > 0 && st.arch.NumPEs > 0 {
+		var sum int64
+		for _, a := range st.res.PEActive {
+			sum += a
+		}
+		st.res.Utilization = float64(sum) / (float64(st.arch.NumPEs) * float64(makespan))
+	}
+	return st.res, nil
+}

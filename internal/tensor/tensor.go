@@ -1,0 +1,127 @@
+// Package tensor provides dense HWC-layout tensors and shape utilities
+// used by the NN graph, the reference executor, and the functional
+// crossbar model. Tensors are rank-3 (height, width, channels); vectors
+// and matrices are represented with singleton dimensions.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Shape describes a rank-3 tensor in HWC order. Dense/flattened data is
+// modeled as (1, 1, C). The zero Shape is invalid.
+type Shape struct {
+	H, W, C int
+}
+
+// NewShape returns the shape (h, w, c).
+func NewShape(h, w, c int) Shape { return Shape{H: h, W: w, C: c} }
+
+// Elems returns the total number of elements.
+func (s Shape) Elems() int { return s.H * s.W * s.C }
+
+// Pixels returns the number of spatial positions (H*W).
+func (s Shape) Pixels() int { return s.H * s.W }
+
+// Valid reports whether all dimensions are strictly positive.
+func (s Shape) Valid() bool { return s.H > 0 && s.W > 0 && s.C > 0 }
+
+// Equal reports whether s and t are identical.
+func (s Shape) Equal(t Shape) bool { return s == t }
+
+// String renders the shape in the paper's (H, W, C) notation.
+func (s Shape) String() string { return fmt.Sprintf("(%d, %d, %d)", s.H, s.W, s.C) }
+
+// Index returns the flat index of (h, w, c) in row-major HWC layout.
+func (s Shape) Index(h, w, c int) int { return (h*s.W+w)*s.C + c }
+
+// Tensor is a dense rank-3 float32 tensor in row-major HWC layout.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// New allocates a zero-filled tensor of the given shape.
+func New(shape Shape) *Tensor {
+	if !shape.Valid() {
+		panic(fmt.Sprintf("tensor: invalid shape %v", shape))
+	}
+	return &Tensor{Shape: shape, Data: make([]float32, shape.Elems())}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must match the shape.
+func FromSlice(shape Shape, data []float32) *Tensor {
+	if len(data) != shape.Elems() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elems)",
+			len(data), shape, shape.Elems()))
+	}
+	return &Tensor{Shape: shape, Data: data}
+}
+
+// At returns the element at (h, w, c).
+func (t *Tensor) At(h, w, c int) float32 { return t.Data[t.Shape.Index(h, w, c)] }
+
+// Set stores v at (h, w, c).
+func (t *Tensor) Set(h, w, c int, v float32) { t.Data[t.Shape.Index(h, w, c)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	out := New(t.Shape)
+	copy(out.Data, t.Data)
+	return out
+}
+
+// FillRand fills t with uniform values in [-scale, scale) from a
+// deterministic source seeded with seed.
+func (t *Tensor) FillRand(seed int64, scale float32) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range t.Data {
+		t.Data[i] = (rng.Float32()*2 - 1) * scale
+	}
+}
+
+// Fill sets every element of t to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// MaxAbs returns the maximum absolute value in t (0 for empty data).
+func (t *Tensor) MaxAbs() float32 {
+	var m float32
+	for _, v := range t.Data {
+		a := float32(math.Abs(float64(v)))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// MaxAbsDiff returns the maximum element-wise absolute difference between
+// a and b. It panics if the shapes differ.
+func MaxAbsDiff(a, b *Tensor) float32 {
+	if !a.Shape.Equal(b.Shape) {
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	var m float32
+	for i := range a.Data {
+		d := float32(math.Abs(float64(a.Data[i] - b.Data[i])))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// AllClose reports whether every element of a and b differs by at most tol.
+func AllClose(a, b *Tensor, tol float32) bool {
+	if !a.Shape.Equal(b.Shape) {
+		return false
+	}
+	return MaxAbsDiff(a, b) <= tol
+}

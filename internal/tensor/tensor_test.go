@@ -1,0 +1,153 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeBasics(t *testing.T) {
+	s := NewShape(4, 5, 3)
+	if s.Elems() != 60 || s.Pixels() != 20 {
+		t.Errorf("Elems/Pixels = %d/%d, want 60/20", s.Elems(), s.Pixels())
+	}
+	if !s.Valid() {
+		t.Error("Valid = false")
+	}
+	if NewShape(0, 1, 1).Valid() {
+		t.Error("zero dim reported valid")
+	}
+	if s.String() != "(4, 5, 3)" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Equal(NewShape(4, 5, 3)) || s.Equal(NewShape(5, 4, 3)) {
+		t.Error("Equal misbehaves")
+	}
+}
+
+// TestIndexBijective checks the flat index covers [0, Elems) exactly.
+func TestIndexBijective(t *testing.T) {
+	s := NewShape(3, 4, 5)
+	seen := make(map[int]bool)
+	for h := 0; h < s.H; h++ {
+		for w := 0; w < s.W; w++ {
+			for c := 0; c < s.C; c++ {
+				i := s.Index(h, w, c)
+				if i < 0 || i >= s.Elems() || seen[i] {
+					t.Fatalf("index (%d,%d,%d) -> %d invalid or duplicate", h, w, c, i)
+				}
+				seen[i] = true
+			}
+		}
+	}
+}
+
+func TestAtSet(t *testing.T) {
+	tt := New(NewShape(2, 3, 2))
+	tt.Set(1, 2, 1, 42)
+	if got := tt.At(1, 2, 1); got != 42 {
+		t.Errorf("At = %v", got)
+	}
+	if got := tt.At(0, 0, 0); got != 0 {
+		t.Errorf("zero init violated: %v", got)
+	}
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(NewShape(2, 2, 2), make([]float32, 7))
+}
+
+func TestNewInvalidShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid shape did not panic")
+		}
+	}()
+	New(NewShape(0, 2, 2))
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(NewShape(2, 2, 1))
+	a.Fill(3)
+	b := a.Clone()
+	b.Set(0, 0, 0, 9)
+	if a.At(0, 0, 0) != 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFillRandDeterministic(t *testing.T) {
+	a := New(NewShape(4, 4, 4))
+	b := New(NewShape(4, 4, 4))
+	a.FillRand(7, 1)
+	b.FillRand(7, 1)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Error("same seed produced different tensors")
+	}
+	c := New(NewShape(4, 4, 4))
+	c.FillRand(8, 1)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Error("different seeds produced identical tensors")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v outside [-1, 1)", v)
+		}
+	}
+}
+
+func TestMaxAbsAndDiff(t *testing.T) {
+	a := New(NewShape(1, 1, 3))
+	copy(a.Data, []float32{-2, 0.5, 1})
+	if a.MaxAbs() != 2 {
+		t.Errorf("MaxAbs = %v", a.MaxAbs())
+	}
+	b := a.Clone()
+	b.Data[0] = -1.5
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	if !AllClose(a, b, 0.5) || AllClose(a, b, 0.4) {
+		t.Error("AllClose tolerance misbehaves")
+	}
+	if AllClose(a, New(NewShape(3, 1, 1)), 10) {
+		t.Error("AllClose across shapes must be false")
+	}
+}
+
+func TestMaxAbsDiffShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxAbsDiff with mismatched shapes did not panic")
+		}
+	}()
+	MaxAbsDiff(New(NewShape(1, 1, 2)), New(NewShape(2, 1, 1)))
+}
+
+// TestQuickIndexRoundTrip recovers coordinates from flat indices.
+func TestQuickIndexRoundTrip(t *testing.T) {
+	f := func(h8, w8, c8 uint8) bool {
+		s := NewShape(int(h8%7)+1, int(w8%7)+1, int(c8%7)+1)
+		for h := 0; h < s.H; h++ {
+			for w := 0; w < s.W; w++ {
+				for c := 0; c < s.C; c++ {
+					i := s.Index(h, w, c)
+					hh := i / (s.W * s.C)
+					ww := (i / s.C) % s.W
+					cc := i % s.C
+					if hh != h || ww != w || cc != c {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package clsacim
+
+import (
+	"sort"
+
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// Model is a neural network ready for compilation. Compilation mutates
+// its working graph, so a Model hands every Compile a fresh copy.
+type Model struct {
+	Name string
+
+	build func() (*nn.Graph, error)
+}
+
+func (m *Model) graph() (*nn.Graph, error) { return m.build() }
+
+// ModelOptions configures LoadModel.
+type ModelOptions struct {
+	// WithWeights attaches deterministic synthetic weights (needed only
+	// for functional execution; scheduling works shape-only).
+	WithWeights bool
+	// Seed selects the synthetic weight stream.
+	Seed int64
+	// InputSize overrides the spatial input resolution.
+	InputSize int
+}
+
+// Models lists the built-in evaluation networks (paper Table II plus the
+// TinyYOLOv4 case study).
+func Models() []string {
+	ids := models.List()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+// AllModels lists every built-in network, including the small synthetic
+// test networks, sorted by name.
+func AllModels() []string {
+	ids := models.SortedIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadModel returns a built-in model by name (see Models).
+func LoadModel(name string, opt ModelOptions) (*Model, error) {
+	id := models.ID(name)
+	mo := models.Options{WithWeights: opt.WithWeights, Seed: opt.Seed, InputSize: opt.InputSize}
+	// Probe once so unknown names fail at load time, not at compile time.
+	if _, err := models.Build(id, mo); err != nil {
+		return nil, err
+	}
+	return &Model{
+		Name:  name,
+		build: func() (*nn.Graph, error) { return models.Build(id, mo) },
+	}, nil
+}
+
+// Layer is an opaque handle to a node under construction in a Builder.
+type Layer struct {
+	n *nn.Node
+}
+
+// Shape returns the layer's output shape as (H, W, C).
+func (l Layer) Shape() (h, w, c int) {
+	return l.n.OutShape.H, l.n.OutShape.W, l.n.OutShape.C
+}
+
+// Builder constructs custom models through the public API. All layers
+// are shape-only (no weight data): sufficient for mapping, scheduling,
+// and every benchmark; functional execution requires the built-in models
+// with ModelOptions.WithWeights.
+type Builder struct {
+	name string
+	g    *nn.Graph
+	err  error
+}
+
+// NewBuilder starts a custom model with the given input shape.
+func NewBuilder(name string, h, w, c int) (*Builder, Layer) {
+	b := &Builder{name: name, g: nn.NewGraph()}
+	in := b.g.AddInput("input", tensor.NewShape(h, w, c))
+	return b, Layer{in}
+}
+
+func (b *Builder) add(name string, op nn.Op, ins ...*nn.Node) Layer {
+	if b.err != nil {
+		return Layer{}
+	}
+	n, err := b.g.TryAdd(b.g.FreshName(name), op, ins...)
+	if err != nil {
+		b.err = err
+		return Layer{}
+	}
+	return Layer{n}
+}
+
+// Conv2D appends a convolution with square kernel k and stride s. When
+// same is true, TensorFlow-style "same" padding keeps ceil(H/s) output
+// rows; otherwise the convolution is valid.
+func (b *Builder) Conv2D(in Layer, outChannels, k, s int, same bool) Layer {
+	if b.err != nil {
+		return Layer{}
+	}
+	op := &nn.Conv2D{KH: k, KW: k, SH: s, SW: s, KI: in.n.OutShape.C, KO: outChannels}
+	if same {
+		t, bo := nn.SamePadding(in.n.OutShape.H, k, s)
+		l, r := nn.SamePadding(in.n.OutShape.W, k, s)
+		op.Pad = nn.Padding{Top: t, Bottom: bo, Left: l, Right: r}
+	}
+	return b.add("conv2d", op, in.n)
+}
+
+// ReLU appends a rectified-linear activation.
+func (b *Builder) ReLU(in Layer) Layer {
+	return b.add("relu", &nn.Activation{Func: nn.ActReLU}, in.n)
+}
+
+// LeakyReLU appends a leaky ReLU with the given negative slope.
+func (b *Builder) LeakyReLU(in Layer, alpha float32) Layer {
+	return b.add("leaky", &nn.Activation{Func: nn.ActLeakyReLU, Alpha: alpha}, in.n)
+}
+
+// MaxPool appends k x k max pooling with stride s.
+func (b *Builder) MaxPool(in Layer, k, s int) Layer {
+	return b.add("maxpool", &nn.MaxPool{KH: k, KW: k, SH: s, SW: s}, in.n)
+}
+
+// ConcatChannels appends a channel concatenation.
+func (b *Builder) ConcatChannels(ins ...Layer) Layer {
+	nodes := make([]*nn.Node, len(ins))
+	for i, l := range ins {
+		nodes[i] = l.n
+	}
+	return b.add("concat", &nn.Concat{Axis: nn.AxisC}, nodes...)
+}
+
+// Add appends an elementwise (residual) addition.
+func (b *Builder) Add(a, c Layer) Layer {
+	return b.add("add", &nn.Add{}, a.n, c.n)
+}
+
+// UpSample appends nearest-neighbour upsampling by factor f.
+func (b *Builder) UpSample(in Layer, f int) Layer {
+	return b.add("upsample", &nn.UpSample{Factor: f}, in.n)
+}
+
+// Output marks a layer as a network output.
+func (b *Builder) Output(l Layer) {
+	if b.err != nil || l.n == nil {
+		return
+	}
+	b.g.MarkOutput(l.n)
+}
+
+// Finish validates and returns the custom model.
+func (b *Builder) Finish() (*Model, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	src := b.g
+	return &Model{
+		Name:  b.name,
+		build: func() (*nn.Graph, error) { return src.Clone(), nil },
+	}, nil
+}
+
+// LayerRow describes one base layer of a compiled model, matching the
+// columns of paper Table I.
+type LayerRow struct {
+	Name     string
+	IFM, OFM [3]int // (H, W, C)
+	PEs      int
+	Cycles   int64 // t_init: OFM pixels
+	Dup      int   // applied duplication factor
+}
+
+// LayerTable returns the base-layer structure of the compiled model in
+// topological order (paper Table I for TinyYOLOv4).
+func (c *Compiled) LayerTable() []LayerRow {
+	rows := make([]LayerRow, 0, len(c.plan.Layers))
+	for i, info := range c.plan.Layers {
+		in := info.Node.Inputs[0].OutShape
+		out := info.Node.OutShape
+		rows = append(rows, LayerRow{
+			Name:   info.Node.Name,
+			IFM:    [3]int{in.H, in.W, in.C},
+			OFM:    [3]int{out.H, out.W, out.C},
+			PEs:    info.Cost,
+			Cycles: info.Latency,
+			Dup:    c.dup.D[i],
+		})
+	}
+	return rows
+}
+
+// BaseLayerCount returns the number of base layers (Table II column).
+func (c *Compiled) BaseLayerCount() int { return len(c.plan.Layers) }
+
+// InputShape returns the model input as (H, W, C).
+func (c *Compiled) InputShape() (h, w, cc int) {
+	s := c.graph.Input.OutShape
+	return s.H, s.W, s.C
+}

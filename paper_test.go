@@ -1,0 +1,170 @@
+package clsacim
+
+import (
+	"testing"
+)
+
+// paper_test.go holds the reproduction regression: the headline numbers
+// of the paper's evaluation (§V) must hold in shape — who wins, by
+// roughly what factor — with tolerance bands around the published
+// values. EXPERIMENTS.md records the exact measured values.
+
+func evalCfg(t *testing.T, model string, x int, wdup bool, mode ScheduleMode) *Evaluation {
+	t.Helper()
+	m := load(t, model)
+	ev, err := Evaluate(m, Config{ExtraPEs: x, WeightDuplication: wdup}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestPaperFig6cXinfUtilization: pure cross-layer scheduling lifts
+// TinyYOLOv4 utilization to ~4.1 % (paper Fig. 6c).
+func TestPaperFig6cXinfUtilization(t *testing.T) {
+	ev := evalCfg(t, "tinyyolov4", 0, false, ModeCrossLayer)
+	ut := ev.Result.Utilization * 100
+	if ut < 3.4 || ut > 5.0 {
+		t.Errorf("TinyYOLOv4 xinf utilization %.2f%%, paper reports 4.1%%", ut)
+	}
+	// Baseline layer-by-layer utilization implied by the paper's Eq. 3
+	// arithmetic is ~1.65 %.
+	base := ev.Baseline.Utilization * 100
+	if base < 1.4 || base > 1.9 {
+		t.Errorf("baseline utilization %.2f%%, expected ~1.65%%", base)
+	}
+}
+
+// TestPaperFig6cCombined: wdup+32 + xinf reaches ~28.4 % utilization and
+// ~21.9x speedup on TinyYOLOv4 (paper Fig. 6c headline).
+func TestPaperFig6cCombined(t *testing.T) {
+	ev := evalCfg(t, "tinyyolov4", 32, true, ModeCrossLayer)
+	ut := ev.Result.Utilization * 100
+	if ut < 24 || ut > 33 {
+		t.Errorf("TinyYOLOv4 wdup+32 xinf utilization %.2f%%, paper reports 28.4%%", ut)
+	}
+	if ev.Speedup < 18 || ev.Speedup > 26 {
+		t.Errorf("TinyYOLOv4 wdup+32 xinf speedup %.1fx, paper reports 21.9x", ev.Speedup)
+	}
+}
+
+// TestPaperFig7TinyYOLOv3Peak: the best combination peaks for
+// TinyYOLOv3 (paper: 29.2x speedup, 20.1 % utilization — a 17.9x gain).
+func TestPaperFig7TinyYOLOv3Peak(t *testing.T) {
+	ev := evalCfg(t, "tinyyolov3", 32, true, ModeCrossLayer)
+	if ev.Speedup < 20 || ev.Speedup > 33 {
+		t.Errorf("TinyYOLOv3 wdup+32 xinf speedup %.1fx, paper reports 29.2x", ev.Speedup)
+	}
+	ut := ev.Result.Utilization * 100
+	if ut < 14 || ut > 23 {
+		t.Errorf("TinyYOLOv3 utilization %.2f%%, paper reports 20.1%%", ut)
+	}
+	if ev.UtilizationGain < 14 || ev.UtilizationGain > 25 {
+		t.Errorf("utilization gain %.1fx, paper reports 17.9x", ev.UtilizationGain)
+	}
+}
+
+// TestPaperFig7Ordering: for every benchmark the paper's ordering holds:
+// wdup+xinf > xinf alone and wdup+xinf > wdup alone; everything beats
+// the baseline.
+func TestPaperFig7Ordering(t *testing.T) {
+	for _, model := range []string{"tinyyolov3", "vgg16", "resnet50"} {
+		xinf := evalCfg(t, model, 0, false, ModeCrossLayer)
+		wdup := evalCfg(t, model, 16, true, ModeLayerByLayer)
+		both := evalCfg(t, model, 16, true, ModeCrossLayer)
+		if xinf.Speedup <= 1 {
+			t.Errorf("%s: xinf speedup %.2f <= 1", model, xinf.Speedup)
+		}
+		if wdup.Speedup <= 1 {
+			t.Errorf("%s: wdup speedup %.2f <= 1", model, wdup.Speedup)
+		}
+		if both.Speedup <= xinf.Speedup || both.Speedup <= wdup.Speedup {
+			t.Errorf("%s: combination %.2fx not best (xinf %.2fx, wdup %.2fx)",
+				model, both.Speedup, xinf.Speedup, wdup.Speedup)
+		}
+	}
+}
+
+// TestPaperFig7SmallXBoost: "only x = 4 additional PEs are sufficient to
+// outperform the pure xinf configuration by a factor of almost 2x ...
+// even for ResNet152" (paper §V-B).
+func TestPaperFig7SmallXBoost(t *testing.T) {
+	xinf := evalCfg(t, "resnet152", 0, false, ModeCrossLayer)
+	wdup4 := evalCfg(t, "resnet152", 4, true, ModeCrossLayer)
+	ratio := wdup4.Speedup / xinf.Speedup
+	if ratio < 1.5 {
+		t.Errorf("ResNet152 wdup+4 xinf is only %.2fx over pure xinf, paper reports ~2x", ratio)
+	}
+}
+
+// TestPaperFig7UtilizationDepthTrend: "as the model depth increases, the
+// utilization decreases" across the ResNet family, and deep-model
+// utilization stays below 10 % (paper §V-B).
+func TestPaperFig7UtilizationDepthTrend(t *testing.T) {
+	var uts []float64
+	for _, model := range []string{"resnet50", "resnet101", "resnet152"} {
+		ev := evalCfg(t, model, 16, true, ModeCrossLayer)
+		uts = append(uts, ev.Result.Utilization*100)
+		if ut := ev.Result.Utilization * 100; ut > 10 {
+			t.Errorf("%s utilization %.2f%% above the paper's <10%% observation", model, ut)
+		}
+	}
+	if !(uts[0] > uts[1] && uts[1] > uts[2]) {
+		t.Errorf("utilization does not decrease with depth: %.2f / %.2f / %.2f",
+			uts[0], uts[1], uts[2])
+	}
+}
+
+// TestPaperWdupModestForLargeModels: weight duplication alone gives only
+// modest speedups for large models because x <= 32 extra PEs are few
+// compared to PEmin (paper reports 1.1-1.9x; our exact DP solver finds
+// somewhat better solutions, so allow up to ~4x — still far from the
+// combined configuration).
+func TestPaperWdupModestForLargeModels(t *testing.T) {
+	for _, model := range []string{"vgg19", "resnet101"} {
+		wdup := evalCfg(t, model, 32, true, ModeLayerByLayer)
+		if wdup.Speedup > 4.2 {
+			t.Errorf("%s wdup+32 lbl speedup %.2fx implausibly high", model, wdup.Speedup)
+		}
+		if wdup.Speedup < 1.05 {
+			t.Errorf("%s wdup+32 lbl speedup %.2fx: duplication had no effect", model, wdup.Speedup)
+		}
+		both := evalCfg(t, model, 32, true, ModeCrossLayer)
+		if both.Speedup < 2*wdup.Speedup {
+			t.Errorf("%s: combined %.2fx not clearly above wdup alone %.2fx",
+				model, both.Speedup, wdup.Speedup)
+		}
+	}
+}
+
+// TestPaperFig6aDuplicationChoice: "for x = 16 additional PEs, the first
+// 6 Conv2D layers need to be duplicated" (paper Fig. 6a).
+func TestPaperFig6aDuplicationChoice(t *testing.T) {
+	c, err := Compile(load(t, "tinyyolov4"), Config{ExtraPEs: 16, WeightDuplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := c.LayerTable()
+	for i, r := range rows {
+		if i < 6 && r.Dup < 2 {
+			t.Errorf("layer %d (%s) not duplicated at x=16", i, r.Name)
+		}
+		if i >= 6 && r.Dup != 1 {
+			t.Errorf("layer %d (%s) duplicated at x=16 (d=%d)", i, r.Name, r.Dup)
+		}
+	}
+}
+
+// TestPaperEq3AcrossSweep: Eq. 3 consistency on the full Fig. 6c-style
+// sweep.
+func TestPaperEq3AcrossSweep(t *testing.T) {
+	for _, x := range []int{0, 4, 16, 32} {
+		for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeCrossLayer} {
+			ev := evalCfg(t, "tinyyolov4", x, x > 0, mode)
+			rel := (ev.Speedup - ev.Eq3Speedup) / ev.Speedup
+			if rel < -0.01 || rel > 0.01 {
+				t.Errorf("x=%d %v: Eq3 %.3f vs measured %.3f", x, mode, ev.Eq3Speedup, ev.Speedup)
+			}
+		}
+	}
+}

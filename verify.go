@@ -1,0 +1,151 @@
+package clsacim
+
+import (
+	"fmt"
+
+	"clsacim/internal/cim"
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+// VerifyReport summarizes the functional-equivalence checks of the
+// compilation pipeline on one model (see VerifyFunctional).
+type VerifyReport struct {
+	Model   string
+	Outputs int
+	// MaxErrCanonicalization is the maximum absolute output difference
+	// between the imported graph and the canonicalized graph (BN
+	// folding + partitioning). Small float reassociation noise only.
+	MaxErrCanonicalization float32
+	// MaxErrDuplication is the maximum absolute output difference after
+	// additionally applying the TF-style weight-duplication rewrite
+	// (paper Fig. 4, Slice -> duplicates -> Concat). Zero: duplicates
+	// compute the identical dot products.
+	MaxErrDuplication float32
+	// MaxErrCrossbar is the maximum absolute output difference between
+	// the canonicalized float reference and full execution on the
+	// functional crossbar model (quantized weights and inputs).
+	// Bounded by quantization noise.
+	MaxErrCrossbar float32
+	// OutputScale is the maximum absolute output value of the float
+	// reference, for putting the crossbar error in relation.
+	OutputScale float32
+	// PEsProgrammed counts the crossbars programmed for the run.
+	PEsProgrammed int
+	// DuplicatedLayers counts layers the rewrite duplicated.
+	DuplicatedLayers int
+}
+
+// VerifyFunctional checks, end to end, that the compilation pipeline
+// preserves inference results on a weight-carrying model: it executes
+// (a) the imported graph, (b) the canonicalized graph, (c) the graph
+// after the weight-duplication rewrite, and (d) the canonicalized graph
+// on the functional crossbar model, and reports the pairwise output
+// deviations. extraPEs controls how much duplication the rewrite gets
+// to play with.
+func VerifyFunctional(model *Model, seed int64, extraPEs int) (*VerifyReport, error) {
+	g0, err := model.graph()
+	if err != nil {
+		return nil, err
+	}
+	if err := requireWeights(g0); err != nil {
+		return nil, fmt.Errorf("clsacim: verify %q: %w", model.Name, err)
+	}
+	input := tensor.New(g0.Input.OutShape)
+	input.FillRand(seed, 1)
+	exec := &nn.Executor{}
+
+	ref, err := exec.RunOutputs(g0, input)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: verify %q: imported graph: %w", model.Name, err)
+	}
+
+	// (b) canonicalized, unquantized (float reference of the canonical
+	// form).
+	g1 := g0.Clone()
+	if _, err := frontend.Canonicalize(g1, frontend.Options{}); err != nil {
+		return nil, err
+	}
+	canon, err := exec.RunOutputs(g1, input)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: verify %q: canonical graph: %w", model.Name, err)
+	}
+
+	rep := &VerifyReport{Model: model.Name, Outputs: len(ref)}
+	for i := range ref {
+		if d := tensor.MaxAbsDiff(ref[i], canon[i]); d > rep.MaxErrCanonicalization {
+			rep.MaxErrCanonicalization = d
+		}
+		if m := canon[i].MaxAbs(); m > rep.OutputScale {
+			rep.OutputScale = m
+		}
+	}
+
+	// (c) weight-duplication rewrite on a fresh canonical clone.
+	g2 := g1.Clone()
+	pe := im2col.PEDims{Rows: 256, Cols: 256}
+	plan, err := mapping.Analyze(g2, pe)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs+extraPEs, mapping.SolverDP)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range sol.D {
+		if d > 1 {
+			rep.DuplicatedLayers++
+		}
+	}
+	if err := mapping.RewriteDuplication(g2, plan, sol); err != nil {
+		return nil, err
+	}
+	duped, err := exec.RunOutputs(g2, input)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: verify %q: duplicated graph: %w", model.Name, err)
+	}
+	for i := range canon {
+		if d := tensor.MaxAbsDiff(canon[i], duped[i]); d > rep.MaxErrDuplication {
+			rep.MaxErrDuplication = d
+		}
+	}
+
+	// (d) crossbar execution of the canonical graph.
+	cfg := cim.Default()
+	cfg.NumPEs = plan.MinPEs
+	ge := cim.NewGraphExecutor(cfg)
+	xbar, err := ge.Run(g1, input)
+	if err != nil {
+		return nil, fmt.Errorf("clsacim: verify %q: crossbar execution: %w", model.Name, err)
+	}
+	for i := range canon {
+		if d := tensor.MaxAbsDiff(canon[i], xbar[i]); d > rep.MaxErrCrossbar {
+			rep.MaxErrCrossbar = d
+		}
+	}
+	rep.PEsProgrammed = ge.PEsProgrammed()
+	return rep, nil
+}
+
+func requireWeights(g *nn.Graph) error {
+	for _, n := range g.Nodes {
+		switch op := n.Op.(type) {
+		case *nn.Conv2D:
+			if op.W == nil {
+				return fmt.Errorf("model is shape-only; load it with WithWeights")
+			}
+		case *nn.Dense:
+			if op.W == nil {
+				return fmt.Errorf("model is shape-only; load it with WithWeights")
+			}
+		case *nn.DepthwiseConv2D:
+			if op.W == nil {
+				return fmt.Errorf("model is shape-only; load it with WithWeights")
+			}
+		}
+	}
+	return nil
+}
