@@ -6,25 +6,44 @@
 //	Pelke et al., "CLSA-CIM: A Cross-Layer Scheduling Approach for
 //	Computing-in-Memory Architectures", DATE 2024.
 //
-// The typical flow is:
+// The entry point is the Engine: a concurrency-safe evaluator that
+// holds the architecture (functional options), caches compilations by
+// (model, architecture, mapping) key, and runs batches on a bounded
+// worker pool:
 //
-//	model, _ := clsacim.LoadModel("tinyyolov4", clsacim.ModelOptions{})
-//	compiled, _ := clsacim.Compile(model, clsacim.Config{
-//		ExtraPEs:          32,   // x: F = PEmin + x
-//		WeightDuplication: true, // wdup mapping
+//	eng, _ := clsacim.New(
+//		clsacim.WithCrossbar(256, 256),
+//		clsacim.WithTMVMNanos(1400),
+//	)
+//	ev, _ := eng.Evaluate(ctx, clsacim.Request{
+//		Model:             "tinyyolov4",
+//		Mode:              clsacim.ModeCrossLayer, // xinf
+//		ExtraPEs:          32,                     // x: F = PEmin + x
+//		WeightDuplication: true,                   // wdup mapping
 //	})
-//	report, _ := compiled.Schedule(clsacim.ModeCrossLayer) // xinf
-//	fmt.Println(report.Utilization, report.MakespanCycles)
+//	fmt.Println(ev.Speedup, ev.Result.Utilization)
 //
-// Compile canonicalizes the network (BN folding, padding/bias
+// Requests round-trip through JSON, sweeps go through
+// Engine.EvaluateBatch, and Engine.Stats exposes the compile-cache
+// accounting. Custom duplication solvers plug in with RegisterSolver;
+// custom models (see Builder) join the builtin table with
+// RegisterModel.
+//
+// Compilation canonicalizes the network (BN folding, padding/bias
 // partitioning, weight quantization), maps base layers onto crossbar PEs
 // (optionally solving the weight-duplication problem), and runs CLSA-CIM
-// Stages I-II (set and dependency determination). Schedule runs Stages
+// Stages I-II (set and dependency determination). Scheduling runs Stages
 // III-IV (or the layer-by-layer baseline) and reports the paper's
 // metrics.
+//
+// The original one-shot entry points — Compile, Compiled.Schedule, and
+// Evaluate — still work and are kept as thin compatibility wrappers;
+// new code should prefer the Engine, which shares compilations that the
+// one-shot API redoes on every call.
 package clsacim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -62,58 +81,62 @@ func (m ScheduleMode) String() string {
 // Config controls compilation. The zero value reproduces the paper's
 // case-study architecture: 256x256 crossbars, tMVM = 1400 ns, F = PEmin,
 // no weight duplication, idealized (zero-cost) data movement.
+// Config round-trips through JSON (zero fields are omitted), so
+// configurations can arrive over the wire alongside a Request.
 type Config struct {
 	// PERows and PECols are the crossbar dimensions (default 256x256).
-	PERows, PECols int
+	PERows int `json:"pe_rows,omitempty"`
+	PECols int `json:"pe_cols,omitempty"`
 	// TMVMNanos is the MVM latency of one cycle (default 1400 ns).
-	TMVMNanos float64
+	TMVMNanos float64 `json:"tmvm_nanos,omitempty"`
 	// ExtraPEs is the paper's x: the architecture provides
 	// F = PEmin + x crossbars. Ignored when TotalPEs is set.
-	ExtraPEs int
+	ExtraPEs int `json:"extra_pes,omitempty"`
 	// TotalPEs overrides the PE count F when positive.
-	TotalPEs int
+	TotalPEs int `json:"total_pes,omitempty"`
 	// WeightDuplication enables the wdup mapping (paper §III-C):
 	// Optimization Problem 1 decides which layers to replicate.
-	WeightDuplication bool
+	WeightDuplication bool `json:"weight_duplication,omitempty"`
 	// Solver picks the duplication solver: "dp" (exact for the paper's
 	// Optimization Problem 1, default), "greedy", "minmax" (bottleneck
-	// objective, extension), or "none".
-	Solver string
+	// objective, extension), "none", or any name added through
+	// RegisterSolver.
+	Solver string `json:"solver,omitempty"`
 	// TargetSets is the Stage I granularity (sets per layer). The
 	// default is the finest alignment-respecting partition, which
 	// realizes the paper's "maximum achievable utilization and minimum
 	// inference latency". Use small values (e.g. 26) for coarse
 	// scheduling experiments.
-	TargetSets int
+	TargetSets int `json:"target_sets,omitempty"`
 	// WeightBits quantizes base-layer weights (default 8; negative
 	// disables quantization).
-	WeightBits int
+	WeightBits int `json:"weight_bits,omitempty"`
 	// NoCCyclesPerHop charges data movement per mesh hop on dependency
 	// edges (extension of paper §V-C; 0 = idealized).
-	NoCCyclesPerHop float64
+	NoCCyclesPerHop float64 `json:"noc_cycles_per_hop,omitempty"`
 	// GPEUCyclesPerKElem charges non-base-layer processing per 1024
 	// transferred elements on dependency edges (0 = idealized).
-	GPEUCyclesPerKElem float64
+	GPEUCyclesPerKElem float64 `json:"gpeu_cycles_per_kelem,omitempty"`
 	// PEsPerTile groups PEs into NoC tiles (default 4).
-	PEsPerTile int
+	PEsPerTile int `json:"pes_per_tile,omitempty"`
 	// WeightVirtualization permits architectures with fewer PEs than
 	// the network needs (TotalPEs < PEmin): swapped layers time-share a
 	// PE pool and are reprogrammed before execution (the paper's §V-C
 	// future-work scenario). Only layer-by-layer scheduling is possible
 	// in this regime.
-	WeightVirtualization bool
+	WeightVirtualization bool `json:"weight_virtualization,omitempty"`
 	// WriteCyclesPerCrossbar is the RRAM programming time per crossbar
 	// in MVM cycles (default 512) when virtualization is active.
-	WriteCyclesPerCrossbar int64
+	WriteCyclesPerCrossbar int64 `json:"write_cycles_per_crossbar,omitempty"`
 	// WriteParallelism is the number of crossbars programmable
 	// concurrently (default 4).
-	WriteParallelism int
+	WriteParallelism int `json:"write_parallelism,omitempty"`
 	// EnergyPerMVMNanoJ enables the energy estimate (extension): nJ
 	// consumed by one PE per MVM cycle. 0 disables energy reporting.
-	EnergyPerMVMNanoJ float64
+	EnergyPerMVMNanoJ float64 `json:"energy_per_mvm_nj,omitempty"`
 	// EnergyPerWriteNanoJ is the nJ cost of programming one crossbar
 	// (virtualization).
-	EnergyPerWriteNanoJ float64
+	EnergyPerWriteNanoJ float64 `json:"energy_per_write_nj,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -147,22 +170,14 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) solver() (mapping.Solver, error) {
+// solverFunc resolves the duplication solver from the process-wide
+// registry (see RegisterSolver). Without weight duplication every layer
+// keeps d_i = 1 regardless of the configured name.
+func (c Config) solverFunc() (mapping.Func, error) {
 	if !c.WeightDuplication {
-		return mapping.SolverNone, nil
+		return lookupSolver(mapping.SolverNone.String())
 	}
-	switch c.Solver {
-	case "dp":
-		return mapping.SolverDP, nil
-	case "greedy":
-		return mapping.SolverGreedy, nil
-	case "minmax":
-		return mapping.SolverMinMax, nil
-	case "none":
-		return mapping.SolverNone, nil
-	default:
-		return 0, fmt.Errorf("clsacim: unknown solver %q (want dp, greedy, minmax, or none)", c.Solver)
-	}
+	return lookupSolver(c.Solver)
 }
 
 // Compiled is a model compiled against an architecture: canonicalized,
@@ -221,10 +236,13 @@ func (c *Compiled) ResidentLayers() int {
 	return n
 }
 
-// Compile lowers model through the full preparation pipeline.
+// Compile lowers model through the full preparation pipeline. It is
+// the one-shot entry point kept for compatibility: every call redoes
+// the whole pipeline. New code should go through an Engine, whose
+// compile cache shares this work across requests.
 func Compile(model *Model, cfg Config) (*Compiled, error) {
 	cfg = cfg.withDefaults()
-	solver, err := cfg.solver()
+	solve, err := cfg.solverFunc()
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +300,7 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 		mapped = virtual.Mapping
 		sol = mapping.Solution{D: mapped.Dup, PEsNeeded: mapped.PEsUsed}
 	} else {
-		sol, err = mapping.Solve(plan, f, solver)
+		sol, err = solve(plan, f)
 		if err != nil {
 			return nil, fmt.Errorf("clsacim: solving duplication for %q: %w", model.Name, err)
 		}
@@ -618,34 +636,14 @@ type Evaluation struct {
 }
 
 // Evaluate compiles and schedules model under cfg and mode, and measures
-// speedup and utilization gain against the layer-by-layer reference.
+// speedup and utilization gain against the layer-by-layer reference. It
+// is a one-shot compatibility wrapper around a throwaway Engine; sweeps
+// and services should hold an Engine so the baseline and repeated
+// configurations compile once instead of per call.
 func Evaluate(model *Model, cfg Config, mode ScheduleMode) (*Evaluation, error) {
-	baseCfg := cfg
-	baseCfg.ExtraPEs = 0
-	baseCfg.TotalPEs = 0
-	baseCfg.WeightDuplication = false
-	baseComp, err := Compile(model, baseCfg)
+	e, err := New(WithConfig(cfg))
 	if err != nil {
 		return nil, err
 	}
-	baseline, err := baseComp.Schedule(ModeLayerByLayer)
-	if err != nil {
-		return nil, err
-	}
-	comp, err := Compile(model, cfg)
-	if err != nil {
-		return nil, err
-	}
-	result, err := comp.Schedule(mode)
-	if err != nil {
-		return nil, err
-	}
-	x := comp.TotalPEs() - comp.PEmin()
-	return &Evaluation{
-		Baseline:        baseline,
-		Result:          result,
-		Speedup:         metrics.Speedup(baseline.MakespanCycles, result.MakespanCycles),
-		UtilizationGain: result.Utilization / baseline.Utilization,
-		Eq3Speedup:      metrics.Eq3Speedup(result.Utilization, baseline.Utilization, comp.PEmin(), x),
-	}, nil
+	return e.EvaluateModel(context.Background(), model, Request{Mode: mode})
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,29 +33,28 @@ func main() {
 	critical := flag.Bool("critical", false, "print the critical path aggregated per layer")
 	flag.Parse()
 
-	mode := clsacim.ModeCrossLayer
-	switch *sched {
-	case "xinf":
-	case "lbl":
-		mode = clsacim.ModeLayerByLayer
-	default:
-		fatal(fmt.Errorf("unknown -sched %q (want xinf or lbl)", *sched))
-	}
-
-	m, err := clsacim.LoadModel(*model, clsacim.ModelOptions{})
+	mode, err := clsacim.ParseMode(*sched)
 	if err != nil {
 		fatal(err)
 	}
-	cfg := clsacim.Config{
-		PERows: *pe, PECols: *pe,
-		ExtraPEs:           *x,
-		WeightDuplication:  *wdup,
-		Solver:             *solver,
-		TargetSets:         *sets,
-		NoCCyclesPerHop:    *noc,
-		GPEUCyclesPerKElem: *gpeu,
+	eng, err := clsacim.New(
+		clsacim.WithCrossbar(*pe, *pe),
+		clsacim.WithNoC(*noc),
+		clsacim.WithGPEU(*gpeu),
+		clsacim.WithTargetSets(*sets),
+	)
+	if err != nil {
+		fatal(err)
 	}
-	ev, err := clsacim.Evaluate(m, cfg, mode)
+	ctx := context.Background()
+	req := clsacim.Request{
+		Model:             *model,
+		Mode:              mode,
+		ExtraPEs:          *x,
+		WeightDuplication: *wdup,
+		Solver:            *solver,
+	}
+	ev, err := eng.Evaluate(ctx, req)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,7 +75,9 @@ func main() {
 	}
 
 	if *simulate {
-		comp, err := clsacim.Compile(m, cfg)
+		// The engine hands back the cached compilation of the same key
+		// the evaluation used — no recompile for the simulator run.
+		comp, err := eng.Compile(ctx, req)
 		if err != nil {
 			fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,23 +25,20 @@ func main() {
 	sets := flag.Int("sets", 26, "target sets per layer (coarse renders more readable charts)")
 	flag.Parse()
 
-	mode := clsacim.ModeCrossLayer
-	if *sched == "lbl" {
-		mode = clsacim.ModeLayerByLayer
-	}
-	m, err := clsacim.LoadModel(*model, clsacim.ModelOptions{})
+	mode, err := clsacim.ParseMode(*sched)
 	if err != nil {
 		fatal(err)
 	}
-	comp, err := clsacim.Compile(m, clsacim.Config{
+	eng, err := clsacim.New(clsacim.WithTargetSets(*sets))
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := eng.Schedule(context.Background(), clsacim.Request{
+		Model:             *model,
+		Mode:              mode,
 		ExtraPEs:          *x,
 		WeightDuplication: *wdup,
-		TargetSets:        *sets,
 	})
-	if err != nil {
-		fatal(err)
-	}
-	rep, err := comp.Schedule(mode)
 	if err != nil {
 		fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,19 +33,19 @@ func main() {
 		return
 	}
 
-	h := bench.NewHarness(clsacim.Config{PERows: *pe, PECols: *pe})
 	if *table2 {
+		h := bench.NewHarness(clsacim.Config{PERows: *pe, PECols: *pe})
 		if err := h.PrintTableII(os.Stdout); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	m, err := clsacim.LoadModel(*model, clsacim.ModelOptions{})
+	eng, err := clsacim.New(clsacim.WithCrossbar(*pe, *pe))
 	if err != nil {
 		fatal(err)
 	}
-	comp, err := clsacim.Compile(m, clsacim.Config{PERows: *pe, PECols: *pe})
+	comp, err := eng.Compile(context.Background(), clsacim.Request{Model: *model})
 	if err != nil {
 		fatal(err)
 	}

@@ -23,6 +23,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all")
 	csv := flag.Bool("csv", false, "emit fig6c/fig7 series as CSV")
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
+	stats := flag.Bool("stats", false, "print engine compile-cache statistics after the run")
 	flag.Parse()
 
 	h := bench.NewHarness(clsacim.Config{TargetSets: *sets})
@@ -64,4 +65,10 @@ func main() {
 		return h.PrintFig7(w)
 	})
 	run("ablations", func() error { return h.PrintAblations(w) })
+
+	if *stats {
+		s := h.Engine().Stats()
+		fmt.Fprintf(w, "engine: %d compiles, %d cache hits, %d misses, %d evaluations, %d cached entries\n",
+			s.Compiles, s.CacheHits, s.CacheMisses, s.Evaluations, s.CachedEntries)
+	}
 }

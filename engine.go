@@ -1,0 +1,314 @@
+package clsacim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clsacim/internal/metrics"
+)
+
+// Engine is the concurrency-safe entry point of the package: it holds
+// an architecture description (set through Options), a keyed compile
+// cache, and a bounded worker pool for batch evaluation.
+//
+// Compilation — frontend canonicalization, im2col analysis, duplication
+// solving, Stage I-II — dominates the cost of an evaluation, and sweeps
+// (many mapping points, one model) as well as services (many requests,
+// few distinct configurations) repeat it needlessly with the one-shot
+// Compile/Evaluate API. The Engine compiles each distinct
+// (model, architecture, mapping) key exactly once and shares the
+// immutable *Compiled across all subsequent requests; Stats exposes the
+// hit accounting. All methods are safe for concurrent use.
+type Engine struct {
+	base    Config
+	workers int
+
+	mu    sync.Mutex
+	cache map[string]*compileEntry
+
+	compiles    atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evaluations atomic.Int64
+}
+
+// compileEntry is a cache slot with single-flight semantics: the first
+// requester compiles, everyone else waits on ready.
+type compileEntry struct {
+	ready chan struct{}
+	c     *Compiled
+	err   error
+}
+
+// New builds an Engine from functional options. The zero option set
+// reproduces the paper's case-study architecture (256x256 crossbars,
+// tMVM = 1400 ns, idealized data movement).
+func New(opts ...Option) (*Engine, error) {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		cache:   make(map[string]*compileEntry),
+	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// MustNew is New panicking on error, for initialization of harnesses
+// and tests where the options are static.
+func MustNew(opts ...Option) *Engine {
+	e, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Stats is a snapshot of the Engine's cache and work accounting.
+type Stats struct {
+	// Compiles counts full pipeline compilations actually executed —
+	// one per distinct (model, architecture, mapping) key requested.
+	Compiles int64
+	// CacheHits counts compile requests served from the cache
+	// (including requests that waited on an in-flight compilation).
+	CacheHits int64
+	// CacheMisses counts compile requests that had to compile.
+	CacheMisses int64
+	// Evaluations counts completed Evaluate calls.
+	Evaluations int64
+	// CachedEntries is the current number of cached compilations.
+	CachedEntries int
+}
+
+// Stats returns a consistent-enough snapshot of the Engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	entries := len(e.cache)
+	e.mu.Unlock()
+	return Stats{
+		Compiles:      e.compiles.Load(),
+		CacheHits:     e.hits.Load(),
+		CacheMisses:   e.misses.Load(),
+		Evaluations:   e.evaluations.Load(),
+		CachedEntries: entries,
+	}
+}
+
+// effective resolves the Config a request compiles under: the request's
+// full Config override if present (else the Engine defaults), with the
+// request's non-zero mapping fields overlaid.
+func (e *Engine) effective(req Request) Config {
+	cfg := e.base
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	if req.ExtraPEs != 0 {
+		cfg.ExtraPEs = req.ExtraPEs
+	}
+	if req.TotalPEs != 0 {
+		cfg.TotalPEs = req.TotalPEs
+	}
+	if req.WeightDuplication {
+		cfg.WeightDuplication = true
+	}
+	if req.Solver != "" {
+		cfg.Solver = req.Solver
+	}
+	return cfg
+}
+
+// cacheKey canonicalizes a (model, config) pair. Configs are defaulted
+// first so that e.g. Config{} and Config{PERows: 256, PECols: 256} share
+// an entry, and compile-irrelevant fields are normalized away: without
+// weight duplication the solver never runs, so all solver names map to
+// the same no-duplication compilation — this is what lets a solver
+// comparison sweep share one baseline.
+func cacheKey(model string, cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.WeightDuplication {
+		cfg.Solver = "none"
+	}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("clsacim: encoding cache key: %w", err)
+	}
+	return model + "\x00" + string(b), nil
+}
+
+// compile returns the cached compilation of (m, cfg), compiling at most
+// once per key. Waiters honor ctx; the compilation itself runs to
+// completion once started so late arrivals can still use it.
+func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key, err := cacheKey(m.Name, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	ent, ok := e.cache[key]
+	if ok {
+		e.hits.Add(1)
+		e.mu.Unlock()
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return ent.c, ent.err
+	}
+	e.misses.Add(1)
+	ent = &compileEntry{ready: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+
+	e.compiles.Add(1)
+	// Close ready even if Compile panics (e.g. inside a custom solver):
+	// a never-closed entry would block every later request for this key
+	// forever once a recover() higher up keeps the process alive.
+	defer func() {
+		if ent.err == nil && ent.c == nil {
+			ent.err = fmt.Errorf("clsacim: compiling %q panicked", m.Name)
+		}
+		close(ent.ready)
+	}()
+	ent.c, ent.err = Compile(m, cfg)
+	return ent.c, ent.err
+}
+
+// Compile resolves the request's model and returns its (cached)
+// compilation under the request's effective configuration.
+func (e *Engine) Compile(ctx context.Context, req Request) (*Compiled, error) {
+	m, err := lookupModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	return e.compile(ctx, m, e.effective(req))
+}
+
+// Schedule compiles (cached) and schedules the request, returning the
+// paper's per-configuration report.
+func (e *Engine) Schedule(ctx context.Context, req Request) (*Report, error) {
+	comp, err := e.Compile(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return comp.Schedule(req.Mode)
+}
+
+// Evaluate compiles and schedules the request and measures it against
+// the paper's reference (layer-by-layer, no duplication, F = PEmin).
+// Both compilations go through the Engine cache, so a sweep over
+// mapping points compiles the shared baseline once.
+func (e *Engine) Evaluate(ctx context.Context, req Request) (*Evaluation, error) {
+	m, err := lookupModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	return e.evaluate(ctx, m, req)
+}
+
+// EvaluateModel is Evaluate for a *Model held directly (e.g. built with
+// Builder but not registered). The compile cache is keyed by the
+// model's Name, so distinct models sharing an Engine must carry
+// distinct names.
+func (e *Engine) EvaluateModel(ctx context.Context, m *Model, req Request) (*Evaluation, error) {
+	if m == nil {
+		return nil, fmt.Errorf("clsacim: nil model")
+	}
+	return e.evaluate(ctx, m, req)
+}
+
+func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluation, error) {
+	cfg := e.effective(req)
+	baseCfg := cfg
+	baseCfg.ExtraPEs = 0
+	baseCfg.TotalPEs = 0
+	baseCfg.WeightDuplication = false
+	baseComp, err := e.compile(ctx, m, baseCfg)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := baseComp.Schedule(ModeLayerByLayer)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := e.compile(ctx, m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	result, err := comp.Schedule(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	e.evaluations.Add(1)
+	return newEvaluation(baseline, result, comp), nil
+}
+
+// EvaluateBatch evaluates requests concurrently on a worker pool
+// bounded by WithWorkers (default GOMAXPROCS). Results are positionally
+// aligned with reqs; per-request failures land in BatchResult.Err
+// rather than aborting the batch. The returned error is non-nil only
+// when ctx was cancelled, in which case unprocessed requests carry the
+// context error.
+func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResult, error) {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i].Request = reqs[i]
+				if err := ctx.Err(); err != nil {
+					out[i].Err = err
+					continue
+				}
+				out[i].Evaluation, out[i].Err = e.Evaluate(ctx, reqs[i])
+			}
+		}()
+	}
+	for i := range reqs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out, ctx.Err()
+}
+
+// newEvaluation assembles the comparison metrics shared by Evaluate and
+// Engine.Evaluate.
+func newEvaluation(baseline, result *Report, comp *Compiled) *Evaluation {
+	x := comp.TotalPEs() - comp.PEmin()
+	return &Evaluation{
+		Baseline:        baseline,
+		Result:          result,
+		Speedup:         metrics.Speedup(baseline.MakespanCycles, result.MakespanCycles),
+		UtilizationGain: result.Utilization / baseline.Utilization,
+		Eq3Speedup:      metrics.Eq3Speedup(result.Utilization, baseline.Utilization, comp.PEmin(), x),
+	}
+}

@@ -1,0 +1,603 @@
+package clsacim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sweepRequests builds the canonical (x, wdup) sweep used by the cache
+// tests and benchmarks: n points alternating mapping, all xinf.
+func sweepRequests(model string, n int) []Request {
+	reqs := make([]Request, 0, n)
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, Request{
+			Model:             model,
+			Mode:              ModeCrossLayer,
+			ExtraPEs:          i/2 + 1,
+			WeightDuplication: i%2 == 1,
+		})
+	}
+	return reqs
+}
+
+func TestEngineCompileCacheAccounting(t *testing.T) {
+	eng := MustNew()
+	ctx := context.Background()
+	// 10 points: x in 1..5, each with and without duplication.
+	reqs := sweepRequests("tinybranchnet", 10)
+	for _, req := range reqs {
+		if _, err := eng.Evaluate(ctx, req); err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+	}
+	s := eng.Stats()
+	// Distinct compile keys: the shared baseline (x=0, no duplication)
+	// plus 5 x-values x 2 mappings.
+	const wantKeys = 11
+	if s.Compiles != wantKeys {
+		t.Errorf("Compiles = %d, want %d (one per distinct key)", s.Compiles, wantKeys)
+	}
+	if s.CacheMisses != wantKeys {
+		t.Errorf("CacheMisses = %d, want %d", s.CacheMisses, wantKeys)
+	}
+	if want := int64(2*len(reqs)) - wantKeys; s.CacheHits != want {
+		t.Errorf("CacheHits = %d, want %d", s.CacheHits, want)
+	}
+	if s.Evaluations != int64(len(reqs)) {
+		t.Errorf("Evaluations = %d, want %d", s.Evaluations, len(reqs))
+	}
+	if s.CachedEntries != wantKeys {
+		t.Errorf("CachedEntries = %d, want %d", s.CachedEntries, wantKeys)
+	}
+
+	// Re-running the whole sweep must not compile anything new.
+	for _, req := range reqs {
+		if _, err := eng.Evaluate(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2 := eng.Stats(); s2.Compiles != wantKeys {
+		t.Errorf("repeat sweep compiled %d more times", s2.Compiles-wantKeys)
+	}
+}
+
+func TestSolverSweepSharesBaseline(t *testing.T) {
+	// The baseline never runs a solver, so requests differing only in
+	// Solver must share one baseline compilation.
+	eng := MustNew()
+	solvers := []string{"dp", "greedy", "minmax"}
+	for _, s := range solvers {
+		_, err := eng.Evaluate(context.Background(), Request{
+			Model: "tinybranchnet", Mode: ModeCrossLayer,
+			ExtraPEs: 3, WeightDuplication: true, Solver: s,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+	want := int64(len(solvers) + 1) // one per solver + the shared baseline
+	if s := eng.Stats(); s.Compiles != want {
+		t.Errorf("Compiles = %d, want %d (baseline shared across solver names)", s.Compiles, want)
+	}
+}
+
+func TestCompilePanicDoesNotPoisonCache(t *testing.T) {
+	err := RegisterSolver("test-panics", func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		panic("solver boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := MustNew()
+	req := Request{Model: "tinyconvnet", ExtraPEs: 1, WeightDuplication: true, Solver: "test-panics"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() {
+			if recover() == nil {
+				t.Error("solver panic did not propagate")
+			}
+		}()
+		_, _ = eng.Compile(context.Background(), req)
+	}()
+	<-done
+	// Later requests for the poisoned key must fail fast, not hang on
+	// the never-compiled entry.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, err = eng.Compile(ctx, req)
+	if err == nil {
+		t.Fatal("compile after panic returned nil error")
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("compile after panic hung until the deadline")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("err = %v, want the synthesized panic error", err)
+	}
+}
+
+func TestEngineMatchesLegacyEvaluate(t *testing.T) {
+	eng := MustNew()
+	for _, wdup := range []bool{false, true} {
+		req := Request{Model: "tinybranchnet", Mode: ModeCrossLayer, ExtraPEs: 3, WeightDuplication: wdup}
+		got, err := eng.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := load(t, "tinybranchnet")
+		want, err := Evaluate(m, Config{ExtraPEs: 3, WeightDuplication: wdup}, ModeCrossLayer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Result.MakespanCycles != want.Result.MakespanCycles ||
+			got.Baseline.MakespanCycles != want.Baseline.MakespanCycles ||
+			got.Speedup != want.Speedup {
+			t.Errorf("wdup=%v: engine (%d, %d, %.4f) != legacy (%d, %d, %.4f)", wdup,
+				got.Result.MakespanCycles, got.Baseline.MakespanCycles, got.Speedup,
+				want.Result.MakespanCycles, want.Baseline.MakespanCycles, want.Speedup)
+		}
+	}
+}
+
+func TestEvaluateBatchConcurrent(t *testing.T) {
+	eng := MustNew(WithWorkers(8))
+	var reqs []Request
+	for _, model := range []string{"tinyconvnet", "tinybranchnet"} {
+		reqs = append(reqs, sweepRequests(model, 10)...)
+	}
+	results, err := eng.EvaluateBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d: %v", i, res.Err)
+		}
+		if res.Request != reqs[i] {
+			t.Errorf("result %d not positionally aligned", i)
+		}
+		if res.Evaluation == nil || res.Evaluation.Result.MakespanCycles <= 0 {
+			t.Errorf("request %d: empty evaluation", i)
+		}
+	}
+	// The batch outcome must be identical to the serial outcome.
+	serial := MustNew()
+	for i, req := range reqs {
+		want, err := serial.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := results[i].Evaluation; got.Result.MakespanCycles != want.Result.MakespanCycles {
+			t.Errorf("request %d: batch makespan %d != serial %d",
+				i, got.Result.MakespanCycles, want.Result.MakespanCycles)
+		}
+	}
+}
+
+func TestEngineConcurrentSameKey(t *testing.T) {
+	// Hammer one key from many goroutines: exactly one compile may
+	// happen, and everyone must see the same *Compiled.
+	eng := MustNew()
+	req := Request{Model: "tinyconvnet", Mode: ModeCrossLayer, ExtraPEs: 2, WeightDuplication: true}
+	const n = 16
+	comps := make([]*Compiled, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			c, err := eng.Compile(context.Background(), req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			comps[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if comps[i] != comps[0] {
+			t.Fatal("concurrent compiles returned different instances")
+		}
+	}
+	if s := eng.Stats(); s.Compiles != 1 {
+		t.Errorf("Compiles = %d, want 1", s.Compiles)
+	}
+}
+
+func TestEvaluateBatchCancelled(t *testing.T) {
+	eng := MustNew()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := eng.EvaluateBatch(ctx, sweepRequests("tinyconvnet", 4))
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	for i, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("result %d: err = %v, want context.Canceled", i, res.Err)
+		}
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	if b, err := json.Marshal(Config{}); err != nil || string(b) != "{}" {
+		t.Errorf("zero Config marshals to %s (%v), want {}", b, err)
+	}
+	in := Config{
+		PERows: 128, PECols: 64,
+		TMVMNanos:              700,
+		ExtraPEs:               16,
+		WeightDuplication:      true,
+		Solver:                 "minmax",
+		TargetSets:             26,
+		WeightBits:             4,
+		NoCCyclesPerHop:        1.5,
+		GPEUCyclesPerKElem:     2,
+		PEsPerTile:             8,
+		WeightVirtualization:   true,
+		WriteCyclesPerCrossbar: 1024,
+		WriteParallelism:       2,
+		EnergyPerMVMNanoJ:      0.25,
+		EnergyPerWriteNanoJ:    100,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Config
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip changed the config:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	cfg := Config{PERows: 128, PECols: 128, NoCCyclesPerHop: 2}
+	in := Request{
+		Model:             "tinyyolov4",
+		Mode:              ModeCrossLayer,
+		ExtraPEs:          32,
+		WeightDuplication: true,
+		Solver:            "greedy",
+		Config:            &cfg,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"mode":"xinf"`) {
+		t.Errorf("mode not encoded as wire name: %s", b)
+	}
+	var out Request
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip changed the request:\n in  %+v\n out %+v", in, out)
+	}
+
+	// A wire-format request (hand-written JSON) must evaluate.
+	wire := `{"model": "tinyconvnet", "mode": "xinf", "extra_pes": 2, "weight_duplication": true}`
+	var req Request
+	if err := json.Unmarshal([]byte(wire), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := MustNew().Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.Mode != ModeCrossLayer || ev.Speedup <= 0 {
+		t.Errorf("wire request evaluated wrong: mode %v speedup %f", ev.Result.Mode, ev.Speedup)
+	}
+}
+
+func TestScheduleModeJSON(t *testing.T) {
+	var m ScheduleMode
+	for _, tc := range []struct {
+		in   string
+		want ScheduleMode
+	}{
+		{`"xinf"`, ModeCrossLayer}, {`"lbl"`, ModeLayerByLayer},
+		{`"layer-by-layer"`, ModeLayerByLayer}, {`"XINF"`, ModeCrossLayer},
+		{`0`, ModeLayerByLayer}, {`1`, ModeCrossLayer},
+	} {
+		if err := json.Unmarshal([]byte(tc.in), &m); err != nil {
+			t.Errorf("%s: %v", tc.in, err)
+		} else if m != tc.want {
+			t.Errorf("%s = %v, want %v", tc.in, m, tc.want)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"warp"`), &m); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("unknown mode error = %v, want ErrUnknownMode", err)
+	}
+	if err := json.Unmarshal([]byte(`7`), &m); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("unknown numeric mode error = %v, want ErrUnknownMode", err)
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]ScheduleMode{
+		"xinf": ModeCrossLayer, "lbl": ModeLayerByLayer,
+		"cross-layer": ModeCrossLayer, "Layer-By-Layer": ModeLayerByLayer,
+	} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("bogus"); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("ParseMode(bogus) = %v, want ErrUnknownMode", err)
+	}
+}
+
+func TestRegisterSolver(t *testing.T) {
+	// A trivial custom solver: never duplicate anything. It must
+	// produce exactly the "none" mapping through the full pipeline.
+	allOnes := func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		d := make([]int, len(layers))
+		for i := range d {
+			d[i] = 1
+		}
+		return d, nil
+	}
+	if err := RegisterSolver("test-all-ones", allOnes); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterSolver("test-all-ones", allOnes); !errors.Is(err, ErrDuplicateSolver) {
+		t.Errorf("duplicate registration = %v, want ErrDuplicateSolver", err)
+	}
+	if err := RegisterSolver("dp", allOnes); !errors.Is(err, ErrDuplicateSolver) {
+		t.Errorf("builtin shadowing = %v, want ErrDuplicateSolver", err)
+	}
+	found := false
+	for _, name := range Solvers() {
+		if name == "test-all-ones" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Solvers() = %v does not list the custom solver", Solvers())
+	}
+
+	eng := MustNew()
+	custom, err := eng.Evaluate(context.Background(), Request{
+		Model: "tinybranchnet", Mode: ModeCrossLayer,
+		ExtraPEs: 4, WeightDuplication: true, Solver: "test-all-ones",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := eng.Evaluate(context.Background(), Request{
+		Model: "tinybranchnet", Mode: ModeCrossLayer,
+		ExtraPEs: 4, WeightDuplication: true, Solver: "none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if custom.Result.MakespanCycles != none.Result.MakespanCycles {
+		t.Errorf("all-ones solver makespan %d != none solver %d",
+			custom.Result.MakespanCycles, none.Result.MakespanCycles)
+	}
+}
+
+func TestRegisterSolverRejectsOverspending(t *testing.T) {
+	greedyAll := func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		d := make([]int, len(layers))
+		for i, l := range layers {
+			d[i] = l.MaxDup // ignores the budget
+		}
+		return d, nil
+	}
+	if err := RegisterSolver("test-overspend", greedyAll); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MustNew().Evaluate(context.Background(), Request{
+		Model: "tinybranchnet", Mode: ModeCrossLayer,
+		ExtraPEs: 1, WeightDuplication: true, Solver: "test-overspend",
+	})
+	if err == nil || !strings.Contains(err.Error(), "test-overspend") {
+		t.Errorf("overspending solver not rejected: %v", err)
+	}
+}
+
+func TestUnknownSolverTyped(t *testing.T) {
+	_, err := MustNew().Evaluate(context.Background(), Request{
+		Model: "tinyconvnet", WeightDuplication: true, Solver: "bogus",
+	})
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("err = %v, want ErrUnknownSolver", err)
+	}
+	if !strings.Contains(err.Error(), "dp") {
+		t.Errorf("error does not list available solvers: %v", err)
+	}
+	if _, err := New(WithSolver("bogus")); !errors.Is(err, ErrUnknownSolver) {
+		t.Errorf("WithSolver(bogus) = %v, want ErrUnknownSolver", err)
+	}
+}
+
+func TestUnknownModelTyped(t *testing.T) {
+	_, err := LoadModel("nope", ModelOptions{})
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("LoadModel err = %v, want ErrUnknownModel", err)
+	}
+	if !strings.Contains(err.Error(), "tinyyolov4") {
+		t.Errorf("error does not list available models: %v", err)
+	}
+	_, err = MustNew().Evaluate(context.Background(), Request{Model: "nope"})
+	if !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("engine err = %v, want ErrUnknownModel", err)
+	}
+	if err := (Request{Model: "nope"}).Validate(); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("Validate err = %v, want ErrUnknownModel", err)
+	}
+}
+
+func TestRegisterModel(t *testing.T) {
+	b, in := NewBuilder("test-registered-net", 16, 16, 3)
+	x := b.Conv2D(in, 8, 3, 1, true)
+	b.Output(b.ReLU(x))
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterModel("test-registered-net", m); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterModel("test-registered-net", m); !errors.Is(err, ErrDuplicateModel) {
+		t.Errorf("duplicate registration = %v, want ErrDuplicateModel", err)
+	}
+	if err := RegisterModel("tinyyolov4", m); !errors.Is(err, ErrDuplicateModel) {
+		t.Errorf("builtin shadowing = %v, want ErrDuplicateModel", err)
+	}
+	found := false
+	for _, name := range AllModels() {
+		if name == "test-registered-net" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("AllModels does not list the registered model")
+	}
+	ev, err := MustNew().Evaluate(context.Background(), Request{
+		Model: "test-registered-net", Mode: ModeCrossLayer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Result.Model != "test-registered-net" {
+		t.Errorf("evaluated model %q", ev.Result.Model)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := (Request{}).Validate(); err == nil {
+		t.Error("empty request validated")
+	}
+	if err := (Request{Model: "tinyconvnet", ExtraPEs: -1}).Validate(); err == nil {
+		t.Error("negative ExtraPEs validated")
+	}
+	if err := (Request{Model: "tinyconvnet", Solver: "bogus"}).Validate(); !errors.Is(err, ErrUnknownSolver) {
+		t.Errorf("bad solver Validate = %v", err)
+	}
+	if err := (Request{Model: "tinyconvnet", Mode: ModeCrossLayer}).Validate(); err != nil {
+		t.Errorf("good request rejected: %v", err)
+	}
+}
+
+func TestEngineOptionErrors(t *testing.T) {
+	for name, opt := range map[string]Option{
+		"crossbar": WithCrossbar(0, 256),
+		"tmvm":     WithTMVMNanos(-1),
+		"noc":      WithNoC(-0.5),
+		"gpeu":     WithGPEU(-1),
+		"energy":   WithEnergy(-1, 0),
+		"sets":     WithTargetSets(-1),
+		"tile":     WithPEsPerTile(0),
+		"workers":  WithWorkers(0),
+		"virt":     WithVirtualization(-1, 0),
+	} {
+		if _, err := New(opt); err == nil {
+			t.Errorf("option %s accepted an invalid value", name)
+		}
+	}
+}
+
+// sweepModel and sweepPoints define the benchmark workload: ≥10
+// (x, wdup) points on the paper's case-study model.
+const sweepModel = "tinyyolov4"
+const sweepPoints = 10
+
+// BenchmarkEngineSweep runs the sweep through one Engine per iteration:
+// the compile cache builds each distinct (model, arch, mapping) key once
+// and shares the layer-by-layer baseline across all points.
+func BenchmarkEngineSweep(b *testing.B) {
+	reqs := sweepRequests(sweepModel, sweepPoints)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := MustNew()
+		for _, req := range reqs {
+			if _, err := eng.Evaluate(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if s := eng.Stats(); s.Compiles != sweepPoints+1 {
+			b.Fatalf("engine compiled %d times, want %d (one per distinct key)",
+				s.Compiles, sweepPoints+1)
+		}
+	}
+}
+
+// BenchmarkOneShotSweep is the same sweep through the legacy one-shot
+// Evaluate: every point recompiles both the baseline and itself.
+func BenchmarkOneShotSweep(b *testing.B) {
+	reqs := sweepRequests(sweepModel, sweepPoints)
+	m, err := LoadModel(sweepModel, ModelOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, req := range reqs {
+			cfg := Config{ExtraPEs: req.ExtraPEs, WeightDuplication: req.WeightDuplication}
+			if _, err := Evaluate(m, cfg, req.Mode); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEvaluateBatch measures the concurrent batch path end to end.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	reqs := sweepRequests(sweepModel, sweepPoints)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := MustNew()
+		results, err := eng.EvaluateBatch(context.Background(), reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// Ensure the BenchmarkOneShotSweep workload really is the equivalent
+// sweep (same requests, same results) so the benchmark comparison is
+// apples to apples.
+func TestSweepWorkloadsAgree(t *testing.T) {
+	reqs := sweepRequests("tinybranchnet", 4)
+	eng := MustNew()
+	m := load(t, "tinybranchnet")
+	for _, req := range reqs {
+		got, err := eng.Evaluate(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Evaluate(m, Config{ExtraPEs: req.ExtraPEs, WeightDuplication: req.WeightDuplication}, req.Mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Result.MakespanCycles != want.Result.MakespanCycles {
+			t.Errorf("%+v: %d != %d", req, got.Result.MakespanCycles, want.Result.MakespanCycles)
+		}
+	}
+}

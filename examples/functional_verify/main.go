@@ -7,6 +7,10 @@
 // (quantized weights, bit-sliced cells, integer MVMs) — and the output
 // deviations are reported.
 //
+// Functional verification needs weight-carrying models, so it works on
+// *Model values from LoadModel directly rather than through an Engine:
+// there is no schedule to cache, and each run executes real tensors.
+//
 // Run with: go run ./examples/functional_verify
 package main
 

@@ -1,12 +1,14 @@
-// Quickstart: compile a built-in network for a tiled CIM architecture,
-// schedule it layer-by-layer and with CLSA-CIM, and compare the paper's
-// metrics. Then do the same for a small custom network built through the
-// public Builder API.
+// Quickstart: build an Engine for the paper's case-study architecture,
+// evaluate a built-in network layer-by-layer and with CLSA-CIM, and
+// compare the paper's metrics. Then register a small custom network
+// built through the public Builder API and run it through the same
+// engine.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,18 +16,24 @@ import (
 )
 
 func main() {
-	// --- Built-in model -------------------------------------------------
-	model, err := clsacim.LoadModel("tinyyolov4", clsacim.ModelOptions{})
+	ctx := context.Background()
+
+	// The paper's case-study architecture: 256x256 crossbars and
+	// tMVM = 1400 ns are the defaults, so no options are required.
+	eng, err := clsacim.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The paper's case study: 256x256 crossbars (the default), 32 extra
-	// PEs, weight duplication on, CLSA-CIM cross-layer scheduling.
-	ev, err := clsacim.Evaluate(model, clsacim.Config{
+	// --- Built-in model -------------------------------------------------
+	// 32 extra PEs, weight duplication on, CLSA-CIM cross-layer
+	// scheduling; Evaluate measures against the layer-by-layer baseline.
+	ev, err := eng.Evaluate(ctx, clsacim.Request{
+		Model:             "tinyyolov4",
+		Mode:              clsacim.ModeCrossLayer,
 		ExtraPEs:          32,
 		WeightDuplication: true,
-	}, clsacim.ModeCrossLayer)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,14 +63,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	comp, err := clsacim.Compile(custom, clsacim.Config{ExtraPEs: 8, WeightDuplication: true})
+	// Registering the model unifies it with the builtin table: it now
+	// resolves by name in any Request (and shows up in AllModels).
+	if err := clsacim.RegisterModel("mini-detector", custom); err != nil {
+		log.Fatal(err)
+	}
+
+	comp, err := eng.Compile(ctx, clsacim.Request{
+		Model: "mini-detector", ExtraPEs: 8, WeightDuplication: true,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d base layers, PEmin=%d, %d sets, %d dependency edges\n",
 		custom.Name, comp.BaseLayerCount(), comp.PEmin(), comp.NumSets(), comp.NumDepEdges())
 	for _, mode := range []clsacim.ScheduleMode{clsacim.ModeLayerByLayer, clsacim.ModeCrossLayer} {
-		rep, err := comp.Schedule(mode)
+		rep, err := eng.Schedule(ctx, clsacim.Request{
+			Model: "mini-detector", Mode: mode, ExtraPEs: 8, WeightDuplication: true,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

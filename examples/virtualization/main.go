@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,7 +17,12 @@ import (
 )
 
 func main() {
-	model, err := clsacim.LoadModel("vgg16", clsacim.ModelOptions{})
+	ctx := context.Background()
+
+	// WithVirtualization permits F < PEmin engine-wide (512-cycle
+	// crossbar writes, 4 programmable in parallel — the defaults);
+	// architectures at or above PEmin are unaffected.
+	eng, err := clsacim.New(clsacim.WithVirtualization(512, 4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,15 +33,12 @@ func main() {
 	var fullMakespan int64
 	for _, frac := range []float64{1.0, 0.9, 0.8, 0.6, 0.4} {
 		f := int(233 * frac)
-		cfg := clsacim.Config{
-			TotalPEs:             f,
-			WeightVirtualization: frac < 1,
-		}
-		comp, err := clsacim.Compile(model, cfg)
+		req := clsacim.Request{Model: "vgg16", Mode: clsacim.ModeLayerByLayer, TotalPEs: f}
+		comp, err := eng.Compile(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := comp.Schedule(clsacim.ModeLayerByLayer)
+		rep, err := eng.Schedule(ctx, req)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -49,19 +52,19 @@ func main() {
 			100*float64(rep.MakespanCycles-fullMakespan)/float64(fullMakespan))
 	}
 
-	// Write-cost sensitivity at 60 % of PEmin.
+	// Write-cost sensitivity at 60 % of PEmin: the write cost is part of
+	// the architecture, so each point overrides the engine Config.
 	fmt.Println("\nWrite-cost sensitivity (F = 60% of PEmin):")
 	fmt.Printf("%-22s %10s %9s\n", "cycles per crossbar", "makespan", "slowdown")
 	for _, wc := range []int64{64, 256, 512, 2048, 8192} {
-		comp, err := clsacim.Compile(model, clsacim.Config{
+		cfg := clsacim.Config{
 			TotalPEs:               139,
 			WeightVirtualization:   true,
 			WriteCyclesPerCrossbar: wc,
-		})
-		if err != nil {
-			log.Fatal(err)
 		}
-		rep, err := comp.Schedule(clsacim.ModeLayerByLayer)
+		rep, err := eng.Schedule(ctx, clsacim.Request{
+			Model: "vgg16", Mode: clsacim.ModeLayerByLayer, Config: &cfg,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module clsacim
+
+go 1.21

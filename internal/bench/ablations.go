@@ -26,16 +26,12 @@ func (h *Harness) RunGranularity(model string, targets []int) ([]AblationPoint, 
 	if err != nil {
 		return nil, err
 	}
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, t := range targets {
 		cfg := h.Base
 		cfg.ExtraPEs = 32
 		cfg.WeightDuplication = true
 		cfg.TargetSets = t
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -66,16 +62,12 @@ func (h *Harness) RunSolvers(model string, x int) ([]AblationPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, solver := range []string{"none", "greedy", "dp", "minmax"} {
 		cfg := h.Base
 		cfg.ExtraPEs = x
 		cfg.WeightDuplication = solver != "none"
 		cfg.Solver = solver
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -102,16 +94,12 @@ func (h *Harness) RunNoCCost(model string, hops []float64) ([]AblationPoint, err
 	if err != nil {
 		return nil, err
 	}
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, hop := range hops {
 		cfg := h.Base
 		cfg.ExtraPEs = 32
 		cfg.WeightDuplication = true
 		cfg.NoCCyclesPerHop = hop
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -135,16 +123,12 @@ func (h *Harness) RunNoCCost(model string, hops []float64) ([]AblationPoint, err
 // is measured against the matching layer-by-layer reference.
 func (h *Harness) RunCrossbarSize(model string, dims []int) ([]AblationPoint, error) {
 	var out []AblationPoint
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, d := range dims {
 		cfg := h.Base
 		cfg.PERows, cfg.PECols = d, d
 		cfg.ExtraPEs = 0
 		cfg.WeightDuplication = false
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +138,7 @@ func (h *Harness) RunCrossbarSize(model string, dims []int) ([]AblationPoint, er
 		}
 		cfg.ExtraPEs = 32
 		cfg.WeightDuplication = true
-		comp2, err := clsacim.Compile(m, cfg)
+		comp2, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -181,16 +165,12 @@ func (h *Harness) RunGPEUCost(model string, costs []float64) ([]AblationPoint, e
 	if err != nil {
 		return nil, err
 	}
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, c := range costs {
 		cfg := h.Base
 		cfg.ExtraPEs = 32
 		cfg.WeightDuplication = true
 		cfg.GPEUCyclesPerKElem = c
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -217,15 +197,11 @@ func (h *Harness) RunVirtualization(model string, fractions []float64) ([]Ablati
 	if err != nil {
 		return nil, err
 	}
-	m, err := h.model(model)
-	if err != nil {
-		return nil, err
-	}
 	for _, frac := range fractions {
 		cfg := h.Base
 		cfg.TotalPEs = int(float64(base.PEmin) * frac)
 		cfg.WeightVirtualization = frac < 1
-		comp, err := clsacim.Compile(m, cfg)
+		comp, err := h.compile(model, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -21,14 +22,15 @@ var XValues = []int{4, 8, 16, 32}
 // Benchmarks are the evaluation networks of Table II, in table order.
 var Benchmarks = []string{"tinyyolov3", "vgg16", "vgg19", "resnet50", "resnet101", "resnet152"}
 
-// Harness caches per-model baselines so sweeps do not recompile the
-// layer-by-layer reference for every point.
+// Harness runs every experiment through one shared clsacim.Engine, so
+// sweeps reuse compilations (and in particular the layer-by-layer
+// reference) instead of redoing them for every point.
 type Harness struct {
 	// Base is applied to every configuration before per-point overrides
 	// (use it to pin granularity, NoC costs, and so on).
 	Base clsacim.Config
 
-	models    map[string]*clsacim.Model
+	eng       *clsacim.Engine
 	baselines map[string]*clsacim.Report
 }
 
@@ -36,42 +38,34 @@ type Harness struct {
 func NewHarness(base clsacim.Config) *Harness {
 	return &Harness{
 		Base:      base,
-		models:    make(map[string]*clsacim.Model),
+		eng:       clsacim.MustNew(clsacim.WithConfig(base)),
 		baselines: make(map[string]*clsacim.Report),
 	}
 }
 
-func (h *Harness) model(name string) (*clsacim.Model, error) {
-	if m, ok := h.models[name]; ok {
-		return m, nil
-	}
-	m, err := clsacim.LoadModel(name, clsacim.ModelOptions{})
-	if err != nil {
-		return nil, err
-	}
-	h.models[name] = m
-	return m, nil
+// Engine exposes the harness's shared engine (for Stats inspection and
+// direct requests).
+func (h *Harness) Engine() *clsacim.Engine { return h.eng }
+
+// compile runs a model/config pair through the engine's compile cache.
+func (h *Harness) compile(model string, cfg clsacim.Config) (*clsacim.Compiled, error) {
+	return h.eng.Compile(context.Background(), clsacim.Request{Model: model, Config: &cfg})
 }
 
 // Baseline returns the layer-by-layer, no-duplication, x=0 reference for
-// a model (cached).
+// a model. The engine caches the compilation; the harness additionally
+// caches the scheduled report per model.
 func (h *Harness) Baseline(name string) (*clsacim.Report, error) {
 	if r, ok := h.baselines[name]; ok {
 		return r, nil
-	}
-	m, err := h.model(name)
-	if err != nil {
-		return nil, err
 	}
 	cfg := h.Base
 	cfg.ExtraPEs = 0
 	cfg.TotalPEs = 0
 	cfg.WeightDuplication = false
-	comp, err := clsacim.Compile(m, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := comp.Schedule(clsacim.ModeLayerByLayer)
+	rep, err := h.eng.Schedule(context.Background(), clsacim.Request{
+		Model: name, Mode: clsacim.ModeLayerByLayer, Config: &cfg,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -104,22 +98,12 @@ func (p Point) Label() string {
 
 // Run measures one configuration.
 func (h *Harness) Run(model string, x int, wdup bool, mode clsacim.ScheduleMode) (Point, error) {
-	base, err := h.Baseline(model)
-	if err != nil {
-		return Point{}, err
-	}
-	m, err := h.model(model)
-	if err != nil {
-		return Point{}, err
-	}
 	cfg := h.Base
 	cfg.ExtraPEs = x
 	cfg.WeightDuplication = wdup
-	comp, err := clsacim.Compile(m, cfg)
-	if err != nil {
-		return Point{}, err
-	}
-	rep, err := comp.Schedule(mode)
+	ev, err := h.eng.Evaluate(context.Background(), clsacim.Request{
+		Model: model, Mode: mode, Config: &cfg,
+	})
 	if err != nil {
 		return Point{}, err
 	}
@@ -128,10 +112,10 @@ func (h *Harness) Run(model string, x int, wdup bool, mode clsacim.ScheduleMode)
 		Mapping:     "-",
 		X:           x,
 		Sched:       "lbl",
-		Speedup:     float64(base.MakespanCycles) / float64(rep.MakespanCycles),
-		Utilization: rep.Utilization,
-		Makespan:    rep.MakespanCycles,
-		UtGain:      rep.Utilization / base.Utilization,
+		Speedup:     ev.Speedup,
+		Utilization: ev.Result.Utilization,
+		Makespan:    ev.Result.MakespanCycles,
+		UtGain:      ev.UtilizationGain,
 	}
 	if wdup {
 		p.Mapping = fmt.Sprintf("wdup+%d", x)

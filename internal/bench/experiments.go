@@ -18,11 +18,7 @@ type TableIRow struct {
 // RunTableI regenerates paper Table I: the base-layer structure of
 // TinyYOLOv4 and its minimum PE requirement.
 func (h *Harness) RunTableI() (rows []TableIRow, peMin int, err error) {
-	m, err := h.model("tinyyolov4")
-	if err != nil {
-		return nil, 0, err
-	}
-	comp, err := clsacim.Compile(m, h.Base)
+	comp, err := h.compile("tinyyolov4", h.Base)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -60,11 +56,7 @@ type TableIIRow struct {
 func (h *Harness) RunTableII() ([]TableIIRow, error) {
 	var rows []TableIIRow
 	for _, name := range Benchmarks {
-		m, err := h.model(name)
-		if err != nil {
-			return nil, err
-		}
-		comp, err := clsacim.Compile(m, h.Base)
+		comp, err := h.compile(name, h.Base)
 		if err != nil {
 			return nil, err
 		}
@@ -100,14 +92,10 @@ func (h *Harness) PrintTableII(w io.Writer) error {
 // scheduling. It returns the report for rendering plus the duplication
 // table shown next to Fig. 6a.
 func (h *Harness) RunFig6Gantt(mode clsacim.ScheduleMode) (*clsacim.Report, []clsacim.LayerRow, error) {
-	m, err := h.model("tinyyolov4")
-	if err != nil {
-		return nil, nil, err
-	}
 	cfg := h.Base
 	cfg.ExtraPEs = 16
 	cfg.WeightDuplication = true
-	comp, err := clsacim.Compile(m, cfg)
+	comp, err := h.compile("tinyyolov4", cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -142,7 +142,7 @@ func TestQuickSolverCrossValidation(t *testing.T) {
 				return false
 			}
 			for i, d := range sol.D {
-				if d < 1 || d > maxDup(plan.Layers[i]) {
+				if d < 1 || d > MaxDup(plan.Layers[i]) {
 					return false
 				}
 			}

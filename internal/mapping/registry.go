@@ -1,0 +1,98 @@
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Func is the signature of a pluggable duplication solver: given the
+// mapping plan and the total PE count F, produce a duplication vector
+// for Optimization Problem 1 (paper §III-C). Implementations must keep
+// sum(c_i * d_i) <= F and every d_i >= 1.
+type Func func(plan *Plan, F int) (Solution, error)
+
+// Typed registry errors, matchable with errors.Is.
+var (
+	ErrUnknownSolver   = fmt.Errorf("mapping: unknown solver")
+	ErrDuplicateSolver = fmt.Errorf("mapping: solver already registered")
+)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Func
+}{m: make(map[string]Func)}
+
+// Register adds a named solver. Names are case-sensitive and must be
+// unique; registering an existing name (including the builtins) returns
+// ErrDuplicateSolver.
+func Register(name string, fn Func) error {
+	if name == "" {
+		return fmt.Errorf("mapping: empty solver name")
+	}
+	if fn == nil {
+		return fmt.Errorf("mapping: nil solver func for %q", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.m[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSolver, name)
+	}
+	registry.m[name] = fn
+	return nil
+}
+
+// Lookup resolves a solver by name, returning ErrUnknownSolver (with the
+// available names in the message) when it is not registered.
+func Lookup(name string) (Func, error) {
+	registry.RLock()
+	fn, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownSolver, name, strings.Join(Names(), ", "))
+	}
+	return fn, nil
+}
+
+// Names lists the registered solver names, sorted.
+func Names() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	out := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewSolution validates a duplication vector produced by a custom solver
+// and completes it into a Solution (PEsNeeded, Objective).
+func NewSolution(plan *Plan, d []int) (Solution, error) {
+	if len(d) != len(plan.Layers) {
+		return Solution{}, fmt.Errorf("mapping: duplication vector has %d entries, plan has %d layers",
+			len(d), len(plan.Layers))
+	}
+	for i, v := range d {
+		if v < 1 {
+			return Solution{}, fmt.Errorf("mapping: layer %d duplication %d < 1", i, v)
+		}
+		if max := MaxDup(plan.Layers[i]); v > max {
+			return Solution{}, fmt.Errorf("mapping: layer %d duplication %d exceeds useful maximum %d", i, v, max)
+		}
+	}
+	return finish(plan, append([]int(nil), d...)), nil
+}
+
+// The builtin solvers of Solve, addressable by name.
+func init() {
+	for _, s := range []Solver{SolverNone, SolverGreedy, SolverDP, SolverBrute, SolverMinMax} {
+		s := s
+		if err := Register(s.String(), func(plan *Plan, F int) (Solution, error) {
+			return Solve(plan, F, s)
+		}); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package mapping
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// registryPlan builds a deterministic synthetic plan for registry tests.
+func registryPlan(n int) *Plan {
+	return randomPlan(rand.New(rand.NewSource(7)), n)
+}
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"dp", "greedy", "minmax", "none", "brute"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin solver %q not registered (have %v)", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestRegistryLookupMatchesSolve(t *testing.T) {
+	plan := registryPlan(5)
+	fn, err := Lookup("dp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	F := plan.MinPEs + 8
+	got, err := fn(plan, F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(plan, F, SolverDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != want.Objective || got.PEsNeeded != want.PEsNeeded {
+		t.Errorf("registry dp (%v, %d) != Solve dp (%v, %d)",
+			got.Objective, got.PEsNeeded, want.Objective, want.PEsNeeded)
+	}
+}
+
+func TestRegistryDuplicateAndInvalid(t *testing.T) {
+	fn := func(plan *Plan, F int) (Solution, error) { return Solve(plan, F, SolverNone) }
+	if err := Register("registry-test-ok", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register("registry-test-ok", fn); !errors.Is(err, ErrDuplicateSolver) {
+		t.Errorf("duplicate = %v, want ErrDuplicateSolver", err)
+	}
+	if err := Register("dp", fn); !errors.Is(err, ErrDuplicateSolver) {
+		t.Errorf("builtin shadowing = %v, want ErrDuplicateSolver", err)
+	}
+	if err := Register("", fn); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("registry-test-nil", nil); err == nil {
+		t.Error("nil func accepted")
+	}
+}
+
+func TestRegistryUnknown(t *testing.T) {
+	_, err := Lookup("no-such-solver")
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("err = %v, want ErrUnknownSolver", err)
+	}
+	if !strings.Contains(err.Error(), "dp") {
+		t.Errorf("error does not list available solvers: %v", err)
+	}
+}
+
+func TestNewSolution(t *testing.T) {
+	plan := registryPlan(4)
+	ones := []int{1, 1, 1, 1}
+	sol, err := NewSolution(plan, ones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PEsNeeded != plan.MinPEs {
+		t.Errorf("all-ones PEsNeeded = %d, want MinPEs %d", sol.PEsNeeded, plan.MinPEs)
+	}
+	// The input slice must not be aliased.
+	ones[0] = 99
+	if sol.D[0] == 99 {
+		t.Error("NewSolution aliased the caller's slice")
+	}
+	if _, err := NewSolution(plan, []int{1, 1}); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := NewSolution(plan, []int{0, 1, 1, 1}); err == nil {
+		t.Error("d_i < 1 accepted")
+	}
+	huge := []int{1 << 20, 1, 1, 1}
+	if _, err := NewSolution(plan, huge); err == nil {
+		t.Error("d_i > MaxDup accepted")
+	}
+}

@@ -41,10 +41,10 @@ func (s Solver) String() string {
 	return [...]string{"none", "greedy", "dp", "brute", "minmax"}[s]
 }
 
-// maxDup bounds the useful duplication of a layer: work is split along
+// MaxDup bounds the useful duplication of a layer: work is split along
 // OH (then OW), so more duplicates than output rows cannot be assigned
 // disjoint slabs. Dense layers (1x1 OFM) are never duplicated.
-func maxDup(info LayerInfo) int {
+func MaxDup(info LayerInfo) int {
 	return info.Node.OutShape.H
 }
 
@@ -97,7 +97,7 @@ func solveGreedy(plan *Plan, F int) Solution {
 		best := -1
 		var bestEff float64
 		for i, info := range plan.Layers {
-			if d[i] >= maxDup(info) || info.Cost > budget {
+			if d[i] >= MaxDup(info) || info.Cost > budget {
 				continue
 			}
 			gain := float64(info.Latency)/float64(d[i]) - float64(info.Latency)/float64(d[i]+1)
@@ -136,7 +136,7 @@ func solveDP(plan *Plan, F int) Solution {
 		next := make([]float64, budget+1)
 		for b := 0; b <= budget; b++ {
 			next[b] = inf
-			kMax := maxDup(info) - 1
+			kMax := MaxDup(info) - 1
 			if info.Cost > 0 && b/info.Cost < kMax {
 				kMax = b / info.Cost
 			}
@@ -195,7 +195,7 @@ func solveMinMax(plan *Plan, F int) Solution {
 			if lat <= bestLat {
 				continue
 			}
-			if d[i] < maxDup(info) && info.Cost <= budget {
+			if d[i] < MaxDup(info) && info.Cost <= budget {
 				bestLat = lat
 				best = i
 			}
@@ -223,7 +223,7 @@ func solveMinMax(plan *Plan, F int) Solution {
 		best := -1
 		var bestEff float64
 		for i, info := range plan.Layers {
-			if d[i] >= maxDup(info) || info.Cost > budget {
+			if d[i] >= MaxDup(info) || info.Cost > budget {
 				continue
 			}
 			gain := float64(info.Latency)/float64(d[i]) - float64(info.Latency)/float64(d[i]+1)
@@ -271,7 +271,7 @@ func solveBrute(plan *Plan, F int) (Solution, error) {
 			return
 		}
 		info := plan.Layers[i]
-		for k := 1; k <= maxDup(info); k++ {
+		for k := 1; k <= MaxDup(info); k++ {
 			if used+info.Cost*k > F {
 				break
 			}

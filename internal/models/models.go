@@ -284,3 +284,13 @@ func SortedIDs() []ID {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
+
+// Known reports whether id names a builtin model, without building it.
+func Known(id ID) bool {
+	for _, k := range SortedIDs() {
+		if k == id {
+			return true
+		}
+	}
+	return false
+}

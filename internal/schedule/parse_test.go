@@ -1,0 +1,40 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{
+		"xinf":           CrossLayer,
+		"XINF":           CrossLayer,
+		"crosslayer":     CrossLayer,
+		"cross-layer":    CrossLayer,
+		"lbl":            LayerByLayer,
+		"layer-by-layer": LayerByLayer,
+		"layerbylayer":   LayerByLayer,
+		" lbl ":          LayerByLayer,
+	} {
+		got, err := ParseMode(in)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", in, err)
+		} else if got != want {
+			t.Errorf("ParseMode(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "warp", "x-inf"} {
+		if _, err := ParseMode(bad); !errors.Is(err, ErrUnknownMode) {
+			t.Errorf("ParseMode(%q) = %v, want ErrUnknownMode", bad, err)
+		}
+	}
+}
+
+func TestParseModeRoundTripsString(t *testing.T) {
+	for _, m := range []Mode{LayerByLayer, CrossLayer} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMode(%v.String()) = %v, %v", m, got, err)
+		}
+	}
+}

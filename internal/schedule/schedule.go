@@ -24,6 +24,7 @@ package schedule
 
 import (
 	"fmt"
+	"strings"
 
 	"clsacim/internal/deps"
 )
@@ -43,6 +44,23 @@ func (m Mode) String() string {
 		return "xinf"
 	}
 	return "layer-by-layer"
+}
+
+// ErrUnknownMode reports a mode name ParseMode does not recognize.
+var ErrUnknownMode = fmt.Errorf("schedule: unknown mode")
+
+// ParseMode resolves the paper's mode names: "xinf" (cross-layer
+// inference, aliases "crosslayer" and "cross-layer") and "lbl"
+// (layer-by-layer, aliases "layer-by-layer" and "layerbylayer").
+// Matching is case-insensitive.
+func ParseMode(name string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "xinf", "crosslayer", "cross-layer":
+		return CrossLayer, nil
+	case "lbl", "layer-by-layer", "layerbylayer":
+		return LayerByLayer, nil
+	}
+	return 0, fmt.Errorf("%w %q (want xinf or lbl)", ErrUnknownMode, name)
 }
 
 // Item is one scheduled set execution on one replica PE group.

@@ -29,10 +29,8 @@ type ModelOptions struct {
 	InputSize int
 }
 
-// Models lists the built-in evaluation networks (paper Table II plus the
-// TinyYOLOv4 case study).
-func Models() []string {
-	ids := models.List()
+// idNames converts internal model IDs to their public names.
+func idNames(ids []models.ID) []string {
 	out := make([]string, len(ids))
 	for i, id := range ids {
 		out[i] = string(id)
@@ -40,23 +38,30 @@ func Models() []string {
 	return out
 }
 
-// AllModels lists every built-in network, including the small synthetic
-// test networks, sorted by name.
+// Models lists the built-in evaluation networks (paper Table II plus the
+// TinyYOLOv4 case study).
+func Models() []string { return idNames(models.List()) }
+
+// AllModels lists every available network — the builtins (including the
+// small synthetic test networks) plus everything added through
+// RegisterModel — sorted by name.
 func AllModels() []string {
-	ids := models.SortedIDs()
-	out := make([]string, len(ids))
-	for i, id := range ids {
-		out[i] = string(id)
-	}
+	out := append(idNames(models.SortedIDs()), registeredModels()...)
 	sort.Strings(out)
 	return out
 }
 
-// LoadModel returns a built-in model by name (see Models).
+// LoadModel returns a built-in model by name (see Models). Unknown
+// names fail with ErrUnknownModel; the error lists what is available.
 func LoadModel(name string, opt ModelOptions) (*Model, error) {
 	id := models.ID(name)
+	if !models.Known(id) {
+		// LoadModel only resolves builtins, so only list those;
+		// registered models resolve through Request.Model / the Engine.
+		return nil, unknownModelError(name, idNames(models.SortedIDs()))
+	}
 	mo := models.Options{WithWeights: opt.WithWeights, Seed: opt.Seed, InputSize: opt.InputSize}
-	// Probe once so unknown names fail at load time, not at compile time.
+	// Probe once so invalid options fail at load time, not at compile time.
 	if _, err := models.Build(id, mo); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,187 @@
+package clsacim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+)
+
+// Typed registry and lookup errors, matchable with errors.Is.
+var (
+	// ErrUnknownSolver reports a Config.Solver / Request.Solver name
+	// that is not registered. The error message lists the known names.
+	ErrUnknownSolver = errors.New("clsacim: unknown solver")
+	// ErrDuplicateSolver reports a RegisterSolver name collision.
+	ErrDuplicateSolver = errors.New("clsacim: solver already registered")
+	// ErrUnknownModel reports a model name that is neither builtin nor
+	// registered. The error message lists the available names.
+	ErrUnknownModel = errors.New("clsacim: unknown model")
+	// ErrDuplicateModel reports a RegisterModel name collision.
+	ErrDuplicateModel = errors.New("clsacim: model already registered")
+	// ErrUnknownMode reports a scheduling-mode name ParseMode does not
+	// recognize.
+	ErrUnknownMode = errors.New("clsacim: unknown scheduling mode")
+)
+
+// SolverLayer is the read-only per-layer view handed to custom
+// duplication solvers: the paper's (c_i, t_i) pair plus the largest
+// useful duplication factor.
+type SolverLayer struct {
+	// Name is the base layer's graph name (e.g. "conv2d_3").
+	Name string
+	// PEs is c_i: crossbars needed by one replica of the layer.
+	PEs int
+	// Cycles is t_i: the layer latency with d_i = 1.
+	Cycles int64
+	// MaxDup is the largest duplication factor that can still be
+	// assigned disjoint output slabs.
+	MaxDup int
+}
+
+// SolverFunc is a pluggable duplication solver for Optimization
+// Problem 1 (paper §III-C): choose duplication factors d (one per
+// layer, d_i >= 1, d_i <= MaxDup_i) such that sum(PEs_i * d_i) does not
+// exceed totalPEs. minPEs is sum(PEs_i), the cost of storing every
+// weight once.
+type SolverFunc func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error)
+
+// RegisterSolver makes a custom duplication solver available under the
+// given name to every Config, Request, and Engine in the process. The
+// builtin names ("dp", "greedy", "minmax", "none", "brute") and
+// previously registered names are rejected with ErrDuplicateSolver.
+// RegisterSolver is safe for concurrent use.
+func RegisterSolver(name string, fn SolverFunc) error {
+	if fn == nil {
+		return fmt.Errorf("clsacim: nil solver func for %q", name)
+	}
+	err := mapping.Register(name, func(plan *mapping.Plan, F int) (mapping.Solution, error) {
+		layers := make([]SolverLayer, len(plan.Layers))
+		for i, info := range plan.Layers {
+			layers[i] = SolverLayer{
+				Name:   info.Node.Name,
+				PEs:    info.Cost,
+				Cycles: info.Latency,
+				MaxDup: mapping.MaxDup(info),
+			}
+		}
+		d, err := fn(layers, F, plan.MinPEs)
+		if err != nil {
+			return mapping.Solution{}, fmt.Errorf("solver %q: %w", name, err)
+		}
+		sol, err := mapping.NewSolution(plan, d)
+		if err != nil {
+			return mapping.Solution{}, fmt.Errorf("solver %q: %w", name, err)
+		}
+		if sol.PEsNeeded > F {
+			return mapping.Solution{}, fmt.Errorf("solver %q: needs %d PEs, architecture has %d",
+				name, sol.PEsNeeded, F)
+		}
+		return sol, nil
+	})
+	if errors.Is(err, mapping.ErrDuplicateSolver) {
+		return fmt.Errorf("%w: %q", ErrDuplicateSolver, name)
+	}
+	return err
+}
+
+// Solvers lists the registered duplication-solver names (builtin and
+// custom), sorted.
+func Solvers() []string { return mapping.Names() }
+
+// lookupSolver resolves a solver name into the registry-backed solve
+// function, translating the internal error into the package-typed one.
+func lookupSolver(name string) (mapping.Func, error) {
+	fn, err := mapping.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownSolver, name, strings.Join(Solvers(), ", "))
+	}
+	return fn, nil
+}
+
+// modelRegistry holds custom models registered through RegisterModel
+// and lazily caches builtin models, so name resolution is stable: the
+// same name always yields the same *Model instance.
+var modelRegistry = struct {
+	sync.RWMutex
+	custom   map[string]*Model
+	builtins map[string]*Model
+}{custom: make(map[string]*Model), builtins: make(map[string]*Model)}
+
+// RegisterModel makes a model (typically built with Builder) available
+// by name to every Engine and Request in the process, unifying it with
+// the builtin model table: registered names show up in AllModels and
+// resolve in Request.Model. Builtin and previously registered names are
+// rejected with ErrDuplicateModel.
+func RegisterModel(name string, m *Model) error {
+	if name == "" {
+		return errors.New("clsacim: empty model name")
+	}
+	if m == nil {
+		return fmt.Errorf("clsacim: nil model for %q", name)
+	}
+	if models.Known(models.ID(name)) {
+		return fmt.Errorf("%w: %q is a builtin model", ErrDuplicateModel, name)
+	}
+	modelRegistry.Lock()
+	defer modelRegistry.Unlock()
+	if _, ok := modelRegistry.custom[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateModel, name)
+	}
+	modelRegistry.custom[name] = m
+	return nil
+}
+
+// registeredModels returns the names added through RegisterModel.
+func registeredModels() []string {
+	modelRegistry.RLock()
+	defer modelRegistry.RUnlock()
+	out := make([]string, 0, len(modelRegistry.custom))
+	for name := range modelRegistry.custom {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lookupModel resolves a model name: custom registrations first, then
+// the builtin table (cached, so repeated lookups return the same
+// instance and Engine compile caches stay keyed consistently).
+func lookupModel(name string) (*Model, error) {
+	modelRegistry.RLock()
+	if m, ok := modelRegistry.custom[name]; ok {
+		modelRegistry.RUnlock()
+		return m, nil
+	}
+	if m, ok := modelRegistry.builtins[name]; ok {
+		modelRegistry.RUnlock()
+		return m, nil
+	}
+	modelRegistry.RUnlock()
+	m, err := LoadModel(name, ModelOptions{})
+	if errors.Is(err, ErrUnknownModel) {
+		// Re-list here: unlike LoadModel, this resolver also serves
+		// registered models, so the error should advertise them too.
+		return nil, unknownModelError(name, AllModels())
+	}
+	if err != nil {
+		return nil, err
+	}
+	modelRegistry.Lock()
+	defer modelRegistry.Unlock()
+	if prev, ok := modelRegistry.builtins[name]; ok {
+		return prev, nil
+	}
+	modelRegistry.builtins[name] = m
+	return m, nil
+}
+
+// unknownModelError builds the typed lookup failure listing what the
+// failing resolver could actually have served.
+func unknownModelError(name string, available []string) error {
+	return fmt.Errorf("%w %q (available: %s)", ErrUnknownModel, name, strings.Join(available, ", "))
+}

@@ -1,0 +1,125 @@
+package clsacim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"clsacim/internal/schedule"
+)
+
+// Request describes one evaluation: which model to run, how to map it
+// (the sweep knobs of the paper's Fig. 6c/7), and how to schedule it.
+// The architecture normally comes from the Engine's options; a Request
+// only overlays the per-workload fields, so requests stay small and a
+// sweep over (x, wdup) points shares one compiled baseline.
+//
+// Request round-trips through JSON (mode is encoded as "xinf"/"lbl"),
+// so evaluation jobs can arrive over the wire:
+//
+//	{"model": "tinyyolov4", "mode": "xinf", "extra_pes": 32, "weight_duplication": true}
+type Request struct {
+	// Model names a builtin model (see Models) or one registered with
+	// RegisterModel.
+	Model string `json:"model"`
+	// Mode selects the scheduling strategy (default ModeLayerByLayer).
+	Mode ScheduleMode `json:"mode"`
+	// ExtraPEs overlays Config.ExtraPEs when non-zero (the paper's x).
+	ExtraPEs int `json:"extra_pes,omitempty"`
+	// TotalPEs overlays Config.TotalPEs when non-zero.
+	TotalPEs int `json:"total_pes,omitempty"`
+	// WeightDuplication turns the wdup mapping on. (It cannot turn an
+	// engine-wide default off; use Config for full control.)
+	WeightDuplication bool `json:"weight_duplication,omitempty"`
+	// Solver overlays Config.Solver when non-empty.
+	Solver string `json:"solver,omitempty"`
+	// Config, when non-nil, replaces the Engine's configuration
+	// entirely (the overlay fields above still apply on top). Use it
+	// when a request must control the architecture itself.
+	Config *Config `json:"config,omitempty"`
+}
+
+// Validate checks the request against the process-wide registries
+// without compiling anything.
+func (r Request) Validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("clsacim: request has no model")
+	}
+	if _, err := lookupModel(r.Model); err != nil {
+		return err
+	}
+	if r.ExtraPEs < 0 {
+		return fmt.Errorf("clsacim: request has negative ExtraPEs %d", r.ExtraPEs)
+	}
+	if r.TotalPEs < 0 {
+		return fmt.Errorf("clsacim: request has negative TotalPEs %d", r.TotalPEs)
+	}
+	if r.Solver != "" {
+		if _, err := lookupSolver(r.Solver); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchResult pairs one Request of an EvaluateBatch call with its
+// outcome. Exactly one of Evaluation and Err is set.
+type BatchResult struct {
+	Request    Request
+	Evaluation *Evaluation
+	Err        error
+}
+
+// ParseMode resolves the paper's scheduling-mode names: "xinf"
+// (cross-layer inference) and "lbl" (layer-by-layer), case-insensitive,
+// with the aliases "cross-layer", "crosslayer", "layer-by-layer", and
+// "layerbylayer". Unknown names return ErrUnknownMode.
+func ParseMode(name string) (ScheduleMode, error) {
+	m, err := schedule.ParseMode(name)
+	if err != nil {
+		return 0, fmt.Errorf("%w %q (want xinf or lbl)", ErrUnknownMode, name)
+	}
+	if m == schedule.CrossLayer {
+		return ModeCrossLayer, nil
+	}
+	return ModeLayerByLayer, nil
+}
+
+// wireName is the compact mode encoding used on the wire.
+func (m ScheduleMode) wireName() string {
+	if m == ModeCrossLayer {
+		return "xinf"
+	}
+	return "lbl"
+}
+
+// MarshalJSON encodes the mode as "xinf" or "lbl".
+func (m ScheduleMode) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.wireName())
+}
+
+// UnmarshalJSON accepts the wire names understood by ParseMode as well
+// as the numeric enum values (0 = lbl, 1 = xinf) for compatibility.
+func (m *ScheduleMode) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, perr := ParseMode(s)
+		if perr != nil {
+			return perr
+		}
+		*m = parsed
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("clsacim: mode must be a string or integer: %w", err)
+	}
+	switch n {
+	case int(ModeLayerByLayer):
+		*m = ModeLayerByLayer
+	case int(ModeCrossLayer):
+		*m = ModeCrossLayer
+	default:
+		return fmt.Errorf("%w %d", ErrUnknownMode, n)
+	}
+	return nil
+}
