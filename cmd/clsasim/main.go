@@ -8,6 +8,7 @@
 //	clsasim -model tinyyolov4 -x 32 -wdup -sched xinf
 //	clsasim -model resnet50 -x 4 -wdup -sched xinf -noc 1.5
 //	clsasim -model vgg16 -sched lbl -sets 26
+//	clsasim -model tinyyolov4 -x 32 -wdup -sched x4   # at most 4 layers active
 package main
 
 import (
@@ -23,7 +24,7 @@ func main() {
 	model := flag.String("model", "tinyyolov4", "model name")
 	x := flag.Int("x", 0, "extra PEs beyond PEmin (the paper's wdup+x)")
 	wdup := flag.Bool("wdup", false, "enable weight duplication mapping")
-	sched := flag.String("sched", "xinf", "scheduling: xinf (CLSA-CIM) or lbl (layer-by-layer)")
+	sched := flag.String("sched", "xinf", "scheduling: xinf (CLSA-CIM), lbl (layer-by-layer), or xK bounded window (e.g. x4)")
 	solver := flag.String("solver", "dp", "duplication solver: dp, greedy, minmax, none")
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest)")
 	pe := flag.Int("pe", 256, "crossbar dimension")

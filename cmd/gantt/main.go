@@ -20,7 +20,7 @@ func main() {
 	model := flag.String("model", "tinyyolov4", "model name")
 	x := flag.Int("x", 16, "extra PEs beyond PEmin")
 	wdup := flag.Bool("wdup", true, "enable weight duplication mapping")
-	sched := flag.String("sched", "xinf", "scheduling: xinf or lbl")
+	sched := flag.String("sched", "xinf", "scheduling: xinf, lbl, or xK bounded window (e.g. x4)")
 	width := flag.Int("width", 100, "chart width in time buckets")
 	sets := flag.Int("sets", 26, "target sets per layer (coarse renders more readable charts)")
 	flag.Parse()

@@ -315,6 +315,7 @@ func TestScheduleModeJSON(t *testing.T) {
 	}{
 		{`"xinf"`, ModeCrossLayer}, {`"lbl"`, ModeLayerByLayer},
 		{`"layer-by-layer"`, ModeLayerByLayer}, {`"XINF"`, ModeCrossLayer},
+		{`"x1"`, ModeWindow(1)}, {`"x4"`, ModeWindow(4)}, {`"X16"`, ModeWindow(16)},
 		{`0`, ModeLayerByLayer}, {`1`, ModeCrossLayer},
 	} {
 		if err := json.Unmarshal([]byte(tc.in), &m); err != nil {
@@ -326,6 +327,19 @@ func TestScheduleModeJSON(t *testing.T) {
 	if err := json.Unmarshal([]byte(`"warp"`), &m); !errors.Is(err, ErrUnknownMode) {
 		t.Errorf("unknown mode error = %v, want ErrUnknownMode", err)
 	}
+	if err := json.Unmarshal([]byte(`"x0"`), &m); !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("x0 error = %v, want ErrUnknownMode", err)
+	}
+	for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeCrossLayer, ModeWindow(2), ModeWindow(9)} {
+		b, err := json.Marshal(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ScheduleMode
+		if err := json.Unmarshal(b, &back); err != nil || back != mode {
+			t.Errorf("mode %v round trip = %v, %v", mode, back, err)
+		}
+	}
 	if err := json.Unmarshal([]byte(`7`), &m); !errors.Is(err, ErrUnknownMode) {
 		t.Errorf("unknown numeric mode error = %v, want ErrUnknownMode", err)
 	}
@@ -335,6 +349,7 @@ func TestParseMode(t *testing.T) {
 	for in, want := range map[string]ScheduleMode{
 		"xinf": ModeCrossLayer, "lbl": ModeLayerByLayer,
 		"cross-layer": ModeCrossLayer, "Layer-By-Layer": ModeLayerByLayer,
+		"x1": ModeWindow(1), "x2": ModeWindow(2), "X8": ModeWindow(8),
 	} {
 		got, err := ParseMode(in)
 		if err != nil || got != want {

@@ -188,6 +188,44 @@ func (h *Harness) RunGPEUCost(model string, costs []float64) ([]AblationPoint, e
 	return out, nil
 }
 
+// RunWindowSweep sweeps the xK admission window under wdup+32: at most
+// K layers concurrently active, interpolating between the paper's two
+// extremes (K=1 ≡ lbl, unbounded ≡ xinf). Makespans are monotone
+// non-increasing in K, quantifying how much pipeline depth the speedup
+// actually needs — small windows need proportionally less tile buffer.
+func (h *Harness) RunWindowSweep(model string, windows []int) ([]AblationPoint, error) {
+	var out []AblationPoint
+	base, err := h.Baseline(model)
+	if err != nil {
+		return nil, err
+	}
+	modes := []clsacim.ScheduleMode{clsacim.ModeLayerByLayer}
+	for _, k := range windows {
+		modes = append(modes, clsacim.ModeWindow(k))
+	}
+	modes = append(modes, clsacim.ModeCrossLayer)
+	cfg := h.Base
+	cfg.ExtraPEs = 32
+	cfg.WeightDuplication = true
+	comp, err := h.compile(model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, mode := range modes {
+		rep, err := comp.Schedule(mode)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationPoint{
+			Study: "window", Model: model, Param: mode.Name(),
+			Speedup:  float64(base.MakespanCycles) / float64(rep.MakespanCycles),
+			Ut:       rep.Utilization,
+			Makespan: rep.MakespanCycles,
+		})
+	}
+	return out, nil
+}
+
 // RunVirtualization sweeps the PE count below PEmin (paper §V-C future
 // work): swapped layers are reprogrammed before execution, trading PEs
 // for latency and crossbar endurance. fractions are F/PEmin ratios.
@@ -256,6 +294,11 @@ func (h *Harness) PrintAblations(w io.Writer) error {
 		return err
 	}
 	all = append(all, virt...)
+	win, err := h.RunWindowSweep(model, []int{2, 4, 8})
+	if err != nil {
+		return err
+	}
+	all = append(all, win...)
 
 	fmt.Fprintf(w, "Ablation studies (%s, wdup+32 + xinf unless noted)\n", model)
 	tw := table(w)

@@ -79,7 +79,7 @@ type Point struct {
 	// Mapping is "-" (no duplication) or "wdup+<x>".
 	Mapping string
 	X       int
-	Sched   string // "lbl" or "xinf"
+	Sched   string // canonical mode name: "lbl", "x<K>", or "xinf"
 	// Speedup is relative to the layer-by-layer x=0 baseline.
 	Speedup     float64
 	Utilization float64
@@ -111,7 +111,7 @@ func (h *Harness) Run(model string, x int, wdup bool, mode clsacim.ScheduleMode)
 		Model:       model,
 		Mapping:     "-",
 		X:           x,
-		Sched:       "lbl",
+		Sched:       mode.Name(),
 		Speedup:     ev.Speedup,
 		Utilization: ev.Result.Utilization,
 		Makespan:    ev.Result.MakespanCycles,
@@ -119,9 +119,6 @@ func (h *Harness) Run(model string, x int, wdup bool, mode clsacim.ScheduleMode)
 	}
 	if wdup {
 		p.Mapping = fmt.Sprintf("wdup+%d", x)
-	}
-	if mode == clsacim.ModeCrossLayer {
-		p.Sched = "xinf"
 	}
 	return p, nil
 }

@@ -1,0 +1,122 @@
+package deps
+
+import "clsacim/internal/sets"
+
+// CSR is the compressed-sparse-row form of the set-dependency DAG over
+// a flat set index space: sets are numbered layer-major in plan order
+// (layer l's sets occupy [LayerOff[l], LayerOff[l+1])), and both edge
+// directions are stored as flat offset/target/volume arrays. It is
+// built once by Build and consumed by the Stage IV scheduler and the
+// event-driven simulator, whose hot loops index these arrays instead of
+// chasing the per-set slice-of-slices in Deps.
+type CSR struct {
+	// LayerOff[l] is the flat id of layer l's first set; the final
+	// entry is the total set count.
+	LayerOff []int32
+	// SetLayer[i] is the layer owning flat set i.
+	SetLayer []int32
+	// Cycles[i] is the execution time of flat set i.
+	Cycles []int64
+
+	// Predecessor edges: flat set i depends on the sets
+	// Pred[PredOff[i]:PredOff[i+1]], sorted ascending; PredVol carries
+	// the per-edge read volume (SetRef.Vol).
+	PredOff []int32
+	Pred    []int32
+	PredVol []int32
+
+	// Successor edges (the exact reverse relation): flat set i is read
+	// by Succ[SuccOff[i]:SuccOff[i+1]], sorted ascending, with the
+	// matching volumes in SuccVol.
+	SuccOff []int32
+	Succ    []int32
+	SuccVol []int32
+}
+
+// buildCSR flattens the per-set dependency lists. The lists in d are
+// already deduplicated and sorted by (Layer, Set), so predecessor runs
+// come out sorted; successors are filled by walking consumers in flat
+// order, which sorts them as well.
+func buildCSR(plan *sets.Plan, d [][][]SetRef) *CSR {
+	numLayers := len(plan.Layers)
+	c := &CSR{LayerOff: make([]int32, numLayers+1)}
+	total := 0
+	for li := range plan.Layers {
+		c.LayerOff[li] = int32(total)
+		total += len(plan.Layers[li].Sets)
+	}
+	c.LayerOff[numLayers] = int32(total)
+	c.SetLayer = make([]int32, total)
+	c.Cycles = make([]int64, total)
+	for li := range plan.Layers {
+		for si, set := range plan.Layers[li].Sets {
+			i := c.LayerOff[li] + int32(si)
+			c.SetLayer[i] = int32(li)
+			c.Cycles[i] = set.Cycles
+		}
+	}
+
+	edges := 0
+	for _, layer := range d {
+		for _, refs := range layer {
+			edges += len(refs)
+		}
+	}
+	c.PredOff = make([]int32, total+1)
+	c.Pred = make([]int32, 0, edges)
+	c.PredVol = make([]int32, 0, edges)
+	succCount := make([]int32, total)
+	id := 0
+	for _, layer := range d {
+		for _, refs := range layer {
+			c.PredOff[id] = int32(len(c.Pred))
+			for _, r := range refs {
+				p := c.LayerOff[r.Layer] + int32(r.Set)
+				c.Pred = append(c.Pred, p)
+				c.PredVol = append(c.PredVol, int32(r.Vol))
+				succCount[p]++
+			}
+			id++
+		}
+	}
+	c.PredOff[total] = int32(len(c.Pred))
+
+	c.SuccOff = make([]int32, total+1)
+	var off int32
+	for i, n := range succCount {
+		c.SuccOff[i] = off
+		off += n
+	}
+	c.SuccOff[total] = off
+	c.Succ = make([]int32, edges)
+	c.SuccVol = make([]int32, edges)
+	cursor := make([]int32, total)
+	copy(cursor, c.SuccOff[:total])
+	for i := int32(0); i < int32(total); i++ {
+		for e := c.PredOff[i]; e < c.PredOff[i+1]; e++ {
+			p := c.Pred[e]
+			c.Succ[cursor[p]] = i
+			c.SuccVol[cursor[p]] = c.PredVol[e]
+			cursor[p]++
+		}
+	}
+	return c
+}
+
+// ID returns the flat id of set si of layer li.
+func (c *CSR) ID(li, si int) int32 { return c.LayerOff[li] + int32(si) }
+
+// Set resolves a flat id back to its (layer, set) pair.
+func (c *CSR) Set(id int32) (li, si int) {
+	l := c.SetLayer[id]
+	return int(l), int(id - c.LayerOff[l])
+}
+
+// NumSets returns the total set count.
+func (c *CSR) NumSets() int { return len(c.SetLayer) }
+
+// NumEdges returns the total dependency-edge count.
+func (c *CSR) NumEdges() int { return len(c.Pred) }
+
+// NumLayers returns the layer count.
+func (c *CSR) NumLayers() int { return len(c.LayerOff) - 1 }

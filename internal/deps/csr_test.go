@@ -1,0 +1,125 @@
+package deps
+
+import (
+	"testing"
+
+	"clsacim/internal/frontend"
+	"clsacim/internal/im2col"
+	"clsacim/internal/mapping"
+	"clsacim/internal/models"
+	"clsacim/internal/sets"
+)
+
+func buildGraph(t *testing.T, id models.ID, inputSize, targetSets int) *Graph {
+	t.Helper()
+	g := models.MustBuild(id, models.Options{InputSize: inputSize})
+	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := mapping.Analyze(g, im2col.PEDims{Rows: 256, Cols: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := mapping.Solve(plan, plan.MinPEs, mapping.SolverNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := mapping.Apply(g, plan, sol, plan.MinPEs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sets.Determine(g, m, sets.Options{TargetSets: targetSets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := Build(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dg
+}
+
+// TestCSRMirrorsDeps: the flat CSR arrays must encode exactly the
+// per-set dependency lists in both directions, with matching volumes
+// and sorted runs, across models and granularities.
+func TestCSRMirrorsDeps(t *testing.T) {
+	cases := []struct {
+		id         models.ID
+		size       int
+		targetSets int
+	}{
+		{models.TinyBranchNet, 16, 4},
+		{models.TinyYOLOv4, 416, 26},
+		{models.TinyConvNet, 32, sets.FineGranularity},
+		{models.TinyMLP, 8, 4},
+	}
+	for _, c := range cases {
+		dg := buildGraph(t, c.id, c.size, c.targetSets)
+		csr := dg.CSR
+		if csr == nil {
+			t.Fatalf("%s: Build left CSR nil", c.id)
+		}
+		if csr.NumLayers() != len(dg.Plan.Layers) {
+			t.Fatalf("%s: CSR has %d layers, plan %d", c.id, csr.NumLayers(), len(dg.Plan.Layers))
+		}
+		if csr.NumSets() != dg.NumSets() || csr.NumEdges() != dg.NumEdges() {
+			t.Fatalf("%s: CSR %d sets / %d edges, graph %d / %d",
+				c.id, csr.NumSets(), csr.NumEdges(), dg.NumSets(), dg.NumEdges())
+		}
+		// Forward edges match Deps exactly (same order: sorted by flat id).
+		for li := range dg.Deps {
+			for si, refs := range dg.Deps[li] {
+				id := csr.ID(li, si)
+				if gl, gs := csr.Set(id); gl != li || gs != si {
+					t.Fatalf("%s: ID/Set round trip broke at L%d/S%d", c.id, li, si)
+				}
+				if csr.Cycles[id] != dg.Plan.Layers[li].Sets[si].Cycles {
+					t.Fatalf("%s: cycles mismatch at L%d/S%d", c.id, li, si)
+				}
+				lo, hi := csr.PredOff[id], csr.PredOff[id+1]
+				if int(hi-lo) != len(refs) {
+					t.Fatalf("%s: L%d/S%d has %d CSR preds, %d refs", c.id, li, si, hi-lo, len(refs))
+				}
+				for k, r := range refs {
+					if csr.Pred[lo+int32(k)] != csr.ID(r.Layer, r.Set) {
+						t.Fatalf("%s: L%d/S%d pred %d mismatch", c.id, li, si, k)
+					}
+					if int(csr.PredVol[lo+int32(k)]) != r.Vol {
+						t.Fatalf("%s: L%d/S%d pred %d volume mismatch", c.id, li, si, k)
+					}
+				}
+			}
+		}
+		// Successor arrays are the exact transpose: every (pred, succ,
+		// vol) triple appears once on each side.
+		type edge struct {
+			p, s int32
+			v    int32
+		}
+		fwd := make(map[edge]int)
+		for id := int32(0); int(id) < csr.NumSets(); id++ {
+			for e := csr.PredOff[id]; e < csr.PredOff[id+1]; e++ {
+				fwd[edge{csr.Pred[e], id, csr.PredVol[e]}]++
+			}
+		}
+		for id := int32(0); int(id) < csr.NumSets(); id++ {
+			prev := int32(-1)
+			for e := csr.SuccOff[id]; e < csr.SuccOff[id+1]; e++ {
+				if csr.Succ[e] <= prev {
+					t.Fatalf("%s: successors of %d not strictly ascending", c.id, id)
+				}
+				prev = csr.Succ[e]
+				k := edge{id, csr.Succ[e], csr.SuccVol[e]}
+				if fwd[k] == 0 {
+					t.Fatalf("%s: successor edge %v has no forward twin", c.id, k)
+				}
+				fwd[k]--
+			}
+		}
+		for k, n := range fwd {
+			if n != 0 {
+				t.Fatalf("%s: forward edge %v missing from successor arrays", c.id, k)
+			}
+		}
+	}
+}

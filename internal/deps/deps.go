@@ -16,7 +16,7 @@ package deps
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"clsacim/internal/nn"
 	"clsacim/internal/region"
@@ -38,6 +38,10 @@ type Graph struct {
 	// by (Layer, Set). Sets with no entries depend only on the network
 	// input (available at time zero).
 	Deps [][][]SetRef
+	// CSR is the flat compressed-sparse-row form of Deps (both edge
+	// directions), built once by Build; the scheduler and simulator hot
+	// paths consume it instead of Deps.
+	CSR *CSR
 }
 
 // Build computes Stage II for plan over graph g.
@@ -63,6 +67,7 @@ func Build(g *nn.Graph, plan *sets.Plan) (*Graph, error) {
 			dg.Deps[li][si] = dedupe(scratch)
 		}
 	}
+	dg.CSR = buildCSR(plan, dg.Deps)
 	return dg, nil
 }
 
@@ -72,23 +77,25 @@ func dedupe(refs []SetRef) []SetRef {
 	if len(refs) == 0 {
 		return nil
 	}
-	sort.Slice(refs, func(a, b int) bool {
-		if refs[a].Layer != refs[b].Layer {
-			return refs[a].Layer < refs[b].Layer
+	slices.SortFunc(refs, func(a, b SetRef) int {
+		if a.Layer != b.Layer {
+			return a.Layer - b.Layer
 		}
-		return refs[a].Set < refs[b].Set
+		return a.Set - b.Set
 	})
-	out := make([]SetRef, 0, len(refs))
-	for _, r := range refs {
-		if n := len(out); n > 0 && out[n-1].Layer == r.Layer && out[n-1].Set == r.Set {
-			if r.Vol > out[n-1].Vol {
-				out[n-1].Vol = r.Vol
+	// Compact duplicates in place, then clone the right-sized result.
+	n := 0
+	for _, r := range refs[1:] {
+		if refs[n].Layer == r.Layer && refs[n].Set == r.Set {
+			if r.Vol > refs[n].Vol {
+				refs[n].Vol = r.Vol
 			}
 			continue
 		}
-		out = append(out, r)
+		n++
+		refs[n] = r
 	}
-	return out
+	return slices.Clone(refs[:n+1])
 }
 
 type srcRegion struct {

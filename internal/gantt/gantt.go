@@ -26,13 +26,13 @@ type Span struct {
 }
 
 // FromSchedule builds one row per (layer, replica) PE group from an
-// executed schedule, merging adjacent busy intervals.
-func FromSchedule(dg *deps.Graph, s *schedule.Schedule) []Row {
+// executed timeline, merging adjacent busy intervals.
+func FromSchedule(dg *deps.Graph, s *schedule.Timeline) []Row {
 	var rows []Row
 	for li, ls := range dg.Plan.Layers {
 		d := ls.Group.Dup
 		perRep := make([][]Span, d)
-		for _, it := range s.Items[li] {
+		for _, it := range s.ItemsOf(li) {
 			sp := Span{it.Start, it.End}
 			reps := perRep[it.Replica]
 			if n := len(reps); n > 0 && reps[n-1].End == sp.Start {

@@ -14,7 +14,7 @@ import (
 	"clsacim/internal/sets"
 )
 
-func sched(t *testing.T, mode schedule.Mode) (*deps.Graph, *schedule.Schedule) {
+func sched(t *testing.T, p schedule.Policy) (*deps.Graph, *schedule.Timeline) {
 	t.Helper()
 	g := models.MustBuild(models.TinyYOLOv4, models.Options{})
 	if _, err := frontend.Canonicalize(g, frontend.Options{}); err != nil {
@@ -40,7 +40,7 @@ func sched(t *testing.T, mode schedule.Mode) (*deps.Graph, *schedule.Schedule) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := schedule.Build(dg, mode, schedule.Options{})
+	s, err := schedule.Schedule(dg, p, schedule.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

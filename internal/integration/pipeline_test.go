@@ -68,14 +68,14 @@ func TestFuzzPipeline(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			lbl, err := schedule.Build(dg, schedule.LayerByLayer, schedule.Options{})
+			lbl, err := schedule.Schedule(dg, schedule.LayerByLayer, schedule.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if err := lbl.Validate(dg, schedule.Options{}); err != nil {
 				t.Fatalf("lbl invalid: %v", err)
 			}
-			xinf, err := schedule.Build(dg, schedule.CrossLayer, schedule.Options{})
+			xinf, err := schedule.Schedule(dg, schedule.CrossLayer, schedule.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,19 +115,46 @@ func TestFuzzPipeline(t *testing.T) {
 				t.Fatalf("speedup %v != utilization ratio %v", s, utX/utL)
 			}
 
-			// Event-driven simulator agreement (both modes).
+			// Cross-validation: for every policy — the two extremes and a
+			// sample of bounded windows — the analytic scheduler and the
+			// event-driven simulator must produce identical makespans and
+			// identical timelines, and the xK makespans must be monotone
+			// non-increasing in K, bracketed by lbl and xinf.
 			arch := cim.Default()
 			arch.NumPEs = plan.MinPEs + extra
-			for mode, want := range map[schedule.Mode]*schedule.Schedule{
-				schedule.LayerByLayer: lbl,
-				schedule.CrossLayer:   xinf,
-			} {
-				res, err := sim.Run(arch, dg, m, mode, nil)
+			nl := len(dg.Plan.Layers)
+			policies := []schedule.Policy{schedule.LayerByLayer, schedule.CrossLayer}
+			for _, k := range []int{1, 2, 3, 1 + r.Intn(nl+1), nl} {
+				policies = append(policies, schedule.Windowed(k))
+			}
+			prevWindow, prevMakespan := 0, int64(0)
+			for _, p := range policies {
+				want, err := schedule.Schedule(dg, p, schedule.Options{})
 				if err != nil {
-					t.Fatalf("sim %v: %v", mode, err)
+					t.Fatalf("schedule %v: %v", p, err)
 				}
-				if res.MakespanCycles != want.Makespan {
-					t.Fatalf("sim %v makespan %d != analytic %d", mode, res.MakespanCycles, want.Makespan)
+				if err := want.Validate(dg, schedule.Options{}); err != nil {
+					t.Fatalf("%v invalid: %v", p, err)
+				}
+				res, err := sim.Run(arch, dg, m, p, nil)
+				if err != nil {
+					t.Fatalf("sim %v: %v", p, err)
+				}
+				if res.Makespan != want.Makespan {
+					t.Fatalf("sim %v makespan %d != analytic %d", p, res.Makespan, want.Makespan)
+				}
+				if !res.Timeline.Equal(want) {
+					t.Fatalf("sim %v timeline differs from analytic", p)
+				}
+				if want.Makespan > lbl.Makespan || want.Makespan < xinf.Makespan {
+					t.Fatalf("%v makespan %d outside [xinf %d, lbl %d]",
+						p, want.Makespan, xinf.Makespan, lbl.Makespan)
+				}
+				if k := p.Window(); k >= prevWindow && prevMakespan > 0 && want.Makespan > prevMakespan && k != schedule.Unbounded {
+					t.Fatalf("x%d makespan %d > x%d makespan %d (not monotone)",
+						k, want.Makespan, prevWindow, prevMakespan)
+				} else if k >= prevWindow && k != schedule.Unbounded {
+					prevWindow, prevMakespan = k, want.Makespan
 				}
 			}
 		})

@@ -15,7 +15,7 @@ import (
 // PEs of the architecture of (active cycles / total inference cycles).
 // PEs of one group are active exactly while the group executes a set;
 // PEs not allocated to any group contribute zero.
-func Utilization(s *schedule.Schedule, m *mapping.Mapping) (float64, error) {
+func Utilization(s *schedule.Timeline, m *mapping.Mapping) (float64, error) {
 	if s.Makespan <= 0 {
 		return 0, fmt.Errorf("metrics: empty schedule (makespan %d)", s.Makespan)
 	}
@@ -70,7 +70,7 @@ func LatencyNanos(cycles int64, tMVMNanos float64) float64 {
 // and each crossbar programming operation (weight virtualization)
 // consumes writeNanoJ. Idle/leakage power is excluded — the result is
 // the dynamic compute energy the utilization metric is about.
-func EnergyNanoJoule(s *schedule.Schedule, m *mapping.Mapping, mvmNanoJ, writeNanoJ float64, writes int) (float64, error) {
+func EnergyNanoJoule(s *schedule.Timeline, m *mapping.Mapping, mvmNanoJ, writeNanoJ float64, writes int) (float64, error) {
 	if len(s.LayerActive) != len(m.Groups) {
 		return 0, fmt.Errorf("metrics: schedule has %d layers, mapping %d groups",
 			len(s.LayerActive), len(m.Groups))

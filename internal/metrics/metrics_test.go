@@ -51,7 +51,7 @@ func pipeline(t *testing.T, id models.ID, inputSize, extra, targetSets int) (*ma
 // sum(c_i * t_i) / (F * sum(t_i)).
 func TestUtilizationLayerByLayerClosedForm(t *testing.T) {
 	m, dg := pipeline(t, models.TinyYOLOv4, 416, 0, 26)
-	s, err := schedule.Build(dg, schedule.LayerByLayer, schedule.Options{})
+	s, err := schedule.Schedule(dg, schedule.LayerByLayer, schedule.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +77,11 @@ func TestUtilizationLayerByLayerClosedForm(t *testing.T) {
 
 func TestUtilizationErrors(t *testing.T) {
 	m, dg := pipeline(t, models.TinyBranchNet, 16, 0, 4)
-	s := &schedule.Schedule{LayerActive: make([]int64, len(m.Groups))}
+	s := &schedule.Timeline{LayerActive: make([]int64, len(m.Groups))}
 	if _, err := Utilization(s, m); err == nil {
 		t.Error("zero makespan accepted")
 	}
-	s2, err := schedule.Build(dg, schedule.CrossLayer, schedule.Options{})
+	s2, err := schedule.Schedule(dg, schedule.CrossLayer, schedule.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestEq3ConsistencyAcrossConfigs(t *testing.T) {
 		id    models.ID
 		size  int
 		extra int
-		mode  schedule.Mode
+		mode  schedule.Policy
 	}
 	cases := []cfg{
 		{models.TinyYOLOv4, 416, 0, schedule.CrossLayer},
@@ -123,7 +123,7 @@ func TestEq3ConsistencyAcrossConfigs(t *testing.T) {
 	for _, c := range cases {
 		// Baseline: lbl, no duplication, F = PEmin.
 		mBase, dgBase := pipeline(t, c.id, c.size, 0, 26)
-		sBase, err := schedule.Build(dgBase, schedule.LayerByLayer, schedule.Options{})
+		sBase, err := schedule.Schedule(dgBase, schedule.LayerByLayer, schedule.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +132,7 @@ func TestEq3ConsistencyAcrossConfigs(t *testing.T) {
 			t.Fatal(err)
 		}
 		m, dg := pipeline(t, c.id, c.size, c.extra, 26)
-		s, err := schedule.Build(dg, c.mode, schedule.Options{})
+		s, err := schedule.Schedule(dg, c.mode, schedule.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -12,63 +12,88 @@ type PathStep struct {
 	Item Item
 	// Cause explains what bound the step's start time: "dep" (a data
 	// dependency), "resource" (the previous set on the same replica),
-	// or "start" (ready at time zero).
+	// "window" (the policy's admission gate on a preceding layer's
+	// completion), or "start" (ready at time zero).
 	Cause string
 }
 
 // CriticalPath walks backward from the set that finishes at the
 // makespan, at each step moving to whichever predecessor determined the
 // current set's start time — the data dependency whose completion (plus
-// edge cost) equals the start, or the previous set on the same replica.
-// The returned path is in execution order (earliest first) and explains
-// which layer chain limits the inference latency.
-func (s *Schedule) CriticalPath(dg *deps.Graph, opt Options) ([]PathStep, error) {
-	if s.Makespan == 0 {
-		return nil, fmt.Errorf("schedule: empty schedule")
+// edge cost) equals the start, the previous set on the same replica, or
+// the admission-window gate. The returned path is in execution order
+// (earliest first) and explains which layer chain limits the inference
+// latency.
+func (t *Timeline) CriticalPath(dg *deps.Graph, opt Options) ([]PathStep, error) {
+	if t.Makespan == 0 {
+		return nil, fmt.Errorf("schedule: empty timeline")
 	}
+	csr := dg.CSR
 	// Locate the finishing set.
 	var cur Item
 	found := false
-	for li := range s.Items {
-		for _, it := range s.Items[li] {
-			if it.End == s.Makespan {
-				cur = it
-				found = true
-				break
-			}
-		}
-		if found {
+	for _, it := range t.Items {
+		if it.End == t.Makespan {
+			cur = it
+			found = true
 			break
 		}
 	}
 	if !found {
-		return nil, fmt.Errorf("schedule: no item ends at makespan %d", s.Makespan)
+		return nil, fmt.Errorf("schedule: no item ends at makespan %d", t.Makespan)
 	}
 
+	k := Unbounded
+	if t.Policy != nil {
+		k = t.Policy.Window()
+	}
 	var rev []PathStep
 	for {
 		step := PathStep{Item: cur, Cause: "start"}
-		// Previous set on the same replica.
-		d := dg.Plan.Layers[cur.Layer].Group.Dup
-		prevSet := cur.Set - d
+		// Previous set on the same replica, read off the timeline's own
+		// replica assignments so any Policy dispatch rule works
+		// (cur.Set - d under the built-in raster round-robin).
+		prevSet := -1
+		for sj := cur.Set - 1; sj >= 0; sj-- {
+			if t.At(cur.Layer, sj).Replica == cur.Replica {
+				prevSet = sj
+				break
+			}
+		}
 		var next Item
 		if prevSet >= 0 {
-			prev := s.Items[cur.Layer][prevSet]
+			prev := *t.At(cur.Layer, prevSet)
 			if prev.End == cur.Start {
 				step.Cause = "resource"
 				next = prev
 			}
 		}
 		if step.Cause == "start" {
-			for _, dep := range dg.Deps[cur.Layer][cur.Set] {
-				end := s.Items[dep.Layer][dep.Set].End
+			id := csr.ID(cur.Layer, cur.Set)
+			for e := csr.PredOff[id]; e < csr.PredOff[id+1]; e++ {
+				pid := csr.Pred[e]
+				end := t.Items[pid].End
 				if opt.EdgeCost != nil {
-					end += opt.EdgeCost(dep, cur.Layer)
+					pl, ps := csr.Set(pid)
+					end += opt.EdgeCost(deps.SetRef{Layer: pl, Set: ps, Vol: int(csr.PredVol[e])}, cur.Layer)
 				}
 				if end == cur.Start {
 					step.Cause = "dep"
-					next = s.Items[dep.Layer][dep.Set]
+					next = t.Items[pid]
 					break
+				}
+			}
+		}
+		if step.Cause == "start" && cur.Layer >= k {
+			// The admission window: some layer up to cur.Layer-k finished
+			// exactly at cur.Start.
+			for lj := cur.Layer - k; lj >= 0 && step.Cause == "start"; lj-- {
+				for _, it := range t.ItemsOf(lj) {
+					if it.End == cur.Start {
+						step.Cause = "window"
+						next = it
+						break
+					}
 				}
 			}
 		}

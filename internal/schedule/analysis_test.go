@@ -9,7 +9,7 @@ import (
 
 func TestCriticalPathProperties(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 32, 52)
-	s, err := Build(dg, CrossLayer, Options{})
+	s, err := Schedule(dg, CrossLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestCriticalPathProperties(t *testing.T) {
 
 func TestCriticalPathSummary(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyConvNet, 32, 0, sets.FineGranularity)
-	s, err := Build(dg, CrossLayer, Options{})
+	s, err := Schedule(dg, CrossLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestCriticalPathSummary(t *testing.T) {
 }
 
 func TestCriticalPathEmptySchedule(t *testing.T) {
-	s := &Schedule{}
+	s := &Timeline{}
 	if _, err := s.CriticalPath(nil, Options{}); err == nil {
 		t.Error("empty schedule accepted")
 	}

@@ -36,18 +36,23 @@ type ExportItem struct {
 	W1      int   `json:"w1"`
 }
 
-// BuildExport assembles the serializable view of s over its dependency
-// graph.
-func (s *Schedule) BuildExport(dg *deps.Graph) Export {
-	out := Export{Mode: s.Mode.String(), Makespan: s.Makespan}
+// BuildExport assembles the serializable view of t over its dependency
+// graph. Mode carries the producing policy's canonical name ("lbl",
+// "x4", "xinf").
+func (t *Timeline) BuildExport(dg *deps.Graph) Export {
+	mode := ""
+	if t.Policy != nil {
+		mode = t.Policy.Name()
+	}
+	out := Export{Mode: mode, Makespan: t.Makespan}
 	for li, ls := range dg.Plan.Layers {
 		el := ExportLayer{
 			Name:     ls.Group.Node.Name,
 			Replicas: ls.Group.Dup,
 			PEs:      ls.Group.PEsPerReplica(),
-			Active:   s.LayerActive[li],
+			Active:   t.LayerActive[li],
 		}
-		for si, it := range s.Items[li] {
+		for si, it := range t.ItemsOf(li) {
 			b := ls.Sets[si].Box
 			el.Items = append(el.Items, ExportItem{
 				Set: si, Replica: it.Replica, Start: it.Start, End: it.End,
@@ -59,9 +64,9 @@ func (s *Schedule) BuildExport(dg *deps.Graph) Export {
 	return out
 }
 
-// WriteJSON encodes the schedule as indented JSON.
-func (s *Schedule) WriteJSON(w io.Writer, dg *deps.Graph) error {
+// WriteJSON encodes the timeline as indented JSON.
+func (t *Timeline) WriteJSON(w io.Writer, dg *deps.Graph) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(s.BuildExport(dg))
+	return enc.Encode(t.BuildExport(dg))
 }

@@ -10,7 +10,7 @@ import (
 
 func TestExportJSONRoundTrip(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 16, 26)
-	s, err := Build(dg, CrossLayer, Options{})
+	s, err := Schedule(dg, CrossLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestExportJSONRoundTrip(t *testing.T) {
 			t.Fatalf("layer %d items = %d, want %d", li, len(el.Items), len(ls.Sets))
 		}
 		for si, it := range el.Items {
-			want := s.Items[li][si]
+			want := *s.At(li, si)
 			if it.Start != want.Start || it.End != want.End || it.Replica != want.Replica {
 				t.Fatalf("layer %d set %d timing mismatch", li, si)
 			}
@@ -61,7 +61,7 @@ func TestLayerByLayerVirtualSchedule(t *testing.T) {
 	if err := s.Validate(dg, Options{}); err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Build(dg, LayerByLayer, Options{})
+	plain, err := Schedule(dg, LayerByLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestParseMode(t *testing.T) {
-	for in, want := range map[string]Mode{
+	for in, want := range map[string]Policy{
 		"xinf":           CrossLayer,
 		"XINF":           CrossLayer,
 		"crosslayer":     CrossLayer,
@@ -15,6 +15,11 @@ func TestParseMode(t *testing.T) {
 		"layer-by-layer": LayerByLayer,
 		"layerbylayer":   LayerByLayer,
 		" lbl ":          LayerByLayer,
+		"x1":             Windowed(1),
+		"x2":             Windowed(2),
+		"X4":             Windowed(4),
+		" x16 ":          Windowed(16),
+		"x1024":          Windowed(1024),
 	} {
 		got, err := ParseMode(in)
 		if err != nil {
@@ -23,18 +28,18 @@ func TestParseMode(t *testing.T) {
 			t.Errorf("ParseMode(%q) = %v, want %v", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "warp", "x-inf"} {
+	for _, bad := range []string{"", "warp", "x-inf", "x", "x0", "x-3", "x2.5", "xK", "x 4"} {
 		if _, err := ParseMode(bad); !errors.Is(err, ErrUnknownMode) {
 			t.Errorf("ParseMode(%q) = %v, want ErrUnknownMode", bad, err)
 		}
 	}
 }
 
-func TestParseModeRoundTripsString(t *testing.T) {
-	for _, m := range []Mode{LayerByLayer, CrossLayer} {
-		got, err := ParseMode(m.String())
-		if err != nil || got != m {
-			t.Errorf("ParseMode(%v.String()) = %v, %v", m, got, err)
+func TestParseModeRoundTripsName(t *testing.T) {
+	for _, p := range []Policy{LayerByLayer, CrossLayer, Windowed(1), Windowed(2), Windowed(7)} {
+		got, err := ParseMode(p.Name())
+		if err != nil || got != p {
+			t.Errorf("ParseMode(%v.Name()) = %v, %v", p, got, err)
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Unbounded is the Window of policies that never gate layer admission.
+const Unbounded = math.MaxInt32
+
+// Policy is a pluggable scheduling strategy: the Stage III dispatch
+// rule assigning a layer's sets to its replica PE groups, plus the
+// admission rule bounding how many layers may execute concurrently.
+//
+// The admission rule is a sliding window over the plan's topological
+// layer order: layer l may not start before every layer up to l-Window
+// has completed, so at most Window layers are ever concurrently active.
+// Window 1 is the paper's layer-by-layer baseline (strictly sequential
+// layers), Unbounded is full cross-layer inference ("xinf"), and the
+// intermediate xK family trades scheduling freedom (and buffer
+// pressure) against pipeline depth.
+type Policy interface {
+	// Name is the canonical mode name understood by ParseMode:
+	// "lbl", "x<K>", or "xinf".
+	Name() string
+	// Window is the admission bound: the maximum number of layers
+	// concurrently active (1 = layer-by-layer, Unbounded = xinf).
+	Window() int
+	// Replica is the Stage III dispatch rule: the replica PE group
+	// (0 <= r < d) executing set si of a layer with d replicas.
+	Replica(si, d int) int
+}
+
+// raster is the shared Stage III dispatch of every built-in policy:
+// sets go to the d replicas round-robin in raster order ("the input
+// vectors are evenly distributed among the duplicates", paper §III-C).
+type raster struct{}
+
+func (raster) Replica(si, d int) int { return si % d }
+
+type lblPolicy struct{ raster }
+
+func (lblPolicy) Name() string   { return "lbl" }
+func (lblPolicy) Window() int    { return 1 }
+func (lblPolicy) String() string { return "lbl" }
+
+type xinfPolicy struct{ raster }
+
+func (xinfPolicy) Name() string   { return "xinf" }
+func (xinfPolicy) Window() int    { return Unbounded }
+func (xinfPolicy) String() string { return "xinf" }
+
+type windowPolicy struct {
+	raster
+	k int
+}
+
+func (p windowPolicy) Name() string   { return "x" + strconv.Itoa(p.k) }
+func (p windowPolicy) Window() int    { return p.k }
+func (p windowPolicy) String() string { return p.Name() }
+
+// LayerByLayer is the paper's §II-B baseline: layers execute strictly
+// sequentially; only the replicas of the current layer overlap.
+var LayerByLayer Policy = lblPolicy{}
+
+// CrossLayer is CLSA-CIM cross-layer inference (paper §IV, "xinf"):
+// a set starts as soon as its replica and its Stage II dependencies
+// allow, with no admission bound.
+var CrossLayer Policy = xinfPolicy{}
+
+// Windowed returns the bounded cross-layer policy xK: at most k layers
+// concurrently active. k = 1 behaves exactly like LayerByLayer and
+// k >= the layer count exactly like CrossLayer; values in between
+// interpolate. Non-positive k is clamped to 1.
+func Windowed(k int) Policy {
+	if k < 1 {
+		k = 1
+	}
+	return windowPolicy{k: k}
+}
+
+// ErrUnknownMode reports a mode name ParseMode does not recognize.
+var ErrUnknownMode = fmt.Errorf("schedule: unknown mode")
+
+// ParseMode resolves a scheduling policy by name: "xinf" (cross-layer
+// inference, aliases "crosslayer" and "cross-layer"), "lbl"
+// (layer-by-layer, aliases "layer-by-layer" and "layerbylayer"), or
+// the bounded-window family "x<K>" for a positive decimal K ("x1",
+// "x2", "x4", ...). Matching is case-insensitive.
+func ParseMode(name string) (Policy, error) {
+	s := strings.ToLower(strings.TrimSpace(name))
+	switch s {
+	case "xinf", "crosslayer", "cross-layer":
+		return CrossLayer, nil
+	case "lbl", "layer-by-layer", "layerbylayer":
+		return LayerByLayer, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "x"); ok {
+		if k, err := strconv.Atoi(rest); err == nil && k >= 1 {
+			return Windowed(k), nil
+		}
+	}
+	return nil, fmt.Errorf("%w %q (want lbl, xinf, or xK)", ErrUnknownMode, name)
+}

@@ -1,5 +1,6 @@
 // Package schedule implements Stages III and IV of CLSA-CIM (paper
-// §IV-3/4) plus the layer-by-layer baseline of §II-B.
+// §IV-3/4), the layer-by-layer baseline of §II-B, and the bounded
+// cross-layer family interpolating between them.
 //
 // Stage III fixes the intra-layer order of each base layer's OFM sets:
 // sets execute in raster order (resource dependency — the same crossbars
@@ -12,64 +13,24 @@
 // same replica serialize; sets on different replicas may overlap.
 //
 // Stage IV computes the earliest feasible start of every set: a set
-// starts as soon as its replica has finished its previous set and every
-// predecessor set it depends on (Stage II) is complete — partial OFMs
-// flow to successor layers before the full OFM exists, which is what
-// raises PE utilization.
+// starts as soon as its replica has finished its previous set, every
+// predecessor set it depends on (Stage II) is complete, and the
+// policy's admission window permits the layer — partial OFMs flow to
+// successor layers before the full OFM exists, which is what raises PE
+// utilization.
 //
-// The layer-by-layer baseline executes one layer at a time in
-// topological order; only the replicas of the current layer overlap
-// (weight-duplication mapping, paper Fig. 1(c) and Fig. 6a).
+// All strategies are instances of one Policy interface (see policy.go):
+// "lbl" (window 1, strictly sequential layers, paper Fig. 1(c) and
+// Fig. 6a), "xinf" (unbounded window, Fig. 6b), and the bounded "xK"
+// family in between. One scheduler loop over the dependency graph's CSR
+// arrays serves them all.
 package schedule
 
 import (
 	"fmt"
-	"strings"
 
 	"clsacim/internal/deps"
 )
-
-// Mode distinguishes the two scheduling strategies.
-type Mode int
-
-// Scheduling modes.
-const (
-	LayerByLayer Mode = iota
-	CrossLayer
-)
-
-// String names the mode as in the paper's plots.
-func (m Mode) String() string {
-	if m == CrossLayer {
-		return "xinf"
-	}
-	return "layer-by-layer"
-}
-
-// ErrUnknownMode reports a mode name ParseMode does not recognize.
-var ErrUnknownMode = fmt.Errorf("schedule: unknown mode")
-
-// ParseMode resolves the paper's mode names: "xinf" (cross-layer
-// inference, aliases "crosslayer" and "cross-layer") and "lbl"
-// (layer-by-layer, aliases "layer-by-layer" and "layerbylayer").
-// Matching is case-insensitive.
-func ParseMode(name string) (Mode, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "xinf", "crosslayer", "cross-layer":
-		return CrossLayer, nil
-	case "lbl", "layer-by-layer", "layerbylayer":
-		return LayerByLayer, nil
-	}
-	return 0, fmt.Errorf("%w %q (want xinf or lbl)", ErrUnknownMode, name)
-}
-
-// Item is one scheduled set execution on one replica PE group.
-type Item struct {
-	Layer, Set int
-	// Replica is the PE group (0 <= Replica < d_i) executing the set.
-	Replica    int
-	Start, End int64 // cycles
-}
 
 // EdgeCostFn returns extra latency (cycles) charged on a dependency edge
 // from predecessor set pred to a set of layer toLayer — the hook for the
@@ -82,90 +43,83 @@ type Options struct {
 	EdgeCost EdgeCostFn
 }
 
-// Schedule is a complete executable timetable.
-type Schedule struct {
-	Mode Mode
-	// Items[l][s] is the execution of set s of layer l.
-	Items [][]Item
-	// Makespan is the total inference time t_NN in cycles.
-	Makespan int64
-	// LayerActive[l] is the summed busy time of all replicas of layer l.
-	LayerActive []int64
-	// ReplicaActive[l][r] is the busy time of replica r of layer l.
-	ReplicaActive [][]int64
-}
-
-// Build computes a schedule for the dependency graph in the given mode.
-func Build(dg *deps.Graph, mode Mode, opt Options) (*Schedule, error) {
-	switch mode {
-	case CrossLayer:
-		return crossLayer(dg, opt), nil
-	case LayerByLayer:
-		return layerByLayer(dg), nil
-	default:
-		return nil, fmt.Errorf("schedule: unknown mode %d", mode)
+// Schedule computes the execution timeline of dg under policy p: list
+// scheduling over the set DAG's CSR arrays, processing layers in
+// topological (plan) order so every dependency's finish time is known
+// when a set is placed. The policy's admission window gates each layer
+// on the completion of every layer Window positions back, which
+// serializes layers entirely at window 1 and imposes nothing at
+// Unbounded.
+func Schedule(dg *deps.Graph, p Policy, opt Options) (*Timeline, error) {
+	if p == nil {
+		return nil, fmt.Errorf("schedule: nil policy")
 	}
-}
-
-// crossLayer is Stage IV: earliest-start list scheduling over the set
-// DAG. Layers are processed in topological (plan) order, so every
-// dependency's finish time is known when a set is placed.
-func crossLayer(dg *deps.Graph, opt Options) *Schedule {
-	s := newSchedule(dg, CrossLayer)
+	if dg == nil || dg.CSR == nil {
+		return nil, fmt.Errorf("schedule: dependency graph has no CSR (build it with deps.Build)")
+	}
+	csr := dg.CSR
+	t := NewTimeline(dg, p)
+	k := p.Window()
+	nl := len(dg.Plan.Layers)
+	// prefixEnd[i] is the max end over layers [0, i): the admission
+	// gate of layer li is prefixEnd[li-k+1].
+	prefixEnd := make([]int64, nl+1)
+	// At window 1 with idealized edges every predecessor (always in an
+	// earlier layer) finishes no later than the gate, so the dependency
+	// scan is provably redundant.
+	skipDeps := k == 1 && opt.EdgeCost == nil
+	var ready []int64
 	for li, ls := range dg.Plan.Layers {
 		d := ls.Group.Dup
-		ready := make([]int64, d) // per-replica resource availability
-		for si, set := range ls.Sets {
-			r := si % d
-			start := ready[r]
-			for _, dep := range dg.Deps[li][si] {
-				t := s.Items[dep.Layer][dep.Set].End
-				if opt.EdgeCost != nil {
-					t += opt.EdgeCost(dep, li)
-				}
-				if t > start {
-					start = t
-				}
-			}
-			end := start + set.Cycles
-			s.Items[li][si] = Item{Layer: li, Set: si, Replica: r, Start: start, End: end}
-			s.LayerActive[li] += set.Cycles
-			s.ReplicaActive[li][r] += set.Cycles
-			ready[r] = end
-			if end > s.Makespan {
-				s.Makespan = end
-			}
+		var gate int64
+		if k < nl && li >= k {
+			gate = prefixEnd[li-k+1]
 		}
-	}
-	return s
-}
-
-// layerByLayer executes layers strictly sequentially; within a layer the
-// d_i replicas process the set raster round-robin in parallel.
-func layerByLayer(dg *deps.Graph) *Schedule {
-	s := newSchedule(dg, LayerByLayer)
-	var cur int64
-	for li, ls := range dg.Plan.Layers {
-		d := ls.Group.Dup
-		ready := make([]int64, d)
+		if cap(ready) < d {
+			ready = make([]int64, d)
+		}
+		ready = ready[:d]
 		for i := range ready {
-			ready[i] = cur
+			ready[i] = gate
 		}
-		end := cur
-		for si, set := range ls.Sets {
-			r := si % d
-			s.Items[li][si] = Item{Layer: li, Set: si, Replica: r, Start: ready[r], End: ready[r] + set.Cycles}
-			ready[r] += set.Cycles
-			s.LayerActive[li] += set.Cycles
-			s.ReplicaActive[li][r] += set.Cycles
-			if ready[r] > end {
-				end = ready[r]
+		base := int(csr.LayerOff[li])
+		active := t.ReplicaActive[li]
+		var layerEnd, layerActive int64
+		for si := 0; si < len(ls.Sets); si++ {
+			id := base + si
+			r := p.Replica(si, d)
+			start := ready[r]
+			for e := csr.PredOff[id]; !skipDeps && e < csr.PredOff[id+1]; e++ {
+				pid := csr.Pred[e]
+				pt := t.Items[pid].End
+				if opt.EdgeCost != nil {
+					pl, ps := csr.Set(pid)
+					pt += opt.EdgeCost(deps.SetRef{Layer: pl, Set: ps, Vol: int(csr.PredVol[e])}, li)
+				}
+				if pt > start {
+					start = pt
+				}
+			}
+			c := csr.Cycles[id]
+			end := start + c
+			t.Items[id] = Item{Layer: li, Set: si, Replica: r, Start: start, End: end}
+			layerActive += c
+			active[r] += c
+			ready[r] = end
+			if end > layerEnd {
+				layerEnd = end
 			}
 		}
-		cur = end
+		t.LayerActive[li] = layerActive
+		prefixEnd[li+1] = prefixEnd[li]
+		if layerEnd > prefixEnd[li+1] {
+			prefixEnd[li+1] = layerEnd
+		}
+		if layerEnd > t.Makespan {
+			t.Makespan = layerEnd
+		}
 	}
-	s.Makespan = cur
-	return s
+	return t, nil
 }
 
 // LayerByLayerVirtual schedules a weight-virtualized mapping (paper
@@ -175,154 +129,25 @@ func layerByLayer(dg *deps.Graph) *Schedule {
 // per-layer programming cost (0 for resident layers). Reload time counts
 // toward the makespan but not toward active (computing) cycles, so it
 // depresses Eq. 2 utilization exactly as real crossbar writes would.
-func LayerByLayerVirtual(dg *deps.Graph, reload []int64) (*Schedule, error) {
+func LayerByLayerVirtual(dg *deps.Graph, reload []int64) (*Timeline, error) {
 	if len(reload) != len(dg.Plan.Layers) {
 		return nil, fmt.Errorf("schedule: reload vector has %d entries, plan %d",
 			len(reload), len(dg.Plan.Layers))
 	}
-	s := newSchedule(dg, LayerByLayer)
+	csr := dg.CSR
+	t := NewTimeline(dg, LayerByLayer)
 	var cur int64
 	for li, ls := range dg.Plan.Layers {
 		cur += reload[li]
-		t := cur
-		for si, set := range ls.Sets {
-			s.Items[li][si] = Item{Layer: li, Set: si, Replica: 0, Start: t, End: t + set.Cycles}
-			t += set.Cycles
-			s.LayerActive[li] += set.Cycles
-			s.ReplicaActive[li][0] += set.Cycles
-		}
-		cur = t
-	}
-	s.Makespan = cur
-	return s, nil
-}
-
-func newSchedule(dg *deps.Graph, mode Mode) *Schedule {
-	s := &Schedule{
-		Mode:          mode,
-		Items:         make([][]Item, len(dg.Plan.Layers)),
-		LayerActive:   make([]int64, len(dg.Plan.Layers)),
-		ReplicaActive: make([][]int64, len(dg.Plan.Layers)),
-	}
-	for li, ls := range dg.Plan.Layers {
-		s.Items[li] = make([]Item, len(ls.Sets))
-		s.ReplicaActive[li] = make([]int64, ls.Group.Dup)
-	}
-	return s
-}
-
-// Validate checks that the schedule is executable: sets follow Stage III
-// raster order per replica without overlapping their PE group, durations
-// match the set sizes, every data dependency (plus edge cost) is
-// respected, and in layer-by-layer mode no two different layers overlap.
-func (s *Schedule) Validate(dg *deps.Graph, opt Options) error {
-	if len(s.Items) != len(dg.Plan.Layers) {
-		return fmt.Errorf("schedule: %d layers, plan has %d", len(s.Items), len(dg.Plan.Layers))
-	}
-	for li, ls := range dg.Plan.Layers {
-		if len(s.Items[li]) != len(ls.Sets) {
-			return fmt.Errorf("schedule: layer %d has %d items, plan has %d sets",
-				li, len(s.Items[li]), len(ls.Sets))
-		}
-		d := ls.Group.Dup
-		prevEnd := make([]int64, d)
-		var active int64
-		for si, set := range ls.Sets {
-			it := s.Items[li][si]
-			if it.Replica != si%d {
-				return fmt.Errorf("schedule: layer %d set %d on replica %d, want %d (round-robin)",
-					li, si, it.Replica, si%d)
-			}
-			if it.Start < 0 || it.End > s.Makespan {
-				return fmt.Errorf("schedule: layer %d set %d [%d,%d) outside makespan %d",
-					li, si, it.Start, it.End, s.Makespan)
-			}
-			if it.End-it.Start != set.Cycles {
-				return fmt.Errorf("schedule: layer %d set %d duration %d != %d cycles",
-					li, si, it.End-it.Start, set.Cycles)
-			}
-			if it.Start < prevEnd[it.Replica] {
-				return fmt.Errorf("schedule: layer %d set %d starts %d before replica %d free at %d (resource conflict)",
-					li, si, it.Start, it.Replica, prevEnd[it.Replica])
-			}
-			prevEnd[it.Replica] = it.End
-			active += set.Cycles
-			for _, dep := range dg.Deps[li][si] {
-				need := s.Items[dep.Layer][dep.Set].End
-				if opt.EdgeCost != nil {
-					need += opt.EdgeCost(dep, li)
-				}
-				if it.Start < need {
-					return fmt.Errorf("schedule: layer %d set %d starts %d before dependency L%d/S%d ready at %d",
-						li, si, it.Start, dep.Layer, dep.Set, need)
-				}
-			}
-		}
-		if active != s.LayerActive[li] {
-			return fmt.Errorf("schedule: layer %d active %d != recorded %d", li, active, s.LayerActive[li])
+		base := int(csr.LayerOff[li])
+		for si := 0; si < len(ls.Sets); si++ {
+			c := csr.Cycles[base+si]
+			t.Items[base+si] = Item{Layer: li, Set: si, Replica: 0, Start: cur, End: cur + c}
+			cur += c
+			t.LayerActive[li] += c
+			t.ReplicaActive[li][0] += c
 		}
 	}
-	if s.Mode == LayerByLayer {
-		if err := s.validateExclusive(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// validateExclusive checks the layer-by-layer property: execution spans
-// of different layers never overlap.
-func (s *Schedule) validateExclusive() error {
-	type span struct{ start, end int64 }
-	var spans []span
-	for _, items := range s.Items {
-		if len(items) == 0 {
-			continue
-		}
-		sp := span{start: items[0].Start, end: items[0].End}
-		for _, it := range items {
-			if it.Start < sp.start {
-				sp.start = it.Start
-			}
-			if it.End > sp.end {
-				sp.end = it.End
-			}
-		}
-		spans = append(spans, sp)
-	}
-	for i := 0; i < len(spans); i++ {
-		for j := i + 1; j < len(spans); j++ {
-			a, b := spans[i], spans[j]
-			if a.start < b.end && b.start < a.end {
-				return fmt.Errorf("schedule: layer-by-layer violation: layers %d and %d overlap", i, j)
-			}
-		}
-	}
-	return nil
-}
-
-// StartOf returns the earliest start time of layer li's sets.
-func (s *Schedule) StartOf(li int) int64 {
-	items := s.Items[li]
-	if len(items) == 0 {
-		return 0
-	}
-	min := items[0].Start
-	for _, it := range items {
-		if it.Start < min {
-			min = it.Start
-		}
-	}
-	return min
-}
-
-// EndOf returns the latest end time of layer li's sets.
-func (s *Schedule) EndOf(li int) int64 {
-	var max int64
-	for _, it := range s.Items[li] {
-		if it.End > max {
-			max = it.End
-		}
-	}
-	return max
+	t.Makespan = cur
+	return t, nil
 }

@@ -50,7 +50,7 @@ func compileDeps(t *testing.T, id models.ID, inputSize, extra, targetSets int) (
 // the sum of all layers' OFM pixel counts.
 func TestLayerByLayerMakespan(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyYOLOv4, 416, 0, 26)
-	s, err := Build(dg, LayerByLayer, Options{})
+	s, err := Schedule(dg, LayerByLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestLayerByLayerMakespan(t *testing.T) {
 // roughly t_i / d_i; total equals the rounded sum.
 func TestLayerByLayerWithDuplication(t *testing.T) {
 	_, m, dg := compileDeps(t, models.TinyYOLOv4, 416, 16, 26)
-	s, err := Build(dg, LayerByLayer, Options{})
+	s, err := Schedule(dg, LayerByLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,11 +113,11 @@ func TestCrossLayerNeverSlower(t *testing.T) {
 	}
 	for _, c := range cases {
 		_, _, dg := compileDeps(t, c.id, c.size, c.extra, 26)
-		lbl, err := Build(dg, LayerByLayer, Options{})
+		lbl, err := Schedule(dg, LayerByLayer, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		xinf, err := Build(dg, CrossLayer, Options{})
+		xinf, err := Schedule(dg, CrossLayer, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -141,8 +141,8 @@ func TestCrossLayerActiveInvariant(t *testing.T) {
 	for _, ls := range dg.Plan.Layers {
 		want += int64(ls.Group.Node.OutShape.Pixels())
 	}
-	for _, mode := range []Mode{LayerByLayer, CrossLayer} {
-		s, err := Build(dg, mode, Options{})
+	for _, mode := range []Policy{LayerByLayer, CrossLayer} {
+		s, err := Schedule(dg, mode, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func TestEdgeCostMonotone(t *testing.T) {
 		if c > 0 {
 			opt.EdgeCost = func(deps.SetRef, int) int64 { return c }
 		}
-		s, err := Build(dg, CrossLayer, opt)
+		s, err := Schedule(dg, CrossLayer, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,8 +195,8 @@ func TestEdgeCostMonotone(t *testing.T) {
 // validation in each specific way.
 func TestValidateDetectsCorruption(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyBranchNet, 16, 0, 4)
-	fresh := func() *Schedule {
-		s, err := Build(dg, CrossLayer, Options{})
+	fresh := func() *Timeline {
+		s, err := Schedule(dg, CrossLayer, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,9 +211,10 @@ func TestValidateDetectsCorruption(t *testing.T) {
 			if len(refs) == 0 {
 				continue
 			}
-			d := s.Items[li][si].End - s.Items[li][si].Start
-			s.Items[li][si].Start = 0
-			s.Items[li][si].End = d
+			it := s.At(li, si)
+			d := it.End - it.Start
+			it.Start = 0
+			it.End = d
 			found = true
 			break
 		}
@@ -229,7 +230,7 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 
 	s = fresh()
-	s.Items[0][0].End += 5 // duration mismatch
+	s.At(0, 0).End += 5 // duration mismatch
 	if err := s.Validate(dg, Options{}); err == nil {
 		t.Error("duration corruption not detected")
 	}
@@ -241,8 +242,8 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}
 
 	// Layer-by-layer exclusivity.
-	l := func() *Schedule {
-		s, err := Build(dg, LayerByLayer, Options{})
+	l := func() *Timeline {
+		s, err := Schedule(dg, LayerByLayer, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -250,10 +251,10 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	}()
 	// Pull layer 1 on top of layer 0 and renumber its replica chain
 	// consistently so only the exclusivity check fires.
-	shift := l.Items[1][0].Start
-	for si := range l.Items[1] {
-		l.Items[1][si].Start -= shift
-		l.Items[1][si].End -= shift
+	shift := l.At(1, 0).Start
+	for si := range l.ItemsOf(1) {
+		l.At(1, si).Start -= shift
+		l.At(1, si).End -= shift
 	}
 	if err := l.Validate(dg, Options{}); err == nil {
 		t.Error("layer-by-layer overlap not detected")
@@ -263,13 +264,13 @@ func TestValidateDetectsCorruption(t *testing.T) {
 // TestRoundRobinAssignment: set k runs on replica k mod d.
 func TestRoundRobinAssignment(t *testing.T) {
 	_, m, dg := compileDeps(t, models.TinyYOLOv4, 416, 32, 52)
-	s, err := Build(dg, CrossLayer, Options{})
+	s, err := Schedule(dg, CrossLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for li, items := range s.Items {
+	for li := range dg.Plan.Layers {
 		d := m.Groups[li].Dup
-		for si, it := range items {
+		for si, it := range s.ItemsOf(li) {
 			if it.Replica != si%d {
 				t.Fatalf("layer %d set %d on replica %d, want %d", li, si, it.Replica, si%d)
 			}
@@ -281,11 +282,11 @@ func TestRoundRobinAssignment(t *testing.T) {
 // pipelines, with cross-layer makespan well below the layer sum.
 func TestDeepPipelineChain(t *testing.T) {
 	_, _, dg := compileDeps(t, models.TinyConvNet, 32, 0, sets.FineGranularity)
-	lbl, err := Build(dg, LayerByLayer, Options{})
+	lbl, err := Schedule(dg, LayerByLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	xinf, err := Build(dg, CrossLayer, Options{})
+	xinf, err := Schedule(dg, CrossLayer, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,11 +308,95 @@ func TestDeepPipelineChain(t *testing.T) {
 	}
 }
 
-func TestModeString(t *testing.T) {
-	if CrossLayer.String() != "xinf" || LayerByLayer.String() != "layer-by-layer" {
-		t.Error("mode names wrong")
+func TestPolicyNames(t *testing.T) {
+	if CrossLayer.Name() != "xinf" || LayerByLayer.Name() != "lbl" || Windowed(4).Name() != "x4" {
+		t.Error("policy names wrong")
 	}
-	if _, err := Build(nil, Mode(9), Options{}); err == nil {
-		t.Error("unknown mode accepted")
+	if CrossLayer.Window() != Unbounded || LayerByLayer.Window() != 1 || Windowed(3).Window() != 3 {
+		t.Error("policy windows wrong")
+	}
+	if Windowed(0).Window() != 1 {
+		t.Error("non-positive window not clamped")
+	}
+	if _, err := Schedule(nil, nil, Options{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+// TestWindowedMonotoneAndBracketed is the xK property test: makespans
+// are monotone non-increasing in K and bracketed by the two extremes —
+// x1 equals lbl exactly, and a window at least the layer count equals
+// xinf exactly.
+func TestWindowedMonotoneAndBracketed(t *testing.T) {
+	cases := []struct {
+		id    models.ID
+		size  int
+		extra int
+	}{
+		{models.TinyYOLOv4, 416, 0},
+		{models.TinyYOLOv4, 416, 32},
+		{models.TinyYOLOv3, 416, 16},
+		{models.TinyBranchNet, 16, 0},
+		{models.ResNet50, 64, 8},
+	}
+	for _, c := range cases {
+		_, _, dg := compileDeps(t, c.id, c.size, c.extra, 26)
+		nl := len(dg.Plan.Layers)
+		lbl, err := Schedule(dg, LayerByLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		xinf, err := Schedule(dg, CrossLayer, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := lbl.Makespan
+		for k := 1; k <= nl+1; k++ {
+			s, err := Schedule(dg, Windowed(k), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Validate(dg, Options{}); err != nil {
+				t.Fatalf("%s x%d: %v", c.id, k, err)
+			}
+			if s.Makespan > prev {
+				t.Errorf("%s: x%d makespan %d > x%d makespan %d (not monotone)",
+					c.id, k, s.Makespan, k-1, prev)
+			}
+			if s.Makespan > lbl.Makespan || s.Makespan < xinf.Makespan {
+				t.Errorf("%s: x%d makespan %d outside [xinf %d, lbl %d]",
+					c.id, k, s.Makespan, xinf.Makespan, lbl.Makespan)
+			}
+			if k == 1 && !s.Equal(lbl) {
+				t.Errorf("%s: x1 timeline differs from lbl", c.id)
+			}
+			if k >= nl && !s.Equal(xinf) {
+				t.Errorf("%s: x%d (>= %d layers) timeline differs from xinf", c.id, k, nl)
+			}
+			prev = s.Makespan
+		}
+	}
+}
+
+// TestWindowValidateDetectsViolation: pulling a layer inside another
+// layer's admission window must fail validation.
+func TestWindowValidateDetectsViolation(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyConvNet, 32, 0, 4)
+	s, err := Schedule(dg, Windowed(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(dg, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the last layer to start at 0: with window 2 it must wait for
+	// every layer but the previous one.
+	nl := s.NumLayers()
+	last := s.ItemsOf(nl - 1)
+	d := last[0].End - last[0].Start
+	s.At(nl-1, 0).Start = 0
+	s.At(nl-1, 0).End = d
+	if err := s.Validate(dg, Options{}); err == nil {
+		t.Error("window violation not detected")
 	}
 }

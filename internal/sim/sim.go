@@ -5,6 +5,13 @@
 // analytic scheduler in package schedule; tests assert that both produce
 // identical timelines, which cross-validates the Stage IV recursion.
 //
+// The simulator consumes the same CSR dependency arrays as the
+// scheduler and returns the same schedule.Timeline, so the two engines
+// differ only in mechanism (event queue vs list scheduling), never in
+// data model. Every schedule.Policy is supported: the policy's
+// admission window is simulated as a gate that opens a layer only once
+// every layer Window positions back has completed.
+//
 // Beyond timing, the simulator accounts per-PE active cycles (the inputs
 // to paper Eq. 2) and tracks the live intermediate-data footprint (a
 // proxy for the tile buffer / DRAM traffic requirements of §II-A).
@@ -20,17 +27,13 @@ import (
 	"clsacim/internal/schedule"
 )
 
-// Result is the outcome of one simulation.
+// Result is the outcome of one simulation: the executed Timeline (the
+// same representation the analytic scheduler returns) plus the
+// simulator's extra accounting.
 type Result struct {
-	MakespanCycles int64
+	*schedule.Timeline
 	// PEActive[p] is the number of cycles PE p spent computing MVMs.
 	PEActive []int64
-	// LayerActive[l] sums busy cycles over layer l's replicas.
-	LayerActive []int64
-	// ReplicaActive[l][r] is replica r's busy time.
-	ReplicaActive [][]int64
-	// Items[l][s] is the executed timeline, same layout as a Schedule.
-	Items [][]schedule.Item
 	// PeakLiveElems is the maximum number of OFM elements simultaneously
 	// alive (produced but not yet consumed by every dependent set) — the
 	// aggregate buffer pressure on the architecture.
@@ -41,9 +44,9 @@ type Result struct {
 
 // event is a set completion.
 type event struct {
-	time       int64
-	layer, set int
-	seq        int64 // tie-break for determinism
+	time int64
+	id   int32 // flat CSR set id
+	seq  int64 // tie-break for determinism
 }
 
 type eventQueue []event
@@ -65,42 +68,53 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
-// Run simulates the workload dg on architecture arch with mapping m in
-// the given scheduling mode. edge is the optional dependency-edge cost
+// Run simulates the workload dg on architecture arch with mapping m
+// under scheduling policy p. edge is the optional dependency-edge cost
 // (NoC hops, GPEU processing); nil means idealized.
-func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, mode schedule.Mode, edge schedule.EdgeCostFn) (*Result, error) {
+func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, edge schedule.EdgeCostFn) (*Result, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("sim: nil policy")
+	}
+	if dg == nil || dg.CSR == nil {
+		return nil, fmt.Errorf("sim: dependency graph has no CSR (build it with deps.Build)")
 	}
 	if len(dg.Plan.Layers) != len(m.Groups) {
 		return nil, fmt.Errorf("sim: plan has %d layers, mapping %d groups", len(dg.Plan.Layers), len(m.Groups))
 	}
-	switch mode {
-	case schedule.CrossLayer:
-		return runCrossLayer(arch, dg, m, edge)
-	case schedule.LayerByLayer:
-		return runLayerByLayer(arch, dg, m)
-	default:
-		return nil, fmt.Errorf("sim: unknown mode %d", mode)
-	}
+	st := newState(arch, dg, m, p, edge)
+	return st.run()
 }
 
 type simState struct {
 	res  *Result
 	arch cim.Config
 	dg   *deps.Graph
+	csr  *deps.CSR
 	m    *mapping.Mapping
+	p    schedule.Policy
 	edge schedule.EdgeCostFn
 
-	depsLeft  [][]int           // unmet dependency count per set
-	readyAt   [][]int64         // max dependency completion (+edge cost) per set
-	consumers [][][]deps.SetRef // reverse edges: consumers[l][s]
-	consLeft  [][]int           // outstanding consumer count per set (buffer accounting)
+	depsLeft []int32 // unmet dependency count per flat set
+	readyAt  []int64 // max dependency completion (+edge cost) per flat set
+	consLeft []int32 // outstanding consumer count per flat set (buffer accounting)
 
-	// Per replica: ordered set indices and progress.
-	replicaSets [][][]int // [layer][replica][]setIdx
+	// Per replica: ordered set indices (policy dispatch order) and
+	// progress.
+	replicaSets [][][]int32 // [layer][replica][]setIdx
 	replicaPos  [][]int
 	replicaBusy [][]bool
+
+	// Admission window: layer li may start only once every layer up to
+	// li-K is complete. gateOpen marks admitted layers; frontier is the
+	// first incomplete layer (all layers below it are done).
+	window    int
+	gateOpen  []bool
+	setsLeft  []int
+	layerDone []bool
+	frontier  int
 
 	queue eventQueue
 	seq   int64
@@ -108,52 +122,92 @@ type simState struct {
 	liveElems int64
 }
 
-func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, edge schedule.EdgeCostFn) *simState {
+func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, edge schedule.EdgeCostFn) *simState {
+	csr := dg.CSR
 	nl := len(dg.Plan.Layers)
+	ns := csr.NumSets()
 	st := &simState{
-		arch: arch, dg: dg, m: m, edge: edge,
-		depsLeft:    make([][]int, nl),
-		readyAt:     make([][]int64, nl),
-		consumers:   make([][][]deps.SetRef, nl),
-		consLeft:    make([][]int, nl),
-		replicaSets: make([][][]int, nl),
+		arch: arch, dg: dg, csr: csr, m: m, p: p, edge: edge,
+		depsLeft:    make([]int32, ns),
+		readyAt:     make([]int64, ns),
+		consLeft:    make([]int32, ns),
+		replicaSets: make([][][]int32, nl),
 		replicaPos:  make([][]int, nl),
 		replicaBusy: make([][]bool, nl),
+		window:      p.Window(),
+		gateOpen:    make([]bool, nl),
+		setsLeft:    make([]int, nl),
+		layerDone:   make([]bool, nl),
 		res: &Result{
-			PEActive:      make([]int64, arch.NumPEs),
-			LayerActive:   make([]int64, nl),
-			ReplicaActive: make([][]int64, nl),
-			Items:         make([][]schedule.Item, nl),
+			Timeline: schedule.NewTimeline(dg, p),
+			PEActive: make([]int64, arch.NumPEs),
 		},
 	}
 	for li, ls := range dg.Plan.Layers {
-		ns := len(ls.Sets)
-		st.depsLeft[li] = make([]int, ns)
-		st.readyAt[li] = make([]int64, ns)
-		st.consumers[li] = make([][]deps.SetRef, ns)
-		st.consLeft[li] = make([]int, ns)
-		st.res.Items[li] = make([]schedule.Item, ns)
 		d := ls.Group.Dup
-		st.replicaSets[li] = make([][]int, d)
+		st.replicaSets[li] = make([][]int32, d)
 		st.replicaPos[li] = make([]int, d)
 		st.replicaBusy[li] = make([]bool, d)
-		st.res.ReplicaActive[li] = make([]int64, d)
+		st.setsLeft[li] = len(ls.Sets)
 		for si := range ls.Sets {
-			st.replicaSets[li][si%d] = append(st.replicaSets[li][si%d], si)
+			r := p.Replica(si, d)
+			st.replicaSets[li][r] = append(st.replicaSets[li][r], int32(si))
 		}
 	}
-	// Reverse dependency edges.
-	for li := range dg.Deps {
-		for si, refs := range dg.Deps[li] {
-			st.depsLeft[li][si] = len(refs)
-			for _, r := range refs {
-				st.consumers[r.Layer][r.Set] = append(st.consumers[r.Layer][r.Set],
-					deps.SetRef{Layer: li, Set: si, Vol: r.Vol})
-				st.consLeft[r.Layer][r.Set]++
-			}
-		}
+	for i := 0; i < ns; i++ {
+		st.depsLeft[i] = csr.PredOff[i+1] - csr.PredOff[i]
+		st.consLeft[i] = csr.SuccOff[i+1] - csr.SuccOff[i]
 	}
 	return st
+}
+
+func (st *simState) run() (*Result, error) {
+	heap.Init(&st.queue)
+	// Open the initial window and handle (degenerate) empty layers.
+	st.openGates(0)
+	var now int64
+	for st.queue.Len() > 0 {
+		e := heap.Pop(&st.queue).(event)
+		now = e.time
+		st.complete(e)
+	}
+	return st.finish(now)
+}
+
+// openGates admits every layer the current frontier allows (layers
+// below frontier+window) and tries to start their replicas at time now.
+// Layers with no sets complete immediately, which may advance the
+// frontier further.
+func (st *simState) openGates(now int64) {
+	nl := len(st.gateOpen)
+	for {
+		limit := nl
+		if st.window < nl-st.frontier {
+			limit = st.frontier + st.window
+		}
+		progressed := false
+		for li := 0; li < limit; li++ {
+			if st.gateOpen[li] {
+				continue
+			}
+			st.gateOpen[li] = true
+			if st.setsLeft[li] == 0 {
+				st.layerDone[li] = true
+				progressed = true
+				continue
+			}
+			for rep := range st.replicaBusy[li] {
+				st.tryStart(li, rep, now)
+			}
+		}
+		for st.frontier < nl && st.layerDone[st.frontier] {
+			st.frontier++
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
 }
 
 // chargePEs books busy cycles on the PEs of one replica.
@@ -166,10 +220,11 @@ func (st *simState) chargePEs(li, rep int, cycles int64) {
 	st.res.ReplicaActive[li][rep] += cycles
 }
 
-// tryStart launches the head set of (layer, replica) if the replica is
-// idle and the set's dependencies are met. now is the current sim time.
+// tryStart launches the head set of (layer, replica) if the layer is
+// admitted, the replica is idle, and the set's dependencies are met.
+// now is the current sim time.
 func (st *simState) tryStart(li, rep int, now int64) {
-	if st.replicaBusy[li][rep] {
+	if !st.gateOpen[li] || st.replicaBusy[li][rep] {
 		return
 	}
 	pos := st.replicaPos[li][rep]
@@ -178,131 +233,92 @@ func (st *simState) tryStart(li, rep int, now int64) {
 		return
 	}
 	si := order[pos]
-	if st.depsLeft[li][si] > 0 {
+	id := st.csr.ID(li, int(si))
+	if st.depsLeft[id] > 0 {
 		return
 	}
-	start := st.readyAt[li][si]
+	start := st.readyAt[id]
 	if now > start {
 		start = now
 	}
-	set := st.dg.Plan.Layers[li].Sets[si]
-	end := start + set.Cycles
+	end := start + st.csr.Cycles[id]
 	st.replicaBusy[li][rep] = true
-	st.res.Items[li][si] = schedule.Item{Layer: li, Set: si, Replica: rep, Start: start, End: end}
+	st.res.Items[id] = schedule.Item{Layer: li, Set: int(si), Replica: rep, Start: start, End: end}
 	st.seq++
-	heap.Push(&st.queue, event{time: end, layer: li, set: si, seq: st.seq})
+	heap.Push(&st.queue, event{time: end, id: id, seq: st.seq})
 }
 
-// complete processes a set-completion event and returns newly runnable
-// work.
-func (st *simState) complete(e event, releaseConsumers bool) {
-	li, si := e.layer, e.set
+// complete processes a set-completion event: it frees the replica,
+// releases consumers, advances the admission window, and starts newly
+// runnable work.
+func (st *simState) complete(e event) {
+	li, si := st.csr.Set(e.id)
 	ls := st.dg.Plan.Layers[li]
-	set := ls.Sets[si]
-	rep := si % ls.Group.Dup
-	st.chargePEs(li, rep, set.Cycles)
+	rep := st.p.Replica(si, ls.Group.Dup)
+	st.chargePEs(li, rep, st.csr.Cycles[e.id])
 	st.replicaBusy[li][rep] = false
 	st.replicaPos[li][rep]++
 
 	// Buffer accounting: the produced elements stay live until every
 	// consumer set has executed.
-	st.liveElems += int64(set.Box.Volume())
+	vol := int64(ls.Sets[si].Box.Volume())
+	st.liveElems += vol
 	if st.liveElems > st.res.PeakLiveElems {
 		st.res.PeakLiveElems = st.liveElems
 	}
-	if st.consLeft[li][si] == 0 {
+	if st.consLeft[e.id] == 0 {
 		// No consumers (network output or unread layer): retire
 		// immediately to DRAM.
-		st.liveElems -= int64(set.Box.Volume())
+		st.liveElems -= vol
 	}
 
-	if releaseConsumers {
-		for _, c := range st.consumers[li][si] {
-			cost := int64(0)
-			if st.edge != nil {
-				cost = st.edge(deps.SetRef{Layer: li, Set: si, Vol: c.Vol}, c.Layer)
-			}
-			if t := e.time + cost; t > st.readyAt[c.Layer][c.Set] {
-				st.readyAt[c.Layer][c.Set] = t
-			}
-			st.depsLeft[c.Layer][c.Set]--
-			d := st.dg.Plan.Layers[c.Layer].Group.Dup
-			st.tryStart(c.Layer, c.Set%d, e.time)
+	for x := st.csr.SuccOff[e.id]; x < st.csr.SuccOff[e.id+1]; x++ {
+		cid := st.csr.Succ[x]
+		cl, cs := st.csr.Set(cid)
+		cost := int64(0)
+		if st.edge != nil {
+			cost = st.edge(deps.SetRef{Layer: li, Set: si, Vol: int(st.csr.SuccVol[x])}, cl)
+		}
+		if t := e.time + cost; t > st.readyAt[cid] {
+			st.readyAt[cid] = t
+		}
+		st.depsLeft[cid]--
+		st.tryStart(cl, st.p.Replica(cs, st.dg.Plan.Layers[cl].Group.Dup), e.time)
+	}
+	st.retireInputsOf(e.id)
+
+	st.setsLeft[li]--
+	if st.setsLeft[li] == 0 {
+		st.layerDone[li] = true
+		if li == st.frontier {
+			st.openGates(e.time)
 		}
 	}
-	st.retireInputsOf(li, si)
 	// The replica may have further runnable sets.
 	st.tryStart(li, rep, e.time)
 }
 
 // retireInputsOf releases the buffer claims this set held on its
 // producers.
-func (st *simState) retireInputsOf(li, si int) {
-	for _, r := range st.dg.Deps[li][si] {
-		st.consLeft[r.Layer][r.Set]--
-		if st.consLeft[r.Layer][r.Set] == 0 {
-			st.liveElems -= int64(st.dg.Plan.Layers[r.Layer].Sets[r.Set].Box.Volume())
+func (st *simState) retireInputsOf(id int32) {
+	for e := st.csr.PredOff[id]; e < st.csr.PredOff[id+1]; e++ {
+		pid := st.csr.Pred[e]
+		st.consLeft[pid]--
+		if st.consLeft[pid] == 0 {
+			pl, ps := st.csr.Set(pid)
+			st.liveElems -= int64(st.dg.Plan.Layers[pl].Sets[ps].Box.Volume())
 		}
 	}
 }
 
-func runCrossLayer(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, edge schedule.EdgeCostFn) (*Result, error) {
-	st := newState(arch, dg, m, edge)
-	heap.Init(&st.queue)
-	// Seed: every replica whose head set has no dependencies.
-	for li, ls := range dg.Plan.Layers {
-		for rep := 0; rep < ls.Group.Dup; rep++ {
-			st.tryStart(li, rep, 0)
-		}
-	}
-	var now int64
-	for st.queue.Len() > 0 {
-		e := heap.Pop(&st.queue).(event)
-		now = e.time
-		st.complete(e, true)
-	}
-	return st.finish(dg, now)
-}
-
-func runLayerByLayer(arch cim.Config, dg *deps.Graph, m *mapping.Mapping) (*Result, error) {
-	st := newState(arch, dg, m, nil)
-	var now int64
-	// Execute layers one at a time in plan (topological) order; within a
-	// layer the replicas run their raster shares concurrently.
-	for li, ls := range dg.Plan.Layers {
-		// Force readiness: the previous layers have fully completed.
-		for si := range ls.Sets {
-			st.depsLeft[li][si] = 0
-			st.readyAt[li][si] = now
-		}
-		st.queue = st.queue[:0]
-		heap.Init(&st.queue)
-		for rep := 0; rep < ls.Group.Dup; rep++ {
-			st.tryStart(li, rep, now)
-		}
-		layerEnd := now
-		for st.queue.Len() > 0 {
-			e := heap.Pop(&st.queue).(event)
-			if e.time > layerEnd {
-				layerEnd = e.time
-			}
-			st.complete(e, false)
-		}
-		now = layerEnd
-	}
-	return st.finish(dg, now)
-}
-
-func (st *simState) finish(dg *deps.Graph, makespan int64) (*Result, error) {
-	st.res.MakespanCycles = makespan
-	for li := range dg.Deps {
-		for si := range dg.Deps[li] {
-			// An executed set has End > Start >= 0; unexecuted items
-			// remain at the zero value with End == 0 despite a positive
-			// duration.
-			if st.res.Items[li][si].End == 0 && dg.Plan.Layers[li].Sets[si].Cycles > 0 {
-				return nil, fmt.Errorf("sim: set L%d/S%d never executed (deadlock)", li, si)
-			}
+func (st *simState) finish(makespan int64) (*Result, error) {
+	st.res.Makespan = makespan
+	for id := range st.res.Items {
+		// An executed set has End > Start >= 0; unexecuted items remain
+		// at the zero value with End == 0 despite a positive duration.
+		if st.res.Items[id].End == 0 && st.csr.Cycles[id] > 0 {
+			li, si := st.csr.Set(int32(id))
+			return nil, fmt.Errorf("sim: set L%d/S%d never executed (deadlock)", li, si)
 		}
 	}
 	if makespan > 0 && st.arch.NumPEs > 0 {

@@ -75,31 +75,31 @@ func TestSimMatchesAnalytic(t *testing.T) {
 	}
 	for _, c := range cases {
 		cp := compile(t, c.id, c.size, c.extra, c.targetSets)
-		for _, mode := range []schedule.Mode{schedule.LayerByLayer, schedule.CrossLayer} {
-			want, err := schedule.Build(cp.dg, mode, schedule.Options{})
+		policies := []schedule.Policy{
+			schedule.LayerByLayer, schedule.CrossLayer,
+			schedule.Windowed(1), schedule.Windowed(2), schedule.Windowed(3), schedule.Windowed(5),
+		}
+		for _, p := range policies {
+			want, err := schedule.Schedule(cp.dg, p, schedule.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Run(cp.arch, cp.dg, cp.m, mode, nil)
+			got, err := Run(cp.arch, cp.dg, cp.m, p, nil)
 			if err != nil {
-				t.Fatalf("%s %v: %v", c.id, mode, err)
+				t.Fatalf("%s %v: %v", c.id, p, err)
 			}
-			if got.MakespanCycles != want.Makespan {
+			if got.Makespan != want.Makespan {
 				t.Errorf("%s x=%d %v: sim makespan %d != analytic %d",
-					c.id, c.extra, mode, got.MakespanCycles, want.Makespan)
+					c.id, c.extra, p, got.Makespan, want.Makespan)
 			}
-			for li := range want.Items {
-				if got.LayerActive[li] != want.LayerActive[li] {
-					t.Errorf("%s %v: layer %d active %d != %d",
-						c.id, mode, li, got.LayerActive[li], want.LayerActive[li])
-				}
-				for si := range want.Items[li] {
-					a, b := got.Items[li][si], want.Items[li][si]
-					if a != b {
-						t.Fatalf("%s %v: item L%d/S%d: sim %+v != analytic %+v",
-							c.id, mode, li, si, a, b)
+			if !got.Timeline.Equal(want) {
+				for i := range want.Items {
+					if got.Items[i] != want.Items[i] {
+						t.Fatalf("%s %v: item %d: sim %+v != analytic %+v",
+							c.id, p, i, got.Items[i], want.Items[i])
 					}
 				}
+				t.Fatalf("%s %v: timelines differ outside items", c.id, p)
 			}
 		}
 	}
@@ -112,7 +112,7 @@ func TestSimWithEdgeCost(t *testing.T) {
 	edge := func(pred deps.SetRef, toLayer int) int64 {
 		return int64(pred.Vol%7) + int64(toLayer%3)
 	}
-	want, err := schedule.Build(cp.dg, schedule.CrossLayer, schedule.Options{EdgeCost: edge})
+	want, err := schedule.Schedule(cp.dg, schedule.CrossLayer, schedule.Options{EdgeCost: edge})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,8 +120,8 @@ func TestSimWithEdgeCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.MakespanCycles != want.Makespan {
-		t.Errorf("edge-cost sim makespan %d != analytic %d", got.MakespanCycles, want.Makespan)
+	if got.Makespan != want.Makespan {
+		t.Errorf("edge-cost sim makespan %d != analytic %d", got.Makespan, want.Makespan)
 	}
 }
 
@@ -213,8 +213,8 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(bad, cp.dg, cp.m, schedule.CrossLayer, nil); err == nil {
 		t.Error("invalid arch accepted")
 	}
-	if _, err := Run(cp.arch, cp.dg, cp.m, schedule.Mode(7), nil); err == nil {
-		t.Error("unknown mode accepted")
+	if _, err := Run(cp.arch, cp.dg, cp.m, nil, nil); err == nil {
+		t.Error("nil policy accepted")
 	}
 	// Mismatched mapping.
 	other := compile(t, models.TinyConvNet, 16, 0, 4)

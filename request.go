@@ -69,36 +69,47 @@ type BatchResult struct {
 	Err        error
 }
 
-// ParseMode resolves the paper's scheduling-mode names: "xinf"
-// (cross-layer inference) and "lbl" (layer-by-layer), case-insensitive,
-// with the aliases "cross-layer", "crosslayer", "layer-by-layer", and
-// "layerbylayer". Unknown names return ErrUnknownMode.
+// ParseMode resolves the scheduling-mode names: "xinf" (cross-layer
+// inference), "lbl" (layer-by-layer), and the bounded-window family
+// "x<K>" ("x1", "x2", "x4", ...), case-insensitive, with the aliases
+// "cross-layer", "crosslayer", "layer-by-layer", and "layerbylayer".
+// Unknown names return ErrUnknownMode.
 func ParseMode(name string) (ScheduleMode, error) {
-	m, err := schedule.ParseMode(name)
+	p, err := schedule.ParseMode(name)
 	if err != nil {
-		return 0, fmt.Errorf("%w %q (want xinf or lbl)", ErrUnknownMode, name)
+		return ScheduleMode{}, fmt.Errorf("%w %q (want lbl, xinf, or xK)", ErrUnknownMode, name)
 	}
-	if m == schedule.CrossLayer {
+	switch {
+	case p == schedule.CrossLayer:
 		return ModeCrossLayer, nil
+	case p == schedule.LayerByLayer:
+		return ModeLayerByLayer, nil
+	default:
+		return ModeWindow(p.Window()), nil
 	}
-	return ModeLayerByLayer, nil
 }
 
 // wireName is the compact mode encoding used on the wire.
 func (m ScheduleMode) wireName() string {
-	if m == ModeCrossLayer {
+	switch {
+	case m.w < 0:
 		return "xinf"
+	case m.w == 0:
+		return "lbl"
+	default:
+		return fmt.Sprintf("x%d", m.w)
 	}
-	return "lbl"
 }
 
-// MarshalJSON encodes the mode as "xinf" or "lbl".
+// MarshalJSON encodes the mode by its wire name: "lbl", "xinf", or
+// "x<K>" for bounded windows.
 func (m ScheduleMode) MarshalJSON() ([]byte, error) {
 	return json.Marshal(m.wireName())
 }
 
-// UnmarshalJSON accepts the wire names understood by ParseMode as well
-// as the numeric enum values (0 = lbl, 1 = xinf) for compatibility.
+// UnmarshalJSON accepts the wire names understood by ParseMode ("lbl",
+// "xinf", "x<K>", and their aliases) as well as the historical numeric
+// enum values (0 = lbl, 1 = xinf) for compatibility.
 func (m *ScheduleMode) UnmarshalJSON(data []byte) error {
 	var s string
 	if err := json.Unmarshal(data, &s); err == nil {
@@ -114,9 +125,9 @@ func (m *ScheduleMode) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("clsacim: mode must be a string or integer: %w", err)
 	}
 	switch n {
-	case int(ModeLayerByLayer):
+	case 0:
 		*m = ModeLayerByLayer
-	case int(ModeCrossLayer):
+	case 1:
 		*m = ModeCrossLayer
 	default:
 		return fmt.Errorf("%w %d", ErrUnknownMode, n)
