@@ -1,0 +1,24 @@
+package clsacim
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestBuildCommandsAndExamples compile-checks every cmd/* and examples/*
+// main package. Those packages have no test files of their own, so
+// without this smoke test a refactor can break them while the tier-1
+// suite stays green and the rot only surfaces for users.
+func TestBuildCommandsAndExamples(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	// Building multiple main packages at once makes `go build` discard
+	// the executables: a pure compile check with no artifacts.
+	cmd := exec.Command(goBin, "build", "./cmd/...", "./examples/...")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/... ./examples/...: %v\n%s", err, out)
+	}
+}

@@ -257,8 +257,12 @@ type Compiled struct {
 	// Compiled is immutable and shared through the Engine's compile
 	// cache, so the schedule of a (compile key, mode) pair is computed
 	// once; sweeps that rescore the same baseline hit this cache.
+	// checked (same key space, same lock) marks timelines that already
+	// passed the full internal/check invariant set, so WithValidation
+	// sweeps validate each cached timeline once instead of per request.
 	schedMu   sync.Mutex
 	timelines map[string]*schedule.Timeline
+	checked   map[string]bool
 }
 
 // Virtualized reports whether the compilation uses weight reloading
@@ -381,6 +385,7 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 	c := &Compiled{
 		ModelName: model.Name,
 		timelines: make(map[string]*schedule.Timeline),
+		checked:   make(map[string]bool),
 		cfg:       cfg,
 		arch:      arch,
 		graph:     g,

@@ -6,14 +6,26 @@
 //	paperbench                  # everything
 //	paperbench -exp table1      # one experiment
 //	paperbench -exp fig7 -csv   # machine-readable series
+//	paperbench -json .          # additionally write BENCH_<exp>.json
 //
 // Experiments: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all.
+//
+// With -json DIR each experiment additionally writes a machine-readable
+// result document DIR/BENCH_<experiment>.json (schema
+// "clsacim-bench/v1"): an envelope with the experiment name, wall-clock
+// elapsed_ms, and engine compile-cache stats, plus one payload section
+// matching the experiment kind — table1/table2 rows, measurement points
+// (model, mapping, x, sched, speedup, utilization, makespan_cycles,
+// ut_gain), or ablation points. Bench-trajectory tooling consumes these
+// files instead of scraping the text tables; see the README
+// "Verification & fuzzing" section for the full format.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	clsacim "clsacim"
 	"clsacim/internal/bench"
@@ -24,47 +36,112 @@ func main() {
 	csv := flag.Bool("csv", false, "emit fig6c/fig7 series as CSV")
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
 	stats := flag.Bool("stats", false, "print engine compile-cache statistics after the run")
+	jsonDir := flag.String("json", "", "directory to write BENCH_<experiment>.json result documents (empty = off)")
 	flag.Parse()
+
+	if *jsonDir != "" {
+		// Fail on an unwritable output directory before the sweeps run,
+		// not after the first multi-minute experiment.
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -json %s: %v\n", *jsonDir, err)
+			os.Exit(1)
+		}
+	}
 
 	h := bench.NewHarness(clsacim.Config{TargetSets: *sets})
 	w := os.Stdout
 
-	run := func(name string, f func() error) {
+	// run executes one experiment: f prints the human-readable output
+	// and returns the experiment's machine-readable payload, which run
+	// stamps with the envelope and writes as BENCH_<name>.json when
+	// -json is set.
+	run := func(name string, f func() (bench.Doc, error)) {
 		switch *exp {
 		case name, "all":
-			if err := f(); err != nil {
+			start := time.Now()
+			doc, err := f()
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
 				os.Exit(1)
+			}
+			if *jsonDir != "" {
+				doc.Schema = bench.Schema
+				doc.Experiment = name
+				doc.ElapsedMS = time.Since(start).Milliseconds()
+				st := h.Engine().Stats()
+				doc.Engine = &st
+				if err := bench.WriteDocFile(*jsonDir, doc); err != nil {
+					fmt.Fprintf(os.Stderr, "paperbench: %s: writing %s: %v\n",
+						name, bench.DocFilename(name), err)
+					os.Exit(1)
+				}
 			}
 			fmt.Fprintln(w)
 		}
 	}
 
-	run("table1", func() error { return h.PrintTableI(w) })
-	run("table2", func() error { return h.PrintTableII(w) })
-	run("fig6a", func() error { return h.PrintFig6(w, clsacim.ModeLayerByLayer, 100) })
-	run("fig6b", func() error { return h.PrintFig6(w, clsacim.ModeCrossLayer, 100) })
-	run("fig6c", func() error {
-		if *csv {
-			points, err := h.RunFig6c()
-			if err != nil {
-				return err
-			}
-			return bench.WriteCSV(w, points)
+	wantJSON := *jsonDir != ""
+
+	// fig6Doc renders the Fig. 6a/6b Gantt chart; with -json it
+	// additionally measures the wdup+16 configuration against the
+	// harness baseline as the experiment's one point.
+	fig6Doc := func(mode clsacim.ScheduleMode) (bench.Doc, error) {
+		if err := h.PrintFig6(w, mode, 100); err != nil {
+			return bench.Doc{}, err
 		}
-		return h.PrintFig6c(w)
-	})
-	run("fig7", func() error {
-		if *csv {
-			points, err := h.RunFig7()
-			if err != nil {
-				return err
-			}
-			return bench.WriteCSV(w, points)
+		if !wantJSON {
+			return bench.Doc{}, nil
 		}
-		return h.PrintFig7(w)
+		p, err := h.Run("tinyyolov4", 16, true, mode)
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{Points: []bench.Point{p}}, nil
+	}
+
+	run("table1", func() (bench.Doc, error) {
+		rows, peMin, err := h.RunTableI()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{TableI: rows, PEmin: peMin}, bench.PrintTableIRows(w, rows, peMin)
 	})
-	run("ablations", func() error { return h.PrintAblations(w) })
+	run("table2", func() (bench.Doc, error) {
+		rows, err := h.RunTableII()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{TableII: rows}, bench.PrintTableIIRows(w, rows)
+	})
+	run("fig6a", func() (bench.Doc, error) { return fig6Doc(clsacim.ModeLayerByLayer) })
+	run("fig6b", func() (bench.Doc, error) { return fig6Doc(clsacim.ModeCrossLayer) })
+	run("fig6c", func() (bench.Doc, error) {
+		points, err := h.RunFig6c()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		if *csv {
+			return bench.Doc{Points: points}, bench.WriteCSV(w, points)
+		}
+		return bench.Doc{Points: points}, bench.PrintFig6cPoints(w, points)
+	})
+	run("fig7", func() (bench.Doc, error) {
+		points, err := h.RunFig7()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		if *csv {
+			return bench.Doc{Points: points}, bench.WriteCSV(w, points)
+		}
+		return bench.Doc{Points: points}, bench.PrintFig7Points(w, points)
+	})
+	run("ablations", func() (bench.Doc, error) {
+		points, err := h.RunAllAblations()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{Ablations: points}, bench.PrintAblationPoints(w, points)
+	})
 
 	if *stats {
 		s := h.Engine().Stats()

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"clsacim/internal/check"
 	"clsacim/internal/metrics"
 )
 
@@ -24,8 +25,9 @@ import (
 // immutable *Compiled across all subsequent requests; Stats exposes the
 // hit accounting. All methods are safe for concurrent use.
 type Engine struct {
-	base    Config
-	workers int
+	base     Config
+	workers  int
+	validate bool
 
 	mu    sync.Mutex
 	cache map[string]*compileEntry
@@ -203,7 +205,42 @@ func (e *Engine) Schedule(ctx context.Context, req Request) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return comp.Schedule(req.Mode)
+	rep, err := comp.Schedule(req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.checkReport(rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// checkReport runs the engine-independent invariant checker on a
+// scheduled report when WithValidation is on. Timelines are immutable
+// once cached on the Compiled, so each (compilation, canonical mode)
+// pair is validated at most once even across batch sweeps that rescore
+// the same baseline per point.
+func (e *Engine) checkReport(rep *Report) error {
+	if !e.validate {
+		return nil
+	}
+	comp := rep.comp
+	key := comp.normalizeMode(rep.Mode).wireName()
+	comp.schedMu.Lock()
+	done := comp.checked[key]
+	comp.schedMu.Unlock()
+	if done {
+		return nil
+	}
+	tl := rep.sched
+	opt := comp.schedOptions(rep.Mode)
+	if err := check.Timeline(comp.mapped, comp.depGraph, tl.Policy, tl, check.Options{EdgeCost: opt.EdgeCost}); err != nil {
+		return fmt.Errorf("clsacim: %q %s timeline failed validation: %w", rep.Model, rep.Mode, err)
+	}
+	comp.schedMu.Lock()
+	comp.checked[key] = true
+	comp.schedMu.Unlock()
+	return nil
 }
 
 // Evaluate compiles and schedules the request and measures it against
@@ -243,6 +280,9 @@ func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluati
 	if err != nil {
 		return nil, err
 	}
+	if err := e.checkReport(baseline); err != nil {
+		return nil, err
+	}
 	comp, err := e.compile(ctx, m, cfg)
 	if err != nil {
 		return nil, err
@@ -252,6 +292,9 @@ func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluati
 	}
 	result, err := comp.Schedule(req.Mode)
 	if err != nil {
+		return nil, err
+	}
+	if err := e.checkReport(result); err != nil {
 		return nil, err
 	}
 	e.evaluations.Add(1)

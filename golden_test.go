@@ -1,0 +1,82 @@
+package clsacim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden timeline fixtures under testdata/golden")
+
+// TestGoldenTimelines pins the exact set-level timelines of the paper
+// models under the three canonical policies (lbl, x4, xinf) at the
+// coarse benchmark granularity. Any schedule drift — a policy tweak, a
+// Stage I/II change, a dependency-ordering fix — shows up as an explicit
+// fixture diff instead of silently shifting the paper's numbers.
+//
+// Regenerate after an intentional change with
+//
+//	go test -run TestGoldenTimelines -update .
+//
+// and review the fixture diff like any other code change.
+func TestGoldenTimelines(t *testing.T) {
+	for _, model := range []string{"tinyyolov4", "vgg16"} {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			c, err := Compile(load(t, model), Config{TargetSets: 26})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeWindow(4), ModeCrossLayer} {
+				rep, err := c.Schedule(mode)
+				if err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				var got bytes.Buffer
+				if err := rep.WriteScheduleJSON(&got); err != nil {
+					t.Fatalf("%s: %v", mode, err)
+				}
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("%s_%s.json", model, mode.Name()))
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%s: %v (run 'go test -run TestGoldenTimelines -update .' to create fixtures)", mode, err)
+				}
+				if !bytes.Equal(got.Bytes(), want) {
+					t.Errorf("%s: timeline drifted from %s (%d vs %d bytes); diff line %d.\n"+
+						"If the change is intentional, regenerate with -update and review the fixture diff.",
+						mode, path, got.Len(), len(want), firstDiffLine(got.Bytes(), want))
+				}
+			}
+		})
+	}
+}
+
+// firstDiffLine returns the 1-based line of the first differing byte.
+func firstDiffLine(a, b []byte) int {
+	line := 1
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return line
+		}
+		if a[i] == '\n' {
+			line++
+		}
+	}
+	return line
+}

@@ -9,12 +9,12 @@ import (
 
 // AblationPoint is one measurement of a design-choice sweep.
 type AblationPoint struct {
-	Study    string
-	Model    string
-	Param    string
-	Speedup  float64
-	Ut       float64
-	Makespan int64
+	Study    string  `json:"study"`
+	Model    string  `json:"model"`
+	Param    string  `json:"param"`
+	Speedup  float64 `json:"speedup"`
+	Ut       float64 `json:"utilization"`
+	Makespan int64   `json:"makespan_cycles"`
 }
 
 // RunGranularity sweeps the Stage I set granularity (sets per layer) for
@@ -261,45 +261,62 @@ func (h *Harness) RunVirtualization(model string, fractions []float64) ([]Ablati
 
 // PrintAblations runs and prints the full ablation suite on the case
 // study model.
-func (h *Harness) PrintAblations(w io.Writer) error {
+// RunAllAblations runs every ablation study on the case-study model and
+// returns the combined point list.
+func (h *Harness) RunAllAblations() ([]AblationPoint, error) {
 	model := "tinyyolov4"
 	var all []AblationPoint
 	gran, err := h.RunGranularity(model, []int{8, 26, 104, 416, 4096, 1 << 30})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, gran...)
 	solv, err := h.RunSolvers(model, 32)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, solv...)
 	noc, err := h.RunNoCCost(model, []float64{0, 0.5, 1, 2, 4, 8})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, noc...)
 	xbar, err := h.RunCrossbarSize(model, []int{64, 128, 256, 512})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, xbar...)
 	gpeu, err := h.RunGPEUCost(model, []float64{0, 1, 4, 16})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, gpeu...)
 	virt, err := h.RunVirtualization(model, []float64{1, 0.8, 0.6, 0.4})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	all = append(all, virt...)
 	win, err := h.RunWindowSweep(model, []int{2, 4, 8})
 	if err != nil {
+		return nil, err
+	}
+	return append(all, win...), nil
+}
+
+func (h *Harness) PrintAblations(w io.Writer) error {
+	all, err := h.RunAllAblations()
+	if err != nil {
 		return err
 	}
-	all = append(all, win...)
+	return PrintAblationPoints(w, all)
+}
 
+// PrintAblationPoints writes already-measured ablation points.
+func PrintAblationPoints(w io.Writer, all []AblationPoint) error {
+	model := "tinyyolov4"
+	if len(all) > 0 {
+		model = all[0].Model
+	}
 	fmt.Fprintf(w, "Ablation studies (%s, wdup+32 + xinf unless noted)\n", model)
 	tw := table(w)
 	fmt.Fprintln(tw, "Study\tParameter\tSpeedup\tUtilization\tMakespan")

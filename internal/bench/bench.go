@@ -75,17 +75,17 @@ func (h *Harness) Baseline(name string) (*clsacim.Report, error) {
 
 // Point is one measured configuration.
 type Point struct {
-	Model string
+	Model string `json:"model"`
 	// Mapping is "-" (no duplication) or "wdup+<x>".
-	Mapping string
-	X       int
-	Sched   string // canonical mode name: "lbl", "x<K>", or "xinf"
+	Mapping string `json:"mapping"`
+	X       int    `json:"x"`
+	Sched   string `json:"sched"` // canonical mode name: "lbl", "x<K>", or "xinf"
 	// Speedup is relative to the layer-by-layer x=0 baseline.
-	Speedup     float64
-	Utilization float64
-	Makespan    int64
+	Speedup     float64 `json:"speedup"`
+	Utilization float64 `json:"utilization"`
+	Makespan    int64   `json:"makespan_cycles"`
 	// UtGain is Utilization / baseline utilization.
-	UtGain float64
+	UtGain float64 `json:"ut_gain"`
 }
 
 // Label renders the paper's configuration naming, e.g. "wdup+16 xinf".

@@ -9,10 +9,11 @@ import (
 
 // TableIRow is one row of paper Table I.
 type TableIRow struct {
-	Name     string
-	IFM, OFM [3]int
-	PEs      int
-	Cycles   int64
+	Name   string `json:"name"`
+	IFM    [3]int `json:"ifm"`
+	OFM    [3]int `json:"ofm"`
+	PEs    int    `json:"pes"`
+	Cycles int64  `json:"cycles"`
 }
 
 // RunTableI regenerates paper Table I: the base-layer structure of
@@ -34,6 +35,11 @@ func (h *Harness) PrintTableI(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return PrintTableIRows(w, rows, peMin)
+}
+
+// PrintTableIRows writes already-measured Table I rows.
+func PrintTableIRows(w io.Writer, rows []TableIRow, peMin int) error {
 	fmt.Fprintf(w, "Table I: Base layer structure of TinyYOLOv4 (256x256 PEs), PEmin = %d\n", peMin)
 	tw := table(w)
 	fmt.Fprintln(tw, "Layer\tIFM shape (HWC)\tOFM shape (HWC)\t#PE\tCycles t_init")
@@ -46,10 +52,10 @@ func (h *Harness) PrintTableI(w io.Writer) error {
 
 // TableIIRow is one row of paper Table II.
 type TableIIRow struct {
-	Benchmark  string
-	Input      [3]int
-	BaseLayers int
-	MinPEs     int
+	Benchmark  string `json:"benchmark"`
+	Input      [3]int `json:"input"`
+	BaseLayers int    `json:"base_layers"`
+	MinPEs     int    `json:"min_pes"`
 }
 
 // RunTableII regenerates paper Table II: the benchmark list.
@@ -77,6 +83,11 @@ func (h *Harness) PrintTableII(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return PrintTableIIRows(w, rows)
+}
+
+// PrintTableIIRows writes already-measured Table II rows.
+func PrintTableIIRows(w io.Writer, rows []TableIIRow) error {
 	fmt.Fprintln(w, "Table II: List of benchmarks")
 	tw := table(w)
 	fmt.Fprintln(tw, "Benchmark\tInput shape (HWC)\tBase layers\tMin. # required 256x256 PEs")
@@ -176,6 +187,11 @@ func (h *Harness) PrintFig6c(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return PrintFig6cPoints(w, points)
+}
+
+// PrintFig6cPoints writes already-measured Fig. 6c points.
+func PrintFig6cPoints(w io.Writer, points []Point) error {
 	fmt.Fprintln(w, "Fig. 6c: TinyYOLOv4 case study — speedup and utilization vs layer-by-layer")
 	tw := table(w)
 	fmt.Fprintln(tw, "Configuration\tSpeedup\tUtilization\tMakespan (cycles)")
@@ -217,6 +233,11 @@ func (h *Harness) PrintFig7(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return PrintFig7Points(w, points)
+}
+
+// PrintFig7Points writes already-measured Fig. 7 points.
+func PrintFig7Points(w io.Writer, points []Point) error {
 	fmt.Fprintln(w, "Fig. 7a/7b: speedup and utilization vs layer-by-layer (no duplication)")
 	tw := table(w)
 	fmt.Fprintln(tw, "Benchmark\tConfiguration\tSpeedup (7a)\tUtilization (7b)\tUt gain")

@@ -328,6 +328,9 @@ func TestOracleTinyBranchNet(t *testing.T) {
 // TestOracleTinyYOLOv4 checks the CSP topology (grouped-route slices,
 // concat trees, stride-1 pooling, upsample merge) at 64x64 input.
 func TestOracleTinyYOLOv4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle cross-check; run without -short")
+	}
 	g, dg := buildDeps(t, models.TinyYOLOv4, 64, 3, 0)
 	for li := range dg.Deps {
 		for si := range dg.Deps[li] {
@@ -339,6 +342,9 @@ func TestOracleTinyYOLOv4(t *testing.T) {
 // TestOracleTinyYOLOv3Finer repeats at finer granularity where set
 // boundaries stop aligning with pooling windows.
 func TestOracleTinyYOLOv3Finer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive oracle cross-check; run without -short")
+	}
 	g, dg := buildDeps(t, models.TinyYOLOv3, 64, 7, 0)
 	for li := range dg.Deps {
 		for si := range dg.Deps[li] {

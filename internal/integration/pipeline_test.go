@@ -29,7 +29,11 @@ import (
 // fast cross-layer as layer-by-layer, satisfy Eq. 3, and agree exactly
 // between the analytic scheduler and the event simulator.
 func TestFuzzPipeline(t *testing.T) {
-	for seed := int64(0); seed < 60; seed++ {
+	seeds := int64(60)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
 			r := rand.New(rand.NewSource(seed * 31))
@@ -164,7 +168,11 @@ func TestFuzzPipeline(t *testing.T) {
 // TestFuzzFunctional verifies canonicalization and the duplication
 // rewrite preserve outputs on random weight-carrying CNNs.
 func TestFuzzFunctional(t *testing.T) {
-	for seed := int64(0); seed < 25; seed++ {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
 			g, err := models.RandomCNN(models.RandomOptions{
@@ -224,7 +232,11 @@ func TestFuzzFunctional(t *testing.T) {
 // oracle on random graphs at random granularity (a lighter version of
 // the exhaustive oracle in package deps, across far more topologies).
 func TestFuzzDepsOracleLight(t *testing.T) {
-	for seed := int64(0); seed < 30; seed++ {
+	seeds := int64(30)
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := int64(0); seed < seeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
 			g, err := models.RandomCNN(models.RandomOptions{Seed: seed + 500, MaxBaseLayers: 5, MaxInput: 24})

@@ -16,7 +16,9 @@ type RandomOptions struct {
 	MaxBaseLayers int
 	// WithWeights attaches random weights for functional checks.
 	WithWeights bool
-	// MaxInput bounds the input resolution (default 32).
+	// MaxInput bounds the input resolution (default 32, minimum 8 —
+	// smaller values are clamped up so the generator always has room
+	// for a kernel).
 	MaxInput int
 }
 
@@ -35,6 +37,9 @@ func RandomCNN(opt RandomOptions) (*nn.Graph, error) {
 	maxIn := opt.MaxInput
 	if maxIn <= 0 {
 		maxIn = 32
+	}
+	if maxIn < 8 {
+		maxIn = 8
 	}
 
 	b := &builder{g: nn.NewGraph(), opt: Options{WithWeights: opt.WithWeights, Seed: opt.Seed + 1}}

@@ -1,0 +1,44 @@
+package models
+
+import "testing"
+
+// FuzzRandomCNN: the random-model generator must produce a valid,
+// deterministic graph for every (seed, cap) combination — it feeds the
+// whole-pipeline property tests and the schedule-vs-sim differential
+// fuzzer, so a generator panic or an invalid graph would poison those
+// harnesses. Caps are passed through raw: out-of-range values must be
+// clamped by the generator, not by callers.
+func FuzzRandomCNN(f *testing.F) {
+	f.Add(int64(0), byte(8), byte(32))
+	f.Add(int64(1), byte(0), byte(0))
+	f.Add(int64(99), byte(3), byte(7))
+	f.Add(int64(-5), byte(255), byte(255))
+	f.Fuzz(func(t *testing.T, seed int64, maxBase, maxInput byte) {
+		opt := RandomOptions{Seed: seed, MaxBaseLayers: int(maxBase) % 12, MaxInput: int(maxInput)}
+		g, err := RandomCNN(opt)
+		if err != nil {
+			t.Fatalf("RandomCNN(%+v): %v", opt, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("RandomCNN(%+v) graph invalid: %v", opt, err)
+		}
+		base := 0
+		for _, n := range g.Nodes {
+			if n.IsBase() {
+				base++
+			}
+		}
+		if base == 0 {
+			t.Fatalf("RandomCNN(%+v) has no base layers", opt)
+		}
+		// Same seed, same graph: the generator must be deterministic or
+		// fuzz findings become unreproducible.
+		h, err := RandomCNN(opt)
+		if err != nil {
+			t.Fatalf("RandomCNN(%+v) second build: %v", opt, err)
+		}
+		if len(g.Nodes) != len(h.Nodes) {
+			t.Fatalf("RandomCNN(%+v) nondeterministic: %d vs %d nodes", opt, len(g.Nodes), len(h.Nodes))
+		}
+	})
+}

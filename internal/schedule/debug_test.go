@@ -1,0 +1,26 @@
+package schedule
+
+import (
+	"testing"
+
+	"clsacim/internal/models"
+)
+
+// TestScheduleDebugOption: with Options.Debug the scheduler validates
+// its own output before returning it; legal workloads pass unchanged.
+func TestScheduleDebugOption(t *testing.T) {
+	_, _, dg := compileDeps(t, models.TinyBranchNet, 0, 4, 9)
+	for _, p := range []Policy{LayerByLayer, Windowed(2), CrossLayer} {
+		plain, err := Schedule(dg, p, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		debug, err := Schedule(dg, p, Options{Debug: true})
+		if err != nil {
+			t.Fatalf("%s: debug validation rejected the scheduler's own timeline: %v", p.Name(), err)
+		}
+		if !plain.Equal(debug) {
+			t.Fatalf("%s: Debug changed the timeline", p.Name())
+		}
+	}
+}

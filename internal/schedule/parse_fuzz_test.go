@@ -1,0 +1,41 @@
+package schedule
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseMode: ParseMode must never panic, must reject unknown names
+// with the typed ErrUnknownMode, and every accepted policy must
+// round-trip through its canonical Name with an admission window of at
+// least 1. The seed corpus covers every alias family, whitespace/case
+// variants, and overflow-shaped xK strings.
+func FuzzParseMode(f *testing.F) {
+	for _, s := range []string{
+		"lbl", "xinf", "x1", "x4", "X16", " x2 ",
+		"layer-by-layer", "layerbylayer", "crosslayer", "cross-layer",
+		"", "warp", "x", "x0", "x-3", "x2.5", "xK",
+		"x99999999999999999999", "x007", "\x00x4", "ｘ4",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseMode(s)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownMode) {
+				t.Fatalf("ParseMode(%q): error %v is not ErrUnknownMode", s, err)
+			}
+			return
+		}
+		if p.Window() < 1 {
+			t.Fatalf("ParseMode(%q): window %d < 1", s, p.Window())
+		}
+		back, err := ParseMode(p.Name())
+		if err != nil {
+			t.Fatalf("ParseMode(%q).Name() = %q does not parse back: %v", s, p.Name(), err)
+		}
+		if back.Window() != p.Window() {
+			t.Fatalf("ParseMode(%q) round trip: window %d != %d", s, back.Window(), p.Window())
+		}
+	})
+}

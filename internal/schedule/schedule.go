@@ -41,6 +41,13 @@ type EdgeCostFn func(pred deps.SetRef, toLayer int) int64
 // Options configures scheduling.
 type Options struct {
 	EdgeCost EdgeCostFn
+	// Debug validates the timeline against the full Stage III/IV
+	// invariant set before Schedule returns it, turning scheduler bugs
+	// into errors at the source instead of silently wrong metrics
+	// downstream. It roughly doubles scheduling cost; leave it off on
+	// hot paths and let the caller validate (see internal/check for the
+	// engine-independent checker).
+	Debug bool
 }
 
 // Schedule computes the execution timeline of dg under policy p: list
@@ -117,6 +124,11 @@ func Schedule(dg *deps.Graph, p Policy, opt Options) (*Timeline, error) {
 		}
 		if layerEnd > t.Makespan {
 			t.Makespan = layerEnd
+		}
+	}
+	if opt.Debug {
+		if err := t.Validate(dg, opt); err != nil {
+			return nil, fmt.Errorf("schedule: debug validation: %w", err)
 		}
 	}
 	return t, nil

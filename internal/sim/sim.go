@@ -21,6 +21,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"clsacim/internal/check"
 	"clsacim/internal/cim"
 	"clsacim/internal/deps"
 	"clsacim/internal/mapping"
@@ -68,10 +69,28 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// Options configures a simulation run.
+type Options struct {
+	// Edge is the optional dependency-edge cost (NoC hops, GPEU
+	// processing); nil means the paper's idealized zero-cost movement.
+	Edge schedule.EdgeCostFn
+	// Debug runs the engine-independent invariant checker
+	// (check.Timeline) on the simulated timeline before it is returned:
+	// dependency order, crossbar exclusivity, window admission,
+	// conservation, and makespan consistency. A violation means a
+	// simulator bug and is returned as the run's error.
+	Debug bool
+}
+
 // Run simulates the workload dg on architecture arch with mapping m
 // under scheduling policy p. edge is the optional dependency-edge cost
 // (NoC hops, GPEU processing); nil means idealized.
 func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, edge schedule.EdgeCostFn) (*Result, error) {
+	return RunOpt(arch, dg, m, p, Options{Edge: edge})
+}
+
+// RunOpt is Run with full Options (edge cost plus debug validation).
+func RunOpt(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, opt Options) (*Result, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,8 +103,17 @@ func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy,
 	if len(dg.Plan.Layers) != len(m.Groups) {
 		return nil, fmt.Errorf("sim: plan has %d layers, mapping %d groups", len(dg.Plan.Layers), len(m.Groups))
 	}
-	st := newState(arch, dg, m, p, edge)
-	return st.run()
+	st := newState(arch, dg, m, p, opt.Edge)
+	res, err := st.run()
+	if err != nil {
+		return nil, err
+	}
+	if opt.Debug {
+		if err := check.Timeline(m, dg, p, res.Timeline, check.Options{EdgeCost: opt.Edge}); err != nil {
+			return nil, fmt.Errorf("sim: debug validation: %w", err)
+		}
+	}
+	return res, nil
 }
 
 type simState struct {

@@ -140,6 +140,22 @@ func WithVirtualization(writeCyclesPerCrossbar int64, parallelism int) Option {
 	}
 }
 
+// WithValidation runs the engine-independent invariant checker
+// (internal/check) on every timeline the Engine schedules: topological
+// dependency order over the Stage II edge set, per-crossbar mutual
+// exclusion, window admission legality, Stage III/IV active-cycle
+// conservation, and makespan/metrics consistency. A violation fails the
+// request with a typed error instead of returning wrong numbers.
+// Validation costs roughly one extra pass over the timeline per
+// schedule; production services normally leave it off and rely on the
+// fuzz/CI coverage, while debugging and canary deployments turn it on.
+func WithValidation() Option {
+	return func(e *Engine) error {
+		e.validate = true
+		return nil
+	}
+}
+
 // WithWorkers bounds the EvaluateBatch worker pool (default
 // runtime.GOMAXPROCS(0)).
 func WithWorkers(n int) Option {

@@ -68,7 +68,11 @@ func TestPaperFig7TinyYOLOv3Peak(t *testing.T) {
 // wdup+xinf > xinf alone and wdup+xinf > wdup alone; everything beats
 // the baseline.
 func TestPaperFig7Ordering(t *testing.T) {
-	for _, model := range []string{"tinyyolov3", "vgg16", "resnet50"} {
+	models := []string{"tinyyolov3", "vgg16", "resnet50"}
+	if testing.Short() {
+		models = models[:1]
+	}
+	for _, model := range models {
 		xinf := evalCfg(t, model, 0, false, ModeCrossLayer)
 		wdup := evalCfg(t, model, 16, true, ModeLayerByLayer)
 		both := evalCfg(t, model, 16, true, ModeCrossLayer)
@@ -101,6 +105,9 @@ func TestPaperFig7SmallXBoost(t *testing.T) {
 // utilization decreases" across the ResNet family, and deep-model
 // utilization stays below 10 % (paper §V-B).
 func TestPaperFig7UtilizationDepthTrend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the full ResNet family; run without -short")
+	}
 	var uts []float64
 	for _, model := range []string{"resnet50", "resnet101", "resnet152"} {
 		ev := evalCfg(t, model, 16, true, ModeCrossLayer)
@@ -121,6 +128,9 @@ func TestPaperFig7UtilizationDepthTrend(t *testing.T) {
 // somewhat better solutions, so allow up to ~4x — still far from the
 // combined configuration).
 func TestPaperWdupModestForLargeModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles vgg19 and resnet101 with duplication; run without -short")
+	}
 	for _, model := range []string{"vgg19", "resnet101"} {
 		wdup := evalCfg(t, model, 32, true, ModeLayerByLayer)
 		if wdup.Speedup > 4.2 {
@@ -158,7 +168,11 @@ func TestPaperFig6aDuplicationChoice(t *testing.T) {
 // TestPaperEq3AcrossSweep: Eq. 3 consistency on the full Fig. 6c-style
 // sweep.
 func TestPaperEq3AcrossSweep(t *testing.T) {
-	for _, x := range []int{0, 4, 16, 32} {
+	xs := []int{0, 4, 16, 32}
+	if testing.Short() {
+		xs = []int{0, 16} // one duplication-free and one duplicated point
+	}
+	for _, x := range xs {
 		for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeCrossLayer} {
 			ev := evalCfg(t, "tinyyolov4", x, x > 0, mode)
 			rel := (ev.Speedup - ev.Eq3Speedup) / ev.Speedup
