@@ -215,15 +215,18 @@ func BenchmarkAblationNoCCost(b *testing.B) {
 // dimensions (paper §V-C: crossbar dimensions are an input parameter).
 func BenchmarkAblationCrossbarSize(b *testing.B) {
 	h := harness()
+	dims := []int{64, 128, 256, 512}
 	for i := 0; i < b.N; i++ {
-		points, err := h.RunCrossbarSize("vgg16", []int{64, 128, 256, 512})
+		points, err := h.RunCrossbarSize("vgg16", dims)
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, p := range points {
-			_ = p
+		if len(points) != len(dims) {
+			b.Fatalf("%d points for %d crossbar sizes", len(points), len(dims))
 		}
-		b.ReportMetric(points[2].Speedup, "256x256_speedup")
+		for j, p := range points {
+			b.ReportMetric(p.Speedup, fmt.Sprintf("%dx%d_speedup", dims[j], dims[j]))
+		}
 	}
 }
 

@@ -19,12 +19,17 @@
 // ut_gain), or ablation points. Bench-trajectory tooling consumes these
 // files instead of scraping the text tables; see the README
 // "Verification & fuzzing" section for the full format.
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (the
+// README "Performance" section shows the full profiling recipe).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	clsacim "clsacim"
@@ -37,14 +42,57 @@ func main() {
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
 	stats := flag.Bool("stats", false, "print engine compile-cache statistics after the run")
 	jsonDir := flag.String("json", "", "directory to write BENCH_<experiment>.json result documents (empty = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
+
+	// stopProfiles flushes both profiles; it runs on normal return and
+	// before every die(), so a failing experiment still leaves usable
+	// profiles of the work done up to that point.
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paperbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memprofile != "" {
+		stopCPU := stopProfiles
+		stopProfiles = func() {
+			stopCPU()
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "paperbench: -memprofile: %v\n", err)
+			}
+		}
+	}
+	defer stopProfiles()
+	die := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format, args...)
+		stopProfiles()
+		os.Exit(1)
+	}
 
 	if *jsonDir != "" {
 		// Fail on an unwritable output directory before the sweeps run,
 		// not after the first multi-minute experiment.
 		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "paperbench: -json %s: %v\n", *jsonDir, err)
-			os.Exit(1)
+			die("paperbench: -json %s: %v\n", *jsonDir, err)
 		}
 	}
 
@@ -61,8 +109,7 @@ func main() {
 			start := time.Now()
 			doc, err := f()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "paperbench: %s: %v\n", name, err)
-				os.Exit(1)
+				die("paperbench: %s: %v\n", name, err)
 			}
 			if *jsonDir != "" {
 				doc.Schema = bench.Schema
@@ -71,9 +118,8 @@ func main() {
 				st := h.Engine().Stats()
 				doc.Engine = &st
 				if err := bench.WriteDocFile(*jsonDir, doc); err != nil {
-					fmt.Fprintf(os.Stderr, "paperbench: %s: writing %s: %v\n",
+					die("paperbench: %s: writing %s: %v\n",
 						name, bench.DocFilename(name), err)
-					os.Exit(1)
 				}
 			}
 			fmt.Fprintln(w)

@@ -1,6 +1,10 @@
 package deps
 
-import "clsacim/internal/sets"
+import (
+	"slices"
+
+	"clsacim/internal/sets"
+)
 
 // CSR is the compressed-sparse-row form of the set-dependency DAG over
 // a flat set index space: sets are numbered layer-major in plan order
@@ -8,7 +12,7 @@ import "clsacim/internal/sets"
 // directions are stored as flat offset/target/volume arrays. It is
 // built once by Build and consumed by the Stage IV scheduler and the
 // event-driven simulator, whose hot loops index these arrays instead of
-// chasing the per-set slice-of-slices in Deps.
+// chasing per-set slices.
 type CSR struct {
 	// LayerOff[l] is the flat id of layer l's first set; the final
 	// entry is the total set count.
@@ -33,50 +37,47 @@ type CSR struct {
 	SuccVol []int32
 }
 
-// buildCSR flattens the per-set dependency lists. The lists in d are
-// already deduplicated and sorted by (Layer, Set), so predecessor runs
-// come out sorted; successors are filled by walking consumers in flat
-// order, which sorts them as well.
-func buildCSR(plan *sets.Plan, d [][][]SetRef) *CSR {
+// assembleCSR concatenates the per-layer edge streams (already sorted
+// and deduplicated per set) into the flat arrays. The concatenation is
+// positional in plan-layer order, so the result does not depend on the
+// order the layers were built in; successors are filled by walking
+// consumers in flat order, which sorts them.
+func assembleCSR(plan *sets.Plan, layerOff []int32, results []layerEdges) *CSR {
 	numLayers := len(plan.Layers)
-	c := &CSR{LayerOff: make([]int32, numLayers+1)}
-	total := 0
-	for li := range plan.Layers {
-		c.LayerOff[li] = int32(total)
-		total += len(plan.Layers[li].Sets)
+	total := int(layerOff[numLayers])
+	c := &CSR{
+		LayerOff: layerOff,
+		SetLayer: make([]int32, total),
+		Cycles:   make([]int64, total),
 	}
-	c.LayerOff[numLayers] = int32(total)
-	c.SetLayer = make([]int32, total)
-	c.Cycles = make([]int64, total)
 	for li := range plan.Layers {
 		for si, set := range plan.Layers[li].Sets {
-			i := c.LayerOff[li] + int32(si)
+			i := layerOff[li] + int32(si)
 			c.SetLayer[i] = int32(li)
 			c.Cycles[i] = set.Cycles
 		}
 	}
 
 	edges := 0
-	for _, layer := range d {
-		for _, refs := range layer {
-			edges += len(refs)
-		}
+	for li := range results {
+		edges += len(results[li].pred)
 	}
 	c.PredOff = make([]int32, total+1)
 	c.Pred = make([]int32, 0, edges)
 	c.PredVol = make([]int32, 0, edges)
 	succCount := make([]int32, total)
 	id := 0
-	for _, layer := range d {
-		for _, refs := range layer {
-			c.PredOff[id] = int32(len(c.Pred))
-			for _, r := range refs {
-				p := c.LayerOff[r.Layer] + int32(r.Set)
-				c.Pred = append(c.Pred, p)
-				c.PredVol = append(c.PredVol, int32(r.Vol))
-				succCount[p]++
-			}
+	for li := range results {
+		le := &results[li]
+		base := int32(len(c.Pred))
+		for si := 0; si+1 < len(le.setOff); si++ {
+			c.PredOff[id] = base + le.setOff[si]
 			id++
+		}
+		c.Pred = append(c.Pred, le.pred...)
+		c.PredVol = append(c.PredVol, le.vol...)
+		for _, p := range le.pred {
+			succCount[p]++
 		}
 	}
 	c.PredOff[total] = int32(len(c.Pred))
@@ -90,7 +91,7 @@ func buildCSR(plan *sets.Plan, d [][][]SetRef) *CSR {
 	c.SuccOff[total] = off
 	c.Succ = make([]int32, edges)
 	c.SuccVol = make([]int32, edges)
-	cursor := make([]int32, total)
+	cursor := succCount // reuse: rewound to per-set write positions
 	copy(cursor, c.SuccOff[:total])
 	for i := int32(0); i < int32(total); i++ {
 		for e := c.PredOff[i]; e < c.PredOff[i+1]; e++ {
@@ -120,3 +121,17 @@ func (c *CSR) NumEdges() int { return len(c.Pred) }
 
 // NumLayers returns the layer count.
 func (c *CSR) NumLayers() int { return len(c.LayerOff) - 1 }
+
+// Equal reports whether two CSR graphs are identical array for array —
+// the determinism contract of Build across worker counts and runs.
+func (c *CSR) Equal(o *CSR) bool {
+	return slices.Equal(c.LayerOff, o.LayerOff) &&
+		slices.Equal(c.SetLayer, o.SetLayer) &&
+		slices.Equal(c.Cycles, o.Cycles) &&
+		slices.Equal(c.PredOff, o.PredOff) &&
+		slices.Equal(c.Pred, o.Pred) &&
+		slices.Equal(c.PredVol, o.PredVol) &&
+		slices.Equal(c.SuccOff, o.SuccOff) &&
+		slices.Equal(c.Succ, o.Succ) &&
+		slices.Equal(c.SuccVol, o.SuccVol)
+}

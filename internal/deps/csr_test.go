@@ -40,8 +40,9 @@ func buildGraph(t *testing.T, id models.ID, inputSize, targetSets int) *Graph {
 }
 
 // TestCSRMirrorsDeps: the flat CSR arrays must encode exactly the
-// per-set dependency lists in both directions, with matching volumes
-// and sorted runs, across models and granularities.
+// per-set dependency lists of the recursive reference implementation in
+// both directions, with matching volumes and sorted runs, across models
+// and granularities.
 func TestCSRMirrorsDeps(t *testing.T) {
 	cases := []struct {
 		id         models.ID
@@ -66,9 +67,11 @@ func TestCSRMirrorsDeps(t *testing.T) {
 			t.Fatalf("%s: CSR %d sets / %d edges, graph %d / %d",
 				c.id, csr.NumSets(), csr.NumEdges(), dg.NumSets(), dg.NumEdges())
 		}
-		// Forward edges match Deps exactly (same order: sorted by flat id).
-		for li := range dg.Deps {
-			for si, refs := range dg.Deps[li] {
+		// Forward edges match the reference lists exactly (same order:
+		// sorted by flat id).
+		ref := referenceDeps(t, dg.Plan)
+		for li := range ref {
+			for si, refs := range ref[li] {
 				id := csr.ID(li, si)
 				if gl, gs := csr.Set(id); gl != li || gs != si {
 					t.Fatalf("%s: ID/Set round trip broke at L%d/S%d", c.id, li, si)

@@ -12,14 +12,24 @@
 // whose boxes intersect the pulled-back region. Backward window
 // arithmetic is exact for every operator here, so the resulting
 // dependency relation equals the paper's P/Q mapping.
+//
+// Stage II dominates compilation cost, so Build is engineered as the
+// fast path: the backward operator chains are compiled once per
+// consumer layer into flattened route transforms (xform.go), layers are
+// processed by a bounded worker pool with per-worker scratch (they only
+// read the immutable plan), and each layer emits its slice of the final
+// CSR arrays directly — no per-set intermediate slices. The merge is
+// positional (results land in per-layer slots concatenated in plan
+// order), so the CSR output is byte-identical at any worker count.
 package deps
 
 import (
 	"fmt"
-	"slices"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"clsacim/internal/nn"
-	"clsacim/internal/region"
 	"clsacim/internal/sets"
 )
 
@@ -31,255 +41,297 @@ type SetRef struct {
 	Vol int
 }
 
-// Graph is the set-level dependency DAG over a Stage I plan.
+// Graph is the set-level dependency DAG over a Stage I plan, stored as
+// flat CSR arrays (see CSR). Use DepsOf for a per-set SetRef view.
 type Graph struct {
 	Plan *sets.Plan
-	// Deps[l][s] lists the predecessor sets of set s of layer l, sorted
-	// by (Layer, Set). Sets with no entries depend only on the network
-	// input (available at time zero).
-	Deps [][][]SetRef
-	// CSR is the flat compressed-sparse-row form of Deps (both edge
-	// directions), built once by Build; the scheduler and simulator hot
-	// paths consume it instead of Deps.
+	// CSR is the compressed-sparse-row dependency graph (both edge
+	// directions); the scheduler and simulator hot paths consume it.
 	CSR *CSR
 }
 
-// Build computes Stage II for plan over graph g.
-func Build(g *nn.Graph, plan *sets.Plan) (*Graph, error) {
-	dg := &Graph{Plan: plan, Deps: make([][][]SetRef, len(plan.Layers))}
-	var scratch []SetRef
-	var idxBuf []int
-	for li, ls := range plan.Layers {
-		dg.Deps[li] = make([][]SetRef, len(ls.Sets))
-		node := ls.Group.Node
-		for si, set := range ls.Sets {
-			req, err := requiredIFM(node, set.Box)
-			if err != nil {
-				return nil, fmt.Errorf("deps: %v set %d: %w", node, si, err)
-			}
-			scratch = scratch[:0]
-			for _, r := range req {
-				scratch, idxBuf, err = walkBack(r.src, r.box, plan, scratch, idxBuf)
-				if err != nil {
-					return nil, fmt.Errorf("deps: %v set %d: %w", node, si, err)
-				}
-			}
-			dg.Deps[li][si] = dedupe(scratch)
-		}
-	}
-	dg.CSR = buildCSR(plan, dg.Deps)
-	return dg, nil
+// Options configures Build.
+type Options struct {
+	// Workers bounds the number of layers processed concurrently;
+	// 0 means GOMAXPROCS. The output is identical for every value.
+	Workers int
 }
 
-// dedupe sorts refs by (Layer, Set) and merges duplicates (a set can be
-// reached over several graph paths), keeping the maximum volume.
-func dedupe(refs []SetRef) []SetRef {
-	if len(refs) == 0 {
-		return nil
+// Build computes Stage II for plan over graph g with default options.
+func Build(g *nn.Graph, plan *sets.Plan) (*Graph, error) {
+	return BuildOpt(g, plan, Options{})
+}
+
+// layerEdges is one layer's slice of the dependency arrays: flat
+// predecessor ids and volumes, with setOff[si] indexing set si's run
+// (len(setOff) = set count + 1).
+type layerEdges struct {
+	setOff []int32
+	pred   []int32
+	vol    []int32
+}
+
+// routeTab is one route evaluated against one consumer layer's set
+// grid: the route's axis chains applied to every grid row and column.
+// Consumer sets are grid cells, so set (r, c) of the layer reads, via
+// this route, exactly the predecessor sets {rows[r]} x {cols[c]}, with
+// per-edge volume rowLen * colLen * chan (the per-axis overlap lengths
+// with the predecessor's grid).
+type routeTab struct {
+	base int32 // flat id of the target layer's first set
+	pGW  int32 // target layer's grid width
+	ch   int32 // channel overlap (constant across the layer's sets)
+	// Row r of the consumer grid reaches target grid rows
+	// rowPred[rowOff[r]:rowOff[r+1]] with overlap heights rowLen[...];
+	// likewise for columns. A dead row/column (its interval went empty
+	// mid-chain) has an empty run.
+	rowOff, rowPred, rowLen []int32
+	colOff, colPred, colLen []int32
+}
+
+// buildScratch is the per-worker reusable state.
+type buildScratch struct {
+	routes []route
+	tabs   []routeTab
+	ids    []int32 // per-set edge accumulator (flat ids)
+	vols   []int32
+}
+
+// BuildOpt computes Stage II for plan over graph g. Consumer layers are
+// independent given the immutable plan, so they are fanned out over a
+// bounded worker pool; per-layer results are merged positionally into
+// the CSR, keeping the output deterministic regardless of parallelism.
+func BuildOpt(g *nn.Graph, plan *sets.Plan, opt Options) (*Graph, error) {
+	nl := len(plan.Layers)
+	layerOff := make([]int32, nl+1)
+	total := 0
+	for li := range plan.Layers {
+		layerOff[li] = int32(total)
+		total += len(plan.Layers[li].Sets)
 	}
-	slices.SortFunc(refs, func(a, b SetRef) int {
-		if a.Layer != b.Layer {
-			return a.Layer - b.Layer
+	layerOff[nl] = int32(total)
+
+	results := make([]layerEdges, nl)
+	errs := make([]error, nl)
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nl {
+		workers = nl
+	}
+	if workers <= 1 {
+		var scratch buildScratch
+		for li := 0; li < nl; li++ {
+			results[li], errs[li] = buildLayer(plan, li, layerOff, &scratch)
 		}
-		return a.Set - b.Set
-	})
-	// Compact duplicates in place, then clone the right-sized result.
-	n := 0
-	for _, r := range refs[1:] {
-		if refs[n].Layer == r.Layer && refs[n].Set == r.Set {
-			if r.Vol > refs[n].Vol {
-				refs[n].Vol = r.Vol
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				var scratch buildScratch
+				for {
+					li := int(next.Add(1)) - 1
+					if li >= nl {
+						return
+					}
+					results[li], errs[li] = buildLayer(plan, li, layerOff, &scratch)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Graph{Plan: plan, CSR: assembleCSR(plan, layerOff, results)}, nil
+}
+
+// buildLayer computes the dependency edges of every set of layer li.
+// The layer's receptive-field transform and backward routes are
+// compiled once; each route's axis chains are then evaluated once per
+// consumer grid row and column (all transforms act on H, W, and C
+// independently, and sets are grid cells spanning the full channel
+// depth), so the per-set loop is pure table lookup. Edges come out
+// sorted by flat predecessor id with duplicates merged at maximum
+// volume (a set can be reached over several routes), matching the
+// recursive formulation exactly.
+func buildLayer(plan *sets.Plan, li int, layerOff []int32, sc *buildScratch) (layerEdges, error) {
+	ls := &plan.Layers[li]
+	node := ls.Group.Node
+	ifm, err := compileIFM(node)
+	if err != nil {
+		return layerEdges{}, fmt.Errorf("deps: %v set 0: %w", node, err)
+	}
+	sc.routes, err = compileRoutes(node.Inputs[0], plan, sc.routes[:0])
+	if err != nil {
+		return layerEdges{}, fmt.Errorf("deps: %v: %w", node, err)
+	}
+	if ls.GH*ls.GW != len(ls.Sets) {
+		return layerEdges{}, fmt.Errorf("deps: %v: %d sets on a %dx%d grid", node, len(ls.Sets), ls.GH, ls.GW)
+	}
+	if len(sc.tabs) < len(sc.routes) {
+		sc.tabs = append(sc.tabs, make([]routeTab, len(sc.routes)-len(sc.tabs))...)
+	}
+	ntabs := 0
+	for ri := range sc.routes {
+		if fillTab(&sc.tabs[ntabs], plan, &ifm, &sc.routes[ri], ls, layerOff) {
+			ntabs++
+		}
+	}
+	tabs := sc.tabs[:ntabs]
+
+	out := layerEdges{setOff: make([]int32, len(ls.Sets)+1)}
+	si := 0
+	for r := 0; r < ls.GH; r++ {
+		for c := 0; c < ls.GW; c++ {
+			out.setOff[si] = int32(len(out.pred))
+			si++
+			sc.ids, sc.vols = sc.ids[:0], sc.vols[:0]
+			for ti := range tabs {
+				tab := &tabs[ti]
+				ch := int(tab.ch)
+				clo, chi := tab.colOff[c], tab.colOff[c+1]
+				for x := tab.rowOff[r]; x < tab.rowOff[r+1]; x++ {
+					rowBase := tab.base + tab.rowPred[x]*tab.pGW
+					oh := int(tab.rowLen[x])
+					for y := clo; y < chi; y++ {
+						sc.ids = append(sc.ids, rowBase+tab.colPred[y])
+						sc.vols = append(sc.vols, int32(oh*int(tab.colLen[y])*ch))
+					}
+				}
+			}
+			out.pred, out.vol = mergeEdges(sc.ids, sc.vols, out.pred, out.vol)
+		}
+	}
+	out.setOff[len(ls.Sets)] = int32(len(out.pred))
+	return out, nil
+}
+
+// fillTab evaluates one route against the consumer layer's grid,
+// reusing the tab's slices. It reports false when the route cannot
+// contribute any edge (its channel chain went empty).
+func fillTab(tab *routeTab, plan *sets.Plan, ifm *ifmXform, rt *route, ls *sets.LayerSets, layerOff []int32) bool {
+	pls := &plan.Layers[rt.target]
+	tab.base = layerOff[rt.target]
+	tab.pGW = int32(pls.GW)
+
+	// Channel chain: constant for the whole layer (sets span the full
+	// channel depth).
+	outC := ls.Group.Node.OutShape.C
+	lo, hi := ifm.cmap(0, outC)
+	for si := range rt.steps {
+		if hi <= lo {
+			return false
+		}
+		lo, hi = rt.steps[si].cmap(lo, hi)
+	}
+	predC := pls.Group.Node.OutShape.C
+	lo, hi = clampIv(lo, hi, predC)
+	if hi <= lo {
+		return false
+	}
+	tab.ch = int32(hi - lo)
+
+	// Row chains: consumer grid row r spans [RowBounds[r], RowBounds[r+1]).
+	tab.rowOff = append(tab.rowOff[:0], 0)
+	tab.rowPred, tab.rowLen = tab.rowPred[:0], tab.rowLen[:0]
+	for r := 0; r < ls.GH; r++ {
+		lo, hi := ifm.hmap(ls.RowBounds[r], ls.RowBounds[r+1])
+		for si := 0; si < len(rt.steps) && hi > lo; si++ {
+			lo, hi = rt.steps[si].hmap(lo, hi)
+		}
+		if hi > lo {
+			p0, p1 := pls.RowRange(lo, hi)
+			for p := p0; p < p1; p++ {
+				tab.rowPred = append(tab.rowPred, int32(p))
+				tab.rowLen = append(tab.rowLen,
+					int32(min(hi, pls.RowBounds[p+1])-max(lo, pls.RowBounds[p])))
+			}
+		}
+		tab.rowOff = append(tab.rowOff, int32(len(tab.rowPred)))
+	}
+
+	// Column chains.
+	tab.colOff = append(tab.colOff[:0], 0)
+	tab.colPred, tab.colLen = tab.colPred[:0], tab.colLen[:0]
+	for c := 0; c < ls.GW; c++ {
+		lo, hi := ifm.wmap(ls.ColBounds[c], ls.ColBounds[c+1])
+		for si := 0; si < len(rt.steps) && hi > lo; si++ {
+			lo, hi = rt.steps[si].wmap(lo, hi)
+		}
+		if hi > lo {
+			p0, p1 := pls.ColRange(lo, hi)
+			for p := p0; p < p1; p++ {
+				tab.colPred = append(tab.colPred, int32(p))
+				tab.colLen = append(tab.colLen,
+					int32(min(hi, pls.ColBounds[p+1])-max(lo, pls.ColBounds[p])))
+			}
+		}
+		tab.colOff = append(tab.colOff, int32(len(tab.colPred)))
+	}
+	return true
+}
+
+// mergeEdges appends the (ids, vols) edge stream to (pred, vol), sorted
+// by id with duplicate ids merged at maximum volume. Flat ids are
+// layer-major, so this order equals the (Layer, Set) order of the
+// recursive formulation.
+func mergeEdges(ids, vols []int32, pred, vol []int32) ([]int32, []int32) {
+	switch len(ids) {
+	case 0:
+		return pred, vol
+	case 1:
+		return append(pred, ids[0]), append(vol, vols[0])
+	}
+	// The accumulator is mostly sorted already (routes intersect sorted
+	// set grids); insertion sort keeps the common small lists cheap.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+			vols[j], vols[j-1] = vols[j-1], vols[j]
+		}
+	}
+	pred = append(pred, ids[0])
+	vol = append(vol, vols[0])
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == pred[len(pred)-1] {
+			if vols[i] > vol[len(vol)-1] {
+				vol[len(vol)-1] = vols[i]
 			}
 			continue
 		}
-		n++
-		refs[n] = r
+		pred = append(pred, ids[i])
+		vol = append(vol, vols[i])
 	}
-	return slices.Clone(refs[:n+1])
+	return pred, vol
 }
 
-type srcRegion struct {
-	src *nn.Node
-	box region.Box
-}
-
-// requiredIFM returns the IFM regions a base layer needs to compute the
-// OFM box (the intra-layer dependency of paper Stage I). Convolutions
-// need the receptive field; Dense needs the whole input.
-func requiredIFM(n *nn.Node, out region.Box) ([]srcRegion, error) {
-	in := n.Inputs[0]
-	s := in.OutShape
-	switch op := n.Op.(type) {
-	case *nn.Conv2D:
-		if op.Pad.Any() {
-			return nil, fmt.Errorf("conv still padded; canonicalize first")
-		}
-		rf := region.NewBox(
-			out.H0*op.SH, (out.H1-1)*op.SH+op.KH,
-			out.W0*op.SW, (out.W1-1)*op.SW+op.KW,
-			0, s.C,
-		).ClampTo(s.H, s.W, s.C)
-		return []srcRegion{{in, rf}}, nil
-	case *nn.DepthwiseConv2D:
-		if op.Pad.Any() {
-			return nil, fmt.Errorf("depthwise conv still padded; canonicalize first")
-		}
-		// Depthwise is channel-preserving: output channels [C0, C1)
-		// read exactly input channels [C0, C1).
-		rf := region.NewBox(
-			out.H0*op.SH, (out.H1-1)*op.SH+op.KH,
-			out.W0*op.SW, (out.W1-1)*op.SW+op.KW,
-			out.C0, out.C1,
-		).ClampTo(s.H, s.W, s.C)
-		return []srcRegion{{in, rf}}, nil
-	case *nn.Dense:
-		return []srcRegion{{in, region.Full(s.H, s.W, s.C)}}, nil
-	default:
-		return nil, fmt.Errorf("%v is not a base layer", n)
+// DepsOf materializes the predecessor list of set si of layer li as
+// SetRefs, sorted by (Layer, Set). It allocates per call; it exists for
+// tests and tools — hot paths consume the CSR arrays directly.
+func (dg *Graph) DepsOf(li, si int) []SetRef {
+	c := dg.CSR
+	id := c.ID(li, si)
+	lo, hi := c.PredOff[id], c.PredOff[id+1]
+	if lo == hi {
+		return nil
 	}
-}
-
-// walkBack propagates a required region backward from node n (meaning:
-// "this region of n's output is needed") until it reaches base layers or
-// the graph input, appending intersected predecessor sets to acc.
-func walkBack(n *nn.Node, r region.Box, plan *sets.Plan, acc []SetRef, idxBuf []int) ([]SetRef, []int, error) {
-	if r.Empty() {
-		return acc, idxBuf, nil
+	refs := make([]SetRef, 0, hi-lo)
+	for e := lo; e < hi; e++ {
+		pl, ps := c.Set(c.Pred[e])
+		refs = append(refs, SetRef{Layer: pl, Set: ps, Vol: int(c.PredVol[e])})
 	}
-	if n.Kind() == nn.OpInput {
-		return acc, idxBuf, nil // network input: available at t = 0
-	}
-	if li, ok := plan.ByNode[n]; ok {
-		ls := &plan.Layers[li]
-		idxBuf = ls.Intersecting(r, idxBuf[:0])
-		for _, si := range idxBuf {
-			iv := ls.Sets[si].Box.Intersect(r)
-			if iv.Empty() {
-				continue
-			}
-			acc = append(acc, SetRef{Layer: li, Set: si, Vol: iv.Volume()})
-		}
-		return acc, idxBuf, nil
-	}
-	if n.IsBase() {
-		return acc, idxBuf, fmt.Errorf("base layer %v is not in the set plan (unmapped)", n)
-	}
-	srcs, err := backward(n, r)
-	if err != nil {
-		return acc, idxBuf, err
-	}
-	for _, s := range srcs {
-		acc, idxBuf, err = walkBack(s.src, s.box, plan, acc, idxBuf)
-		if err != nil {
-			return acc, idxBuf, err
-		}
-	}
-	return acc, idxBuf, nil
-}
-
-// backward maps a region of n's output space to regions of its inputs'
-// output spaces (exact for every non-base operator).
-func backward(n *nn.Node, r region.Box) ([]srcRegion, error) {
-	in := n.Inputs
-	switch op := n.Op.(type) {
-	case *nn.BiasAdd, *nn.Activation, *nn.BatchNorm:
-		return []srcRegion{{in[0], r}}, nil
-
-	case *nn.Pad:
-		s := in[0].OutShape
-		return []srcRegion{{in[0],
-			r.Translate(-op.Pad.Top, -op.Pad.Left, 0).ClampTo(s.H, s.W, s.C)}}, nil
-
-	case *nn.MaxPool:
-		s := in[0].OutShape
-		b := region.NewBox(
-			r.H0*op.SH-op.Pad.Top, (r.H1-1)*op.SH+op.KH-op.Pad.Top,
-			r.W0*op.SW-op.Pad.Left, (r.W1-1)*op.SW+op.KW-op.Pad.Left,
-			r.C0, r.C1,
-		).ClampTo(s.H, s.W, s.C)
-		return []srcRegion{{in[0], b}}, nil
-
-	case *nn.AvgPool:
-		s := in[0].OutShape
-		if op.Global {
-			return []srcRegion{{in[0], region.Full(s.H, s.W, s.C).
-				Intersect(region.NewBox(0, s.H, 0, s.W, r.C0, r.C1))}}, nil
-		}
-		b := region.NewBox(
-			r.H0*op.SH, (r.H1-1)*op.SH+op.KH,
-			r.W0*op.SW, (r.W1-1)*op.SW+op.KW,
-			r.C0, r.C1,
-		).ClampTo(s.H, s.W, s.C)
-		return []srcRegion{{in[0], b}}, nil
-
-	case *nn.Concat:
-		var out []srcRegion
-		off := 0
-		for _, src := range in {
-			s := src.OutShape
-			var local region.Box
-			switch op.Axis {
-			case nn.AxisH:
-				local = r.Intersect(region.NewBox(off, off+s.H, r.W0, r.W1, r.C0, r.C1)).
-					Translate(-off, 0, 0)
-				off += s.H
-			case nn.AxisW:
-				local = r.Intersect(region.NewBox(r.H0, r.H1, off, off+s.W, r.C0, r.C1)).
-					Translate(0, -off, 0)
-				off += s.W
-			case nn.AxisC:
-				local = r.Intersect(region.NewBox(r.H0, r.H1, r.W0, r.W1, off, off+s.C)).
-					Translate(0, 0, -off)
-				off += s.C
-			}
-			if !local.Empty() {
-				out = append(out, srcRegion{src, local})
-			}
-		}
-		return out, nil
-
-	case *nn.Add:
-		return []srcRegion{{in[0], r}, {in[1], r}}, nil
-
-	case *nn.UpSample:
-		f := op.Factor
-		b := region.NewBox(
-			r.H0/f, (r.H1+f-1)/f,
-			r.W0/f, (r.W1+f-1)/f,
-			r.C0, r.C1,
-		)
-		return []srcRegion{{in[0], b}}, nil
-
-	case *nn.Slice:
-		return []srcRegion{{in[0], r.Translate(op.Box.H0, op.Box.W0, op.Box.C0)}}, nil
-
-	case *nn.Flatten:
-		// A flattened channel range maps to a non-rectangular HWC set;
-		// conservatively require the whole input.
-		s := in[0].OutShape
-		return []srcRegion{{in[0], region.Full(s.H, s.W, s.C)}}, nil
-
-	default:
-		return nil, fmt.Errorf("deps: no backward rule for %v", n.Kind())
-	}
+	return refs
 }
 
 // NumSets returns the total number of sets in the dependency graph.
-func (dg *Graph) NumSets() int {
-	n := 0
-	for _, l := range dg.Deps {
-		n += len(l)
-	}
-	return n
-}
+func (dg *Graph) NumSets() int { return dg.CSR.NumSets() }
 
 // NumEdges returns the total number of dependency edges.
-func (dg *Graph) NumEdges() int {
-	n := 0
-	for _, l := range dg.Deps {
-		for _, s := range l {
-			n += len(s)
-		}
-	}
-	return n
-}
+func (dg *Graph) NumEdges() int { return dg.CSR.NumEdges() }

@@ -1,0 +1,71 @@
+package deps
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"clsacim/internal/models"
+	"clsacim/internal/nn"
+	"clsacim/internal/sets"
+)
+
+// TestBuildDeterministic: Build must produce byte-identical CSR arrays
+// regardless of how the per-layer fan-out is scheduled — across worker
+// counts, across repeated runs, and across GOMAXPROCS settings. The
+// positional merge makes this structural, but a race or a
+// scheduling-order dependence would show up here (run with -race).
+func TestBuildDeterministic(t *testing.T) {
+	cases := []struct {
+		id         models.ID
+		size       int
+		targetSets int
+	}{
+		{models.TinyYOLOv4, 416, 26},
+		{models.TinyYOLOv4, 416, sets.FineGranularity},
+		{models.ResNet50, 224, 26},
+		{models.ResNet50, 224, sets.FineGranularity},
+	}
+	if testing.Short() {
+		cases = cases[:1]
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, c := range cases {
+		label := fmt.Sprintf("%s/%d", c.id, c.targetSets)
+		if c.targetSets == sets.FineGranularity {
+			label = fmt.Sprintf("%s/fine", c.id)
+		}
+		t.Run(label, func(t *testing.T) {
+			g, plan := planFor(t, c.id, c.size, c.targetSets)
+			runtime.GOMAXPROCS(1)
+			serial, err := BuildOpt(g, plan, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, gmp := range []int{1, 4, 8} {
+				runtime.GOMAXPROCS(gmp)
+				for _, workers := range []int{0, 1, 2, 7} {
+					for run := 0; run < 2; run++ {
+						dg, err := BuildOpt(g, plan, Options{Workers: workers})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !dg.CSR.Equal(serial.CSR) {
+							t.Fatalf("GOMAXPROCS=%d workers=%d run=%d: CSR diverges from serial build",
+								gmp, workers, run)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// planFor lowers a model through Stage I (no duplication) for the
+// determinism runs; the plan is built once and shared across all Build
+// invocations, like in the engine's compile pipeline.
+func planFor(t *testing.T, id models.ID, inputSize, targetSets int) (*nn.Graph, *sets.Plan) {
+	t.Helper()
+	g, dg := buildDeps(t, id, inputSize, targetSets, 0)
+	return g, dg.Plan
+}

@@ -230,7 +230,7 @@ func oracleCheck(t *testing.T, g *nn.Graph, dg *Graph, li, si int, checkMinimal 
 	plan := dg.Plan
 	target := plan.Layers[li].Group.Node
 	need := requiredElems(t, target, plan.Layers[li].Sets[si])
-	refs := dg.Deps[li][si]
+	refs := dg.DepsOf(li, si)
 
 	run := func(skip int) bool {
 		a := make(avail)
@@ -318,8 +318,8 @@ func buildDeps(t *testing.T, id models.ID, inputSize, targetSets, extraPEs int) 
 // (Add, Concat, UpSample, stride-2) for sufficiency and minimality.
 func TestOracleTinyBranchNet(t *testing.T) {
 	g, dg := buildDeps(t, models.TinyBranchNet, 16, 4, 0)
-	for li := range dg.Deps {
-		for si := range dg.Deps[li] {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
 			oracleCheck(t, g, dg, li, si, true)
 		}
 	}
@@ -332,8 +332,8 @@ func TestOracleTinyYOLOv4(t *testing.T) {
 		t.Skip("exhaustive oracle cross-check; run without -short")
 	}
 	g, dg := buildDeps(t, models.TinyYOLOv4, 64, 3, 0)
-	for li := range dg.Deps {
-		for si := range dg.Deps[li] {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
 			oracleCheck(t, g, dg, li, si, true)
 		}
 	}
@@ -346,8 +346,8 @@ func TestOracleTinyYOLOv3Finer(t *testing.T) {
 		t.Skip("exhaustive oracle cross-check; run without -short")
 	}
 	g, dg := buildDeps(t, models.TinyYOLOv3, 64, 7, 0)
-	for li := range dg.Deps {
-		for si := range dg.Deps[li] {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
 			oracleCheck(t, g, dg, li, si, true)
 		}
 	}
@@ -357,8 +357,8 @@ func TestOracleTinyYOLOv3Finer(t *testing.T) {
 // dependencies through depthwise-separable blocks.
 func TestOracleTinyDWNet(t *testing.T) {
 	g, dg := buildDeps(t, models.TinyDWNet, 16, 4, 0)
-	for li := range dg.Deps {
-		for si := range dg.Deps[li] {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
 			oracleCheck(t, g, dg, li, si, true)
 		}
 	}
@@ -370,8 +370,8 @@ func TestOracleResNetBlock(t *testing.T) {
 	g, dg := buildDeps(t, models.ResNet50, 32, 3, 0)
 	// Limit to the first 12 layers to keep the oracle fast; they cover
 	// stem + pooling + the first bottleneck (projection, add).
-	for li := 0; li < 12 && li < len(dg.Deps); li++ {
-		for si := range dg.Deps[li] {
+	for li := 0; li < 12 && li < len(dg.Plan.Layers); li++ {
+		for si := range dg.Plan.Layers[li].Sets {
 			oracleCheck(t, g, dg, li, si, true)
 		}
 	}
@@ -379,8 +379,9 @@ func TestOracleResNetBlock(t *testing.T) {
 
 func TestDepsSortedAndDeduped(t *testing.T) {
 	_, dg := buildDeps(t, models.TinyYOLOv4, 64, 5, 0)
-	for li := range dg.Deps {
-		for si, refs := range dg.Deps[li] {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
+			refs := dg.DepsOf(li, si)
 			for i := 1; i < len(refs); i++ {
 				a, b := refs[i-1], refs[i]
 				if a.Layer > b.Layer || (a.Layer == b.Layer && a.Set >= b.Set) {
@@ -404,9 +405,9 @@ func TestDepsSortedAndDeduped(t *testing.T) {
 func TestDepsAcyclicForward(t *testing.T) {
 	for _, id := range []models.ID{models.TinyBranchNet, models.TinyYOLOv4, models.ResNet50} {
 		_, dg := buildDeps(t, id, 32, 4, 0)
-		for li := range dg.Deps {
-			for si, refs := range dg.Deps[li] {
-				for _, r := range refs {
+		for li := range dg.Plan.Layers {
+			for si := range dg.Plan.Layers[li].Sets {
+				for _, r := range dg.DepsOf(li, si) {
 					if r.Layer >= li {
 						t.Fatalf("%s: layer %d set %d depends on layer %d (not earlier)",
 							id, li, si, r.Layer)
@@ -421,8 +422,8 @@ func TestDepsAcyclicForward(t *testing.T) {
 // network input.
 func TestFirstLayerHasNoDeps(t *testing.T) {
 	_, dg := buildDeps(t, models.TinyYOLOv4, 64, 4, 0)
-	for si, refs := range dg.Deps[0] {
-		if len(refs) != 0 {
+	for si := range dg.Plan.Layers[0].Sets {
+		if refs := dg.DepsOf(0, si); len(refs) != 0 {
 			t.Errorf("first layer set %d has deps %v", si, refs)
 		}
 	}

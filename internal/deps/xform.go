@@ -1,0 +1,329 @@
+package deps
+
+import (
+	"fmt"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/sets"
+)
+
+// This file hoists the Stage II backward walk out of the per-set loop.
+// The recursive formulation (see reference_test.go, which keeps the
+// original implementation as a differential oracle) re-traverses the
+// non-base operator chain between a consumer layer and each of its
+// predecessor base layers once per set, allocating intermediate
+// []srcRegion slices at every node. But the chain itself depends only
+// on the pair of layers, never on the set: the per-set input is just a
+// box. So Build compiles, once per consumer layer, every backward path
+// from the layer's IFM to a reachable predecessor base layer into a
+// route — a flattened sequence of closed-form box transforms — and the
+// per-set work collapses to "apply each route's steps to the set's
+// receptive field", with zero allocations and no graph traversal.
+
+// stepKind enumerates the closed-form box transforms a non-base
+// operator contributes to a backward route.
+type stepKind uint8
+
+const (
+	// stepTranslate shifts the box by (dh, dw, dc) and clamps it to the
+	// source volume (Pad and Slice backward; the clamp is a no-op for
+	// Slice but uniform application keeps the interpreter branch-free).
+	stepTranslate stepKind = iota
+	// stepPool is the pooling/window backward map: the box covering all
+	// input positions any output position in the box reads, offset by
+	// the pooling padding and clamped (MaxPool, strided AvgPool).
+	stepPool
+	// stepFullHW widens the box to the full spatial extent, keeping the
+	// channel range (global AvgPool backward).
+	stepFullHW
+	// stepFull replaces the box with the entire source volume (Flatten
+	// backward: a flattened range is not rectangular in HWC, so the
+	// whole input is conservatively required).
+	stepFull
+	// stepConcat restricts the box to one concat operand's span along
+	// the concat axis and rebases it to operand-local coordinates.
+	stepConcat
+	// stepUpSample divides the box by the upsampling factor (ceiling on
+	// the upper bounds).
+	stepUpSample
+)
+
+// tstep is one flattened backward transform. Identity operators
+// (BiasAdd, Activation, BatchNorm, Add) contribute no step at all.
+type tstep struct {
+	kind stepKind
+	// dh, dw, dc translate the box (stepTranslate).
+	dh, dw, dc int
+	// sh, sw, kh, kw, oh, ow are the pooling strides, kernel, and
+	// padding offsets (stepPool).
+	sh, sw, kh, kw, oh, ow int
+	// h, w, c is the source volume the result is clamped to.
+	h, w, c int
+	// axis, lo, hi select the operand span [lo, hi) on the concat axis
+	// (stepConcat).
+	axis   nn.Axis
+	lo, hi int
+	// f is the upsampling factor (stepUpSample).
+	f int
+}
+
+// Every transform here — and every receptive-field transform — acts on
+// the H, W, and C intervals of a box independently, so routes are
+// applied one axis at a time: the H chain runs once per consumer grid
+// row, the W chain once per grid column, and the C chain once per
+// route (sets span the full channel depth). A box is empty as soon as
+// any single axis interval is empty, so per-axis ever-empty tracking
+// reproduces the recursive walk's "stop on empty box" rule exactly:
+// the caller must stop a chain at the first empty interval — a later
+// step could re-inflate it (a pool window is wider than its stride),
+// which would fabricate dependencies.
+
+// clampIv intersects the interval [lo, hi) with [0, n).
+func clampIv(lo, hi, n int) (int, int) {
+	return max(lo, 0), min(hi, n)
+}
+
+// hmap maps the H interval [lo, hi) of the step's output space to the
+// input-space H interval required to produce it.
+func (s *tstep) hmap(lo, hi int) (int, int) {
+	switch s.kind {
+	case stepTranslate:
+		return clampIv(lo+s.dh, hi+s.dh, s.h)
+	case stepPool:
+		return clampIv(lo*s.sh-s.oh, (hi-1)*s.sh+s.kh-s.oh, s.h)
+	case stepFullHW, stepFull:
+		return 0, s.h
+	case stepConcat:
+		if s.axis == nn.AxisH {
+			lo, hi = max(lo, s.lo), min(hi, s.hi)
+			return lo - s.lo, hi - s.lo
+		}
+		return lo, hi
+	case stepUpSample:
+		return lo / s.f, (hi + s.f - 1) / s.f
+	}
+	return lo, hi
+}
+
+// wmap is hmap for the W axis.
+func (s *tstep) wmap(lo, hi int) (int, int) {
+	switch s.kind {
+	case stepTranslate:
+		return clampIv(lo+s.dw, hi+s.dw, s.w)
+	case stepPool:
+		return clampIv(lo*s.sw-s.ow, (hi-1)*s.sw+s.kw-s.ow, s.w)
+	case stepFullHW, stepFull:
+		return 0, s.w
+	case stepConcat:
+		if s.axis == nn.AxisW {
+			lo, hi = max(lo, s.lo), min(hi, s.hi)
+			return lo - s.lo, hi - s.lo
+		}
+		return lo, hi
+	case stepUpSample:
+		return lo / s.f, (hi + s.f - 1) / s.f
+	}
+	return lo, hi
+}
+
+// cmap is hmap for the C axis (pooling and upsampling are spatial, so
+// they pass the channel range through, clamped to the source volume
+// where the box form clamped).
+func (s *tstep) cmap(lo, hi int) (int, int) {
+	switch s.kind {
+	case stepTranslate:
+		return clampIv(lo+s.dc, hi+s.dc, s.c)
+	case stepPool, stepFullHW:
+		return clampIv(lo, hi, s.c)
+	case stepFull:
+		return 0, s.c
+	case stepConcat:
+		if s.axis == nn.AxisC {
+			lo, hi = max(lo, s.lo), min(hi, s.hi)
+			return lo - s.lo, hi - s.lo
+		}
+		return lo, hi
+	}
+	return lo, hi
+}
+
+// route is one compiled backward path from a consumer layer's IFM to a
+// predecessor base layer: applying steps in order to a required-IFM box
+// yields the box of the target layer's OFM space the set reads through
+// this path. Several routes may share a target (diamond topologies);
+// their contributions are merged per set with max volume, exactly like
+// the recursive walk.
+type route struct {
+	target int // plan layer index of the predecessor base layer
+	steps  []tstep
+}
+
+// ifmKind selects the consumer layer's own receptive-field transform
+// (OFM set box -> required IFM box), hoisted per layer as well.
+type ifmKind uint8
+
+const (
+	ifmConv      ifmKind = iota // receptive field, all input channels
+	ifmDepthwise                // receptive field, set's own channels
+	ifmDense                    // whole input
+)
+
+// ifmXform is a consumer base layer's precompiled intra-layer transform.
+type ifmXform struct {
+	kind           ifmKind
+	sh, sw, kh, kw int
+	h, w, c        int // IFM volume
+}
+
+// hmap returns the IFM H interval required to compute the OFM H
+// interval [lo, hi).
+func (x *ifmXform) hmap(lo, hi int) (int, int) {
+	if x.kind == ifmDense {
+		return 0, x.h
+	}
+	return clampIv(lo*x.sh, (hi-1)*x.sh+x.kh, x.h)
+}
+
+// wmap is hmap for the W axis.
+func (x *ifmXform) wmap(lo, hi int) (int, int) {
+	if x.kind == ifmDense {
+		return 0, x.w
+	}
+	return clampIv(lo*x.sw, (hi-1)*x.sw+x.kw, x.w)
+}
+
+// cmap is hmap for the C axis: convolutions read every input channel,
+// depthwise reads exactly its own channel range, Dense the whole input.
+func (x *ifmXform) cmap(lo, hi int) (int, int) {
+	if x.kind == ifmDepthwise {
+		return clampIv(lo, hi, x.c)
+	}
+	return 0, x.c
+}
+
+// compileIFM builds the receptive-field transform of a base layer.
+func compileIFM(n *nn.Node) (ifmXform, error) {
+	s := n.Inputs[0].OutShape
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		if op.Pad.Any() {
+			return ifmXform{}, fmt.Errorf("conv still padded; canonicalize first")
+		}
+		return ifmXform{kind: ifmConv, sh: op.SH, sw: op.SW, kh: op.KH, kw: op.KW,
+			h: s.H, w: s.W, c: s.C}, nil
+	case *nn.DepthwiseConv2D:
+		if op.Pad.Any() {
+			return ifmXform{}, fmt.Errorf("depthwise conv still padded; canonicalize first")
+		}
+		return ifmXform{kind: ifmDepthwise, sh: op.SH, sw: op.SW, kh: op.KH, kw: op.KW,
+			h: s.H, w: s.W, c: s.C}, nil
+	case *nn.Dense:
+		return ifmXform{kind: ifmDense, h: s.H, w: s.W, c: s.C}, nil
+	default:
+		return ifmXform{}, fmt.Errorf("%v is not a base layer", n)
+	}
+}
+
+// compileRoutes enumerates every backward path from node src (a
+// consumer layer's IFM producer) to the base layers of the plan,
+// flattening the non-base operators along each path into steps. The
+// enumeration mirrors the recursive walk exactly: paths through
+// diamonds are kept separate (their per-set contributions are merged by
+// volume later), and a base layer missing from the plan is an error.
+func compileRoutes(src *nn.Node, plan *sets.Plan, routes []route) ([]route, error) {
+	var steps []tstep
+	var dfs func(n *nn.Node) error
+	dfs = func(n *nn.Node) error {
+		if n.Kind() == nn.OpInput {
+			return nil // network input: available at t = 0, no dependency
+		}
+		if li, ok := plan.ByNode[n]; ok {
+			cp := make([]tstep, len(steps))
+			copy(cp, steps)
+			routes = append(routes, route{target: li, steps: cp})
+			return nil
+		}
+		if n.IsBase() {
+			return fmt.Errorf("base layer %v is not in the set plan (unmapped)", n)
+		}
+		in := n.Inputs
+		push := func(s tstep, next *nn.Node) error {
+			steps = append(steps, s)
+			err := dfs(next)
+			steps = steps[:len(steps)-1]
+			return err
+		}
+		switch op := n.Op.(type) {
+		case *nn.BiasAdd, *nn.Activation, *nn.BatchNorm:
+			return dfs(in[0])
+
+		case *nn.Pad:
+			s := in[0].OutShape
+			return push(tstep{kind: stepTranslate, dh: -op.Pad.Top, dw: -op.Pad.Left,
+				h: s.H, w: s.W, c: s.C}, in[0])
+
+		case *nn.MaxPool:
+			s := in[0].OutShape
+			return push(tstep{kind: stepPool,
+				sh: op.SH, sw: op.SW, kh: op.KH, kw: op.KW,
+				oh: op.Pad.Top, ow: op.Pad.Left,
+				h: s.H, w: s.W, c: s.C}, in[0])
+
+		case *nn.AvgPool:
+			s := in[0].OutShape
+			if op.Global {
+				return push(tstep{kind: stepFullHW, h: s.H, w: s.W, c: s.C}, in[0])
+			}
+			return push(tstep{kind: stepPool,
+				sh: op.SH, sw: op.SW, kh: op.KH, kw: op.KW,
+				h: s.H, w: s.W, c: s.C}, in[0])
+
+		case *nn.Concat:
+			off := 0
+			for _, srcN := range in {
+				s := srcN.OutShape
+				extent := 0
+				switch op.Axis {
+				case nn.AxisH:
+					extent = s.H
+				case nn.AxisW:
+					extent = s.W
+				case nn.AxisC:
+					extent = s.C
+				}
+				if err := push(tstep{kind: stepConcat, axis: op.Axis,
+					lo: off, hi: off + extent}, srcN); err != nil {
+					return err
+				}
+				off += extent
+			}
+			return nil
+
+		case *nn.Add:
+			if err := dfs(in[0]); err != nil {
+				return err
+			}
+			return dfs(in[1])
+
+		case *nn.UpSample:
+			return push(tstep{kind: stepUpSample, f: op.Factor}, in[0])
+
+		case *nn.Slice:
+			s := in[0].OutShape
+			return push(tstep{kind: stepTranslate,
+				dh: op.Box.H0, dw: op.Box.W0, dc: op.Box.C0,
+				h: s.H, w: s.W, c: s.C}, in[0])
+
+		case *nn.Flatten:
+			s := in[0].OutShape
+			return push(tstep{kind: stepFull, h: s.H, w: s.W, c: s.C}, in[0])
+
+		default:
+			return fmt.Errorf("deps: no backward rule for %v", n.Kind())
+		}
+	}
+	if err := dfs(src); err != nil {
+		return nil, err
+	}
+	return routes, nil
+}

@@ -270,9 +270,9 @@ func TestFuzzDepsOracleLight(t *testing.T) {
 			// Cheap structural checks on every set: deps strictly
 			// earlier, volumes positive and bounded by the predecessor
 			// set volume.
-			for li := range dg.Deps {
-				for si, refs := range dg.Deps[li] {
-					for _, ref := range refs {
+			for li := range dg.Plan.Layers {
+				for si := range dg.Plan.Layers[li].Sets {
+					for _, ref := range dg.DepsOf(li, si) {
 						if ref.Layer >= li {
 							t.Fatalf("layer %d set %d depends forward on %d", li, si, ref.Layer)
 						}

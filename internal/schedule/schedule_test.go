@@ -206,9 +206,9 @@ func TestValidateDetectsCorruption(t *testing.T) {
 	s := fresh()
 	// Find a set with at least one dependency and move it before the dep.
 	found := false
-	for li := range dg.Deps {
-		for si, refs := range dg.Deps[li] {
-			if len(refs) == 0 {
+	for li := range dg.Plan.Layers {
+		for si := range dg.Plan.Layers[li].Sets {
+			if len(dg.DepsOf(li, si)) == 0 {
 				continue
 			}
 			it := s.At(li, si)

@@ -39,6 +39,10 @@ type Timeline struct {
 }
 
 // NewTimeline allocates an empty timeline shaped after dg's set plan.
+// The per-layer ReplicaActive rows are views into one backing array
+// (full-capacity slices, so an append on a row would copy rather than
+// clobber its neighbor), keeping the allocation count independent of
+// the layer count.
 func NewTimeline(dg *deps.Graph, p Policy) *Timeline {
 	nl := len(dg.Plan.Layers)
 	t := &Timeline{
@@ -48,8 +52,16 @@ func NewTimeline(dg *deps.Graph, p Policy) *Timeline {
 		LayerActive:   make([]int64, nl),
 		ReplicaActive: make([][]int64, nl),
 	}
-	for li, ls := range dg.Plan.Layers {
-		t.ReplicaActive[li] = make([]int64, ls.Group.Dup)
+	total := 0
+	for li := range dg.Plan.Layers {
+		total += dg.Plan.Layers[li].Group.Dup
+	}
+	backing := make([]int64, total)
+	off := 0
+	for li := range dg.Plan.Layers {
+		d := dg.Plan.Layers[li].Group.Dup
+		t.ReplicaActive[li] = backing[off : off+d : off+d]
+		off += d
 	}
 	return t
 }

@@ -75,6 +75,18 @@ func (ls *LayerSets) Intersecting(b region.Box, dst []int) []int {
 	return dst
 }
 
+// RowRange returns the grid-row index range [r0, r1) of rows whose OFM
+// interval intersects [lo, hi). Every returned row has positive overlap
+// when the query interval is non-empty.
+func (ls *LayerSets) RowRange(lo, hi int) (int, int) {
+	return boundRange(ls.RowBounds, lo, hi)
+}
+
+// ColRange is RowRange for grid columns.
+func (ls *LayerSets) ColRange(lo, hi int) (int, int) {
+	return boundRange(ls.ColBounds, lo, hi)
+}
+
 // boundRange returns the index range [i0, i1) of grid cells whose
 // interval [bounds[i], bounds[i+1]) intersects [lo, hi).
 func boundRange(bounds []int, lo, hi int) (int, int) {
@@ -123,7 +135,11 @@ func Determine(g *nn.Graph, m *mapping.Mapping, opt Options) (*Plan, error) {
 	if target <= 0 {
 		target = DefaultTargetSets
 	}
-	plan := &Plan{ByNode: make(map[*nn.Node]int), TargetSets: target}
+	plan := &Plan{
+		Layers:     make([]LayerSets, 0, len(m.Groups)),
+		ByNode:     make(map[*nn.Node]int, len(m.Groups)),
+		TargetSets: target,
+	}
 	cons := g.Consumers()
 	for li, grp := range m.Groups {
 		out := grp.Node.OutShape
@@ -155,6 +171,7 @@ func Determine(g *nn.Graph, m *mapping.Mapping, opt Options) (*Plan, error) {
 			ls.ColBounds = append(ls.ColBounds, c.W0)
 		}
 		ls.ColBounds = append(ls.ColBounds, out.W)
+		ls.Sets = make([]Set, 0, len(rows)*len(cols))
 		idx := 0
 		for _, r := range rows {
 			for _, c := range cols {
@@ -166,7 +183,8 @@ func Determine(g *nn.Graph, m *mapping.Mapping, opt Options) (*Plan, error) {
 		// The grid construction guarantees pairwise disjointness; volume
 		// and containment checks catch boundary bugs in O(n).
 		var vol int
-		for _, s := range ls.Sets {
+		for i := range ls.Sets {
+			s := &ls.Sets[i]
 			if s.Box.Empty() || !full.ContainsBox(s.Box) {
 				return nil, fmt.Errorf("sets: tile %v of %v outside OFM", s.Box, grp.Node)
 			}

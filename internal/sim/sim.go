@@ -15,10 +15,16 @@
 // Beyond timing, the simulator accounts per-PE active cycles (the inputs
 // to paper Eq. 2) and tracks the live intermediate-data footprint (a
 // proxy for the tile buffer / DRAM traffic requirements of §II-A).
+//
+// The per-replica dispatch state mirrors the CSR's layout discipline:
+// replicas are numbered globally (layer li's replicas occupy
+// [repOff[li], repOff[li+1])), their dispatch orders live in one flat
+// array indexed by orderOff, and the event queue is an inlined min-heap
+// over a plain []event — no per-layer slice-of-slices and no interface
+// boxing on the hot path.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"clsacim/internal/check"
@@ -50,23 +56,53 @@ type event struct {
 	seq  int64 // tie-break for determinism
 }
 
+// eventQueue is a binary min-heap over (time, seq), inlined instead of
+// container/heap: Push/Pop through the heap.Interface box every event
+// into an interface value (one allocation per scheduled set), which
+// dominated the simulator's allocation profile.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
+func eventLess(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(h[r], h[c]) {
+			c = r
+		}
+		if !eventLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
 }
 
 // Options configures a simulation run.
@@ -129,18 +165,22 @@ type simState struct {
 	readyAt  []int64 // max dependency completion (+edge cost) per flat set
 	consLeft []int32 // outstanding consumer count per flat set (buffer accounting)
 
-	// Per replica: ordered set indices (policy dispatch order) and
-	// progress.
-	replicaSets [][][]int32 // [layer][replica][]setIdx
-	replicaPos  [][]int
-	replicaBusy [][]bool
+	// Replica dispatch state, offset-indexed: layer li owns the global
+	// replica ids [repOff[li], repOff[li+1]); replica g executes the
+	// layer-local set indices order[orderOff[g]:orderOff[g+1]] in
+	// policy dispatch order, pos[g] of which are complete.
+	repOff   []int32
+	orderOff []int32
+	order    []int32
+	pos      []int32
+	busy     []bool
 
 	// Admission window: layer li may start only once every layer up to
 	// li-K is complete. gateOpen marks admitted layers; frontier is the
 	// first incomplete layer (all layers below it are done).
 	window    int
 	gateOpen  []bool
-	setsLeft  []int
+	setsLeft  []int32
 	layerDone []bool
 	frontier  int
 
@@ -154,32 +194,62 @@ func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Po
 	csr := dg.CSR
 	nl := len(dg.Plan.Layers)
 	ns := csr.NumSets()
+	totalReps := 0
+	for li := range dg.Plan.Layers {
+		totalReps += dg.Plan.Layers[li].Group.Dup
+	}
 	st := &simState{
 		arch: arch, dg: dg, csr: csr, m: m, p: p, edge: edge,
-		depsLeft:    make([]int32, ns),
-		readyAt:     make([]int64, ns),
-		consLeft:    make([]int32, ns),
-		replicaSets: make([][][]int32, nl),
-		replicaPos:  make([][]int, nl),
-		replicaBusy: make([][]bool, nl),
-		window:      p.Window(),
-		gateOpen:    make([]bool, nl),
-		setsLeft:    make([]int, nl),
-		layerDone:   make([]bool, nl),
+		depsLeft:  make([]int32, ns),
+		readyAt:   make([]int64, ns),
+		consLeft:  make([]int32, ns),
+		repOff:    make([]int32, nl+1),
+		orderOff:  make([]int32, totalReps+1),
+		order:     make([]int32, ns),
+		pos:       make([]int32, totalReps),
+		busy:      make([]bool, totalReps),
+		window:    p.Window(),
+		gateOpen:  make([]bool, nl),
+		setsLeft:  make([]int32, nl),
+		layerDone: make([]bool, nl),
+		queue:     make(eventQueue, 0, totalReps),
 		res: &Result{
 			Timeline: schedule.NewTimeline(dg, p),
 			PEActive: make([]int64, arch.NumPEs),
 		},
 	}
+	// Fill the flat dispatch orders: count sets per global replica,
+	// prefix-sum into orderOff, then place each set at its replica's
+	// cursor (raster order within a replica, matching Stage III).
+	reps := 0
 	for li, ls := range dg.Plan.Layers {
+		st.repOff[li] = int32(reps)
+		reps += ls.Group.Dup
+		st.setsLeft[li] = int32(len(ls.Sets))
+	}
+	st.repOff[nl] = int32(reps)
+	cnt := make([]int32, totalReps)
+	for li, ls := range dg.Plan.Layers {
+		base := st.repOff[li]
 		d := ls.Group.Dup
-		st.replicaSets[li] = make([][]int32, d)
-		st.replicaPos[li] = make([]int, d)
-		st.replicaBusy[li] = make([]bool, d)
-		st.setsLeft[li] = len(ls.Sets)
 		for si := range ls.Sets {
-			r := p.Replica(si, d)
-			st.replicaSets[li][r] = append(st.replicaSets[li][r], int32(si))
+			cnt[base+int32(p.Replica(si, d))]++
+		}
+	}
+	var off int32
+	for g, n := range cnt {
+		st.orderOff[g] = off
+		off += n
+		cnt[g] = st.orderOff[g] // reuse as write cursor
+	}
+	st.orderOff[totalReps] = off
+	for li, ls := range dg.Plan.Layers {
+		base := st.repOff[li]
+		d := ls.Group.Dup
+		for si := range ls.Sets {
+			g := base + int32(p.Replica(si, d))
+			st.order[cnt[g]] = int32(si)
+			cnt[g]++
 		}
 	}
 	for i := 0; i < ns; i++ {
@@ -190,12 +260,11 @@ func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Po
 }
 
 func (st *simState) run() (*Result, error) {
-	heap.Init(&st.queue)
 	// Open the initial window and handle (degenerate) empty layers.
 	st.openGates(0)
 	var now int64
-	for st.queue.Len() > 0 {
-		e := heap.Pop(&st.queue).(event)
+	for len(st.queue) > 0 {
+		e := st.queue.pop()
 		now = e.time
 		st.complete(e)
 	}
@@ -224,7 +293,7 @@ func (st *simState) openGates(now int64) {
 				progressed = true
 				continue
 			}
-			for rep := range st.replicaBusy[li] {
+			for rep := 0; rep < int(st.repOff[li+1]-st.repOff[li]); rep++ {
 				st.tryStart(li, rep, now)
 			}
 		}
@@ -252,15 +321,15 @@ func (st *simState) chargePEs(li, rep int, cycles int64) {
 // admitted, the replica is idle, and the set's dependencies are met.
 // now is the current sim time.
 func (st *simState) tryStart(li, rep int, now int64) {
-	if !st.gateOpen[li] || st.replicaBusy[li][rep] {
+	g := st.repOff[li] + int32(rep)
+	if !st.gateOpen[li] || st.busy[g] {
 		return
 	}
-	pos := st.replicaPos[li][rep]
-	order := st.replicaSets[li][rep]
-	if pos >= len(order) {
+	next := st.orderOff[g] + st.pos[g]
+	if next >= st.orderOff[g+1] {
 		return
 	}
-	si := order[pos]
+	si := st.order[next]
 	id := st.csr.ID(li, int(si))
 	if st.depsLeft[id] > 0 {
 		return
@@ -270,10 +339,10 @@ func (st *simState) tryStart(li, rep int, now int64) {
 		start = now
 	}
 	end := start + st.csr.Cycles[id]
-	st.replicaBusy[li][rep] = true
+	st.busy[g] = true
 	st.res.Items[id] = schedule.Item{Layer: li, Set: int(si), Replica: rep, Start: start, End: end}
 	st.seq++
-	heap.Push(&st.queue, event{time: end, id: id, seq: st.seq})
+	st.queue.push(event{time: end, id: id, seq: st.seq})
 }
 
 // complete processes a set-completion event: it frees the replica,
@@ -283,9 +352,10 @@ func (st *simState) complete(e event) {
 	li, si := st.csr.Set(e.id)
 	ls := st.dg.Plan.Layers[li]
 	rep := st.p.Replica(si, ls.Group.Dup)
+	g := st.repOff[li] + int32(rep)
 	st.chargePEs(li, rep, st.csr.Cycles[e.id])
-	st.replicaBusy[li][rep] = false
-	st.replicaPos[li][rep]++
+	st.busy[g] = false
+	st.pos[g]++
 
 	// Buffer accounting: the produced elements stay live until every
 	// consumer set has executed.
