@@ -1,0 +1,231 @@
+// Package client is a typed Go client for the clsacim evaluation
+// service (package serve / cmd/clsaserved). It speaks the JSON wire
+// schema defined in package serve and returns the same typed errors a
+// local Engine would: a 404 from the daemon satisfies
+// errors.Is(err, clsacim.ErrUnknownModel), and deadline expiry
+// surfaces as context.DeadlineExceeded, so code can move between
+// in-process and remote evaluation without changing its error
+// handling. All methods honor the passed context; use
+// clsacim.Request.TimeoutMillis to additionally bound a single request
+// server-side.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"clsacim"
+	"clsacim/serve"
+)
+
+// Client calls one clsaserved daemon. Construct with New; the zero
+// value is not usable. A Client is safe for concurrent use.
+type Client struct {
+	base *url.URL
+	http *http.Client
+}
+
+// Option configures a Client at construction time.
+type Option func(*Client) error
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient). Use it for custom transports, TLS, or
+// client-side timeouts.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) error {
+		if hc == nil {
+			return errors.New("client: nil http client")
+		}
+		c.http = hc
+		return nil
+	}
+}
+
+// New builds a Client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: parsing base URL: %w", err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{base: u, http: http.DefaultClient}
+	for _, opt := range opts {
+		if err := opt(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// APIError is a non-2xx response from the daemon. It carries the HTTP
+// status, the server's error message, and the machine-readable error
+// code from the service's JSON envelope (serve.ErrorResponse.Code).
+// The code maps back onto the package-level sentinel errors:
+// errors.Is(err, clsacim.ErrUnknownModel) holds for unknown-model
+// failures and errors.Is(err, context.DeadlineExceeded) for expired
+// request deadlines. Responses without the envelope — a plain-text 404
+// from a misconfigured base URL, an intermediary proxy error — stay
+// bare *APIErrors, so a wrong path is never misdiagnosed as a missing
+// model.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// Code is the serve.Code* constant the daemon attached, "" when
+	// the response carried no envelope or no code.
+	Code string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// Is maps the service's error codes onto the sentinel errors a local
+// Engine would return, so error handling is transport-agnostic.
+func (e *APIError) Is(target error) bool {
+	switch e.Code {
+	case serve.CodeUnknownModel:
+		return target == clsacim.ErrUnknownModel
+	case serve.CodeDeadlineExceeded:
+		return target == context.DeadlineExceeded
+	case serve.CodeCanceled:
+		return target == context.Canceled
+	}
+	return false
+}
+
+// Evaluate submits one request to POST /v1/evaluate.
+func (c *Client) Evaluate(ctx context.Context, req clsacim.Request) (*serve.Evaluation, error) {
+	var ev serve.Evaluation
+	if err := c.post(ctx, "/v1/evaluate", req, &ev); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// EvaluateBatch submits requests to POST /v1/evaluate/batch. Results
+// are positionally aligned with reqs; per-request failures are
+// reported in BatchResult.Error without failing the call.
+func (c *Client) EvaluateBatch(ctx context.Context, reqs []clsacim.Request) ([]serve.BatchResult, error) {
+	var resp serve.BatchResponse
+	if err := c.post(ctx, "/v1/evaluate/batch", serve.BatchRequest{Requests: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(reqs) {
+		return nil, fmt.Errorf("client: server returned %d results for %d requests", len(resp.Results), len(reqs))
+	}
+	return resp.Results, nil
+}
+
+// Models fetches GET /v1/models: what the daemon can evaluate.
+func (c *Client) Models(ctx context.Context) (*serve.ModelsResponse, error) {
+	var resp serve.ModelsResponse
+	if err := c.get(ctx, "/v1/models", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches GET /v1/stats: the daemon's engine cache counters and
+// HTTP accounting.
+func (c *Client) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	var resp serve.StatsResponse
+	if err := c.get(ctx, "/v1/stats", &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes GET /healthz, returning nil when the daemon is up.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := c.newRequest(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: health check: %w", err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(readBody(resp.Body))}
+	}
+	return nil
+}
+
+func (c *Client) post(ctx context.Context, path string, body, dst any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding request: %w", err)
+	}
+	req, err := c.newRequest(ctx, http.MethodPost, path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, dst)
+}
+
+func (c *Client) get(ctx context.Context, path string, dst any) error {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, dst)
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body io.Reader) (*http.Request, error) {
+	u := *c.base
+	u.Path = strings.TrimRight(u.Path, "/") + path
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), body)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	return req, nil
+}
+
+// do executes the request and decodes the JSON response into dst,
+// translating non-2xx statuses into *APIError.
+func (c *Client) do(req *http.Request, dst any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer drain(resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := readBody(resp.Body)
+		code := ""
+		var apiErr serve.ErrorResponse
+		if json.Unmarshal([]byte(msg), &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+			code = apiErr.Code
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(msg), Code: code}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// readBody reads a bounded prefix of the body for error reporting.
+func readBody(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 64<<10))
+	return string(b)
+}
+
+// drain discards the rest of the body so the connection can be reused,
+// then closes it.
+func drain(rc io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(rc, 64<<10))
+	rc.Close()
+}

@@ -1,0 +1,172 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"clsacim"
+	"clsacim/client"
+	"clsacim/serve"
+)
+
+// startDaemon runs a real serve.Server on a loopback listener and
+// returns a client pointed at it.
+func startDaemon(t *testing.T) *client.Client {
+	t.Helper()
+	eng, err := clsacim.New(clsacim.WithCacheLimit(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := serve.New(eng, serve.WithLogger(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	ev, err := c.Evaluate(ctx, clsacim.Request{
+		Model: "tinyconvnet", Mode: clsacim.ModeCrossLayer,
+		ExtraPEs: 2, WeightDuplication: true,
+	})
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if ev.Speedup < 1 || ev.Result.Mode != "xinf" {
+		t.Errorf("evaluation = %+v, want a real xinf result", ev)
+	}
+
+	reqs := []clsacim.Request{
+		{Model: "tinyconvnet", Mode: clsacim.ModeCrossLayer, ExtraPEs: 1, WeightDuplication: true},
+		{Model: "tinyconvnet", Mode: clsacim.ModeLayerByLayer},
+	}
+	results, err := c.EvaluateBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i, r := range results {
+		if r.Error != "" || r.Evaluation == nil {
+			t.Errorf("batch result %d = %+v, want success", i, r)
+		}
+		if r.Request.Model != reqs[i].Model || r.Request.ExtraPEs != reqs[i].ExtraPEs {
+			t.Errorf("batch result %d echoes request %+v, want %+v", i, r.Request, reqs[i])
+		}
+	}
+
+	models, err := c.Models(ctx)
+	if err != nil {
+		t.Fatalf("models: %v", err)
+	}
+	found := false
+	for _, m := range models.Models {
+		if m == "tinyconvnet" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("models = %v, want tinyconvnet listed", models.Models)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Engine.Evaluations != 3 {
+		t.Errorf("engine evaluations = %d, want 3", stats.Engine.Evaluations)
+	}
+	if stats.Server.BatchItems != 2 {
+		t.Errorf("batch items = %d, want 2", stats.Server.BatchItems)
+	}
+}
+
+func TestClientTypedErrors(t *testing.T) {
+	c := startDaemon(t)
+	ctx := context.Background()
+
+	_, err := c.Evaluate(ctx, clsacim.Request{Model: "no-such-net"})
+	if !errors.Is(err, clsacim.ErrUnknownModel) {
+		t.Errorf("unknown model err = %v, want errors.Is ErrUnknownModel", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("err = %v, want *APIError with status 404", err)
+	}
+
+	// Deterministic server-side timeout: a sleeping solver pins the
+	// compile well past the 1 ms deadline, and the resulting 504 must
+	// map back to context.DeadlineExceeded.
+	solverName := fmt.Sprintf("test-client-sleeps-%d", time.Now().UnixNano())
+	if err := clsacim.RegisterSolver(solverName, func(layers []clsacim.SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		time.Sleep(250 * time.Millisecond)
+		d := make([]int, len(layers))
+		for i := range d {
+			d[i] = 1
+		}
+		return d, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Evaluate(ctx, clsacim.Request{
+		Model: "tinyconvnet", ExtraPEs: 1, WeightDuplication: true,
+		Solver: solverName, TimeoutMillis: 1,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("timed-out err = %v, want errors.Is context.DeadlineExceeded", err)
+	}
+}
+
+func TestClientWrongPath404IsNotUnknownModel(t *testing.T) {
+	// A misconfigured base URL hits the daemon's unknown-endpoint 404
+	// (no error code); that must stay a bare *APIError, not satisfy
+	// errors.Is(err, clsacim.ErrUnknownModel) — a sweep tool skipping
+	// "unknown models" would otherwise silently skip everything.
+	eng, err := clsacim.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := serve.New(eng, serve.WithLogger(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c, err := client.New(ts.URL + "/api") // daemon is mounted at root
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	if err == nil {
+		t.Fatal("evaluate against a wrong path succeeded")
+	}
+	if errors.Is(err, clsacim.ErrUnknownModel) {
+		t.Errorf("wrong-path 404 satisfies ErrUnknownModel: %v", err)
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 || apiErr.Code != "" {
+		t.Errorf("err = %v, want a bare *APIError with status 404 and no code", err)
+	}
+}
+
+func TestClientRejectsBadBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "127.0.0.1:8080", "/just/a/path"} {
+		if _, err := client.New(bad); err == nil {
+			t.Errorf("New(%q) accepted a base URL without scheme+host", bad)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command clsaserved is the clsacim evaluation daemon: it holds one
+// concurrency-safe Engine and serves it over HTTP/JSON (package serve),
+// so remote sweeps share a single bounded compile cache instead of
+// recompiling per process.
+//
+// Usage:
+//
+//	clsaserved                                   # defaults on :8080
+//	clsaserved -addr :9090 -workers 8 -cache-limit 128
+//	clsaserved -timeout 30s -max-batch 512 -validate
+//	clsaserved -config arch.json                 # engine base Config from JSON
+//
+// Endpoints: POST /v1/evaluate, POST /v1/evaluate/batch,
+// GET /v1/models, GET /v1/stats, GET /healthz. See docs/serving.md for
+// the wire schema and curl examples.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and gives
+// in-flight requests -shutdown-grace to finish before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	clsacim "clsacim"
+	"clsacim/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "batch evaluation workers (0 = GOMAXPROCS)")
+	cacheLimit := flag.Int("cache-limit", 64, "max cached compilations, LRU-evicted beyond (0 = unbounded)")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request handling deadline (0 = none)")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max requests per batch call")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGTERM")
+	validate := flag.Bool("validate", false, "run the timeline invariant checker on every schedule (canary mode)")
+	configPath := flag.String("config", "", "JSON file with the engine's base clsacim.Config (architecture defaults)")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *cacheLimit, *timeout, *maxBatch, *grace, *validate, *configPath); err != nil {
+		fmt.Fprintln(os.Stderr, "clsaserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, cacheLimit int, timeout time.Duration, maxBatch int, grace time.Duration, validate bool, configPath string) error {
+	opts := []clsacim.Option{clsacim.WithCacheLimit(cacheLimit)}
+	if configPath != "" {
+		b, err := os.ReadFile(configPath)
+		if err != nil {
+			return err
+		}
+		var cfg clsacim.Config
+		if err := json.Unmarshal(b, &cfg); err != nil {
+			return fmt.Errorf("parsing %s: %w", configPath, err)
+		}
+		opts = append(opts, clsacim.WithConfig(cfg))
+	}
+	if workers > 0 {
+		opts = append(opts, clsacim.WithWorkers(workers))
+	}
+	if validate {
+		opts = append(opts, clsacim.WithValidation())
+	}
+	eng, err := clsacim.New(opts...)
+	if err != nil {
+		return err
+	}
+	handler, err := serve.New(eng,
+		serve.WithRequestTimeout(timeout),
+		serve.WithMaxBatch(maxBatch),
+	)
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting on SIGINT/SIGTERM, then give
+	// in-flight evaluations the grace window to finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("clsaserved: listening on %s (cache limit %d, timeout %v)", addr, cacheLimit, timeout)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err // bind failure etc.; never nil from ListenAndServe
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("clsaserved: shutting down (grace %v)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("clsaserved: bye")
+	return nil
+}

@@ -1,12 +1,15 @@
 package clsacim
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clsacim/internal/check"
 	"clsacim/internal/metrics"
@@ -24,26 +27,51 @@ import (
 // (model, architecture, mapping) key exactly once and shares the
 // immutable *Compiled across all subsequent requests; Stats exposes the
 // hit accounting. All methods are safe for concurrent use.
+//
+// Two properties make the cache safe under sustained multi-tenant
+// traffic (e.g. behind the serve package's HTTP daemon):
+//
+//   - Single-flight compilation: concurrent requests for the same key
+//     share one compilation — the first requester compiles, everyone
+//     else waits on it (honoring their context), so a burst of
+//     identical requests costs one compile, not N.
+//   - Bounded memory: WithCacheLimit caps the number of retained
+//     compilations; beyond the cap, the least-recently-used finished
+//     entry is evicted (Stats.Evictions counts them). In-flight
+//     compilations are never evicted, so the bound can be exceeded
+//     transiently while more than CacheLimit distinct keys compile at
+//     once.
 type Engine struct {
-	base     Config
-	workers  int
-	validate bool
+	base       Config
+	workers    int
+	validate   bool
+	cacheLimit int // 0 = unbounded
 
 	mu    sync.Mutex
 	cache map[string]*compileEntry
+	lru   *list.List // *compileEntry values; front = most recently used
 
 	compiles    atomic.Int64
 	hits        atomic.Int64
 	misses      atomic.Int64
+	evictions   atomic.Int64
 	evaluations atomic.Int64
 }
 
 // compileEntry is a cache slot with single-flight semantics: the first
 // requester compiles, everyone else waits on ready.
 type compileEntry struct {
+	key   string
 	ready chan struct{}
 	c     *Compiled
 	err   error
+
+	// done is set just before ready is closed; the eviction scan reads
+	// it under Engine.mu to skip in-flight entries without blocking.
+	done bool
+	// elem is the entry's LRU position, nil once evicted. Guarded by
+	// Engine.mu.
+	elem *list.Element
 }
 
 // New builds an Engine from functional options. The zero option set
@@ -53,6 +81,7 @@ func New(opts ...Option) (*Engine, error) {
 	e := &Engine{
 		workers: runtime.GOMAXPROCS(0),
 		cache:   make(map[string]*compileEntry),
+		lru:     list.New(),
 	}
 	for _, opt := range opts {
 		if err := opt(e); err != nil {
@@ -82,10 +111,16 @@ type Stats struct {
 	CacheHits int64
 	// CacheMisses counts compile requests that had to compile.
 	CacheMisses int64
+	// Evictions counts cached compilations dropped by the LRU bound
+	// (see WithCacheLimit). Always 0 on an unbounded engine.
+	Evictions int64
 	// Evaluations counts completed Evaluate calls.
 	Evaluations int64
 	// CachedEntries is the current number of cached compilations.
 	CachedEntries int
+	// CacheLimit is the configured bound on CachedEntries (0 =
+	// unbounded).
+	CacheLimit int
 }
 
 // Stats returns a consistent-enough snapshot of the Engine counters.
@@ -97,8 +132,10 @@ func (e *Engine) Stats() Stats {
 		Compiles:      e.compiles.Load(),
 		CacheHits:     e.hits.Load(),
 		CacheMisses:   e.misses.Load(),
+		Evictions:     e.evictions.Load(),
 		Evaluations:   e.evaluations.Load(),
 		CachedEntries: entries,
+		CacheLimit:    e.cacheLimit,
 	}
 }
 
@@ -144,8 +181,10 @@ func cacheKey(model string, cfg Config) (string, error) {
 }
 
 // compile returns the cached compilation of (m, cfg), compiling at most
-// once per key. Waiters honor ctx; the compilation itself runs to
-// completion once started so late arrivals can still use it.
+// once per key (single-flight). Waiters honor ctx; the compilation
+// itself runs to completion once started so late arrivals can still use
+// it. With a cache limit set, finishing a compilation may evict the
+// least-recently-used finished entries beyond the bound.
 func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -158,6 +197,9 @@ func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, 
 	ent, ok := e.cache[key]
 	if ok {
 		e.hits.Add(1)
+		if ent.elem != nil {
+			e.lru.MoveToFront(ent.elem)
+		}
 		e.mu.Unlock()
 		select {
 		case <-ent.ready:
@@ -167,8 +209,10 @@ func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, 
 		return ent.c, ent.err
 	}
 	e.misses.Add(1)
-	ent = &compileEntry{ready: make(chan struct{})}
+	ent = &compileEntry{key: key, ready: make(chan struct{})}
+	ent.elem = e.lru.PushFront(ent)
 	e.cache[key] = ent
+	e.evictLocked()
 	e.mu.Unlock()
 
 	e.compiles.Add(1)
@@ -179,26 +223,92 @@ func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, 
 		if ent.err == nil && ent.c == nil {
 			ent.err = fmt.Errorf("clsacim: compiling %q panicked", m.Name)
 		}
+		e.mu.Lock()
+		ent.done = true
+		// The in-flight guard may have held the cache over its bound
+		// while this key compiled; re-run the scan now that the entry
+		// is evictable.
+		e.evictLocked()
+		e.mu.Unlock()
 		close(ent.ready)
 	}()
 	ent.c, ent.err = Compile(m, cfg)
 	return ent.c, ent.err
 }
 
+// evictLocked drops least-recently-used finished entries until the
+// cache respects the configured bound. In-flight compilations are
+// skipped: evicting one would detach its waiters from the single-flight
+// slot and recompile the same key concurrently. Callers hold e.mu.
+func (e *Engine) evictLocked() {
+	if e.cacheLimit <= 0 {
+		return
+	}
+	for el := e.lru.Back(); el != nil && len(e.cache) > e.cacheLimit; {
+		ent := el.Value.(*compileEntry)
+		prev := el.Prev()
+		if ent.done {
+			delete(e.cache, ent.key)
+			e.lru.Remove(el)
+			ent.elem = nil
+			e.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// requestCtx derives the context a request runs under: ctx bounded by
+// the request's own deadline when TimeoutMillis is set. Values too
+// large to represent as a time.Duration are clamped to the maximum
+// rather than overflowing into an already-expired deadline. The
+// returned cancel func must always be called.
+func requestCtx(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	if req.TimeoutMillis > 0 {
+		ms := req.TimeoutMillis
+		if ms > math.MaxInt64/int64(time.Millisecond) {
+			ms = math.MaxInt64 / int64(time.Millisecond)
+		}
+		return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	}
+	return ctx, func() {}
+}
+
+// compileRequest resolves the request's model and compiles it (cached)
+// under the request's effective configuration and deadline. The
+// returned context carries the deadline for the caller's later steps;
+// cancel must always be called.
+func (e *Engine) compileRequest(ctx context.Context, req Request) (*Compiled, context.Context, context.CancelFunc, error) {
+	m, err := lookupModel(req.Model)
+	if err != nil {
+		return nil, ctx, func() {}, err
+	}
+	ctx, cancel := requestCtx(ctx, req)
+	c, err := e.compile(ctx, m, e.effective(req))
+	return c, ctx, cancel, err
+}
+
 // Compile resolves the request's model and returns its (cached)
 // compilation under the request's effective configuration.
 func (e *Engine) Compile(ctx context.Context, req Request) (*Compiled, error) {
-	m, err := lookupModel(req.Model)
+	c, ctx, cancel, err := e.compileRequest(ctx, req)
+	defer cancel()
 	if err != nil {
 		return nil, err
 	}
-	return e.compile(ctx, m, e.effective(req))
+	// A compilation that ran past the request deadline still lands in
+	// the cache for later requests, but this caller asked for a bound
+	// and must see the expiry — same contract as Schedule/Evaluate.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // Schedule compiles (cached) and schedules the request, returning the
 // paper's per-configuration report.
 func (e *Engine) Schedule(ctx context.Context, req Request) (*Report, error) {
-	comp, err := e.Compile(ctx, req)
+	comp, ctx, cancel, err := e.compileRequest(ctx, req)
+	defer cancel()
 	if err != nil {
 		return nil, err
 	}
@@ -267,6 +377,8 @@ func (e *Engine) EvaluateModel(ctx context.Context, m *Model, req Request) (*Eva
 }
 
 func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluation, error) {
+	ctx, cancel := requestCtx(ctx, req)
+	defer cancel()
 	cfg := e.effective(req)
 	baseCfg := cfg
 	baseCfg.ExtraPEs = 0

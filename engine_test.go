@@ -4,9 +4,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"math"
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -614,5 +617,185 @@ func TestSweepWorkloadsAgree(t *testing.T) {
 		if got.Result.MakespanCycles != want.Result.MakespanCycles {
 			t.Errorf("%+v: %d != %d", req, got.Result.MakespanCycles, want.Result.MakespanCycles)
 		}
+	}
+}
+
+func TestWithCacheLimitEvictsLRU(t *testing.T) {
+	eng := MustNew(WithCacheLimit(2))
+	ctx := context.Background()
+	eval := func(x int) {
+		t.Helper()
+		_, err := eng.Evaluate(ctx, Request{
+			Model: "tinyconvnet", Mode: ModeCrossLayer,
+			ExtraPEs: x, WeightDuplication: true,
+		})
+		if err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+	}
+	// Each Evaluate touches the shared baseline (keeping it hot) and one
+	// variant key; with limit 2 the previous variant is evicted each
+	// time while the baseline survives as most-recently-used.
+	eval(1) // cache: {x1, baseline}
+	eval(2) // x1 evicted
+	eval(3) // x2 evicted
+	eval(1) // x1 recompiles, x3 evicted
+
+	s := eng.Stats()
+	if s.CacheLimit != 2 {
+		t.Errorf("CacheLimit = %d, want 2", s.CacheLimit)
+	}
+	if s.CachedEntries > 2 {
+		t.Errorf("CachedEntries = %d exceeds limit 2", s.CachedEntries)
+	}
+	// Keys compiled: baseline, x1, x2, x3, x1 again after its eviction.
+	if s.Compiles != 5 {
+		t.Errorf("Compiles = %d, want 5 (x1 recompiled after eviction)", s.Compiles)
+	}
+	if s.Evictions != 3 {
+		t.Errorf("Evictions = %d, want 3", s.Evictions)
+	}
+	// 4 evaluations x 2 lookups each; 5 missed, the rest (including
+	// every baseline reuse) hit.
+	if s.CacheMisses != 5 || s.CacheHits != 3 {
+		t.Errorf("misses/hits = %d/%d, want 5/3 (baseline must never be evicted mid-sweep)",
+			s.CacheMisses, s.CacheHits)
+	}
+}
+
+func TestCacheLimitKeepsInflightEntries(t *testing.T) {
+	// An in-flight compilation must never be evicted: waiters hold its
+	// single-flight slot, and dropping it would recompile the same key
+	// concurrently. Block a compile inside a custom solver and churn
+	// the bounded cache underneath it.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var startedOnce sync.Once
+	var solverRuns atomic.Int64
+	// The solver registry is process-global and rejects duplicates, so
+	// the name must be fresh under -count=N.
+	solverName := fmt.Sprintf("test-blocks-%d", time.Now().UnixNano())
+	err := RegisterSolver(solverName, func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		solverRuns.Add(1)
+		startedOnce.Do(func() { close(started) })
+		<-release
+		d := make([]int, len(layers))
+		for i := range d {
+			d[i] = 1
+		}
+		return d, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := MustNew(WithCacheLimit(2))
+	ctx := context.Background()
+	blocked := Request{
+		Model: "tinyconvnet", Mode: ModeCrossLayer,
+		ExtraPEs: 1, WeightDuplication: true, Solver: solverName,
+	}
+	errA := make(chan error, 1)
+	go func() {
+		_, err := eng.Evaluate(ctx, blocked)
+		errA <- err
+	}()
+	<-started
+	// A second identical request must join the in-flight slot as a
+	// waiter (two cache hits: the baseline and the blocked key). Wait
+	// until its lookups registered before churning the cache.
+	errB := make(chan error, 1)
+	go func() {
+		_, err := eng.Evaluate(ctx, blocked)
+		errB <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Stats().CacheHits < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// While the blocked key compiles and B waits on it, push several
+	// other keys through the bounded cache; each insert runs the
+	// eviction scan. The in-flight entry must survive all of it.
+	for x := 2; x <= 4; x++ {
+		if _, err := eng.Evaluate(ctx, Request{
+			Model: "tinyconvnet", Mode: ModeCrossLayer,
+			ExtraPEs: x, WeightDuplication: true,
+		}); err != nil {
+			t.Fatalf("x=%d during blocked compile: %v", x, err)
+		}
+	}
+	close(release)
+	if err := <-errA; err != nil {
+		t.Fatalf("blocked evaluation failed: %v", err)
+	}
+	if err := <-errB; err != nil {
+		t.Fatalf("waiting evaluation failed: %v", err)
+	}
+	// Had the churn evicted the in-flight entry, the second request
+	// would have started a second compilation of the same key.
+	if runs := solverRuns.Load(); runs != 1 {
+		t.Errorf("solver ran %d times, want 1 (in-flight entry evicted from bounded cache)", runs)
+	}
+	if s := eng.Stats(); s.CachedEntries > 2 {
+		t.Errorf("CachedEntries = %d, want <= limit 2", s.CachedEntries)
+	}
+}
+
+func TestRequestTimeoutMillis(t *testing.T) {
+	eng := MustNew()
+	// Pin the compile duration well past the deadline with a sleeping
+	// solver, so the deadline check after compilation fires
+	// deterministically (racing a real cold compile against a short
+	// timer is flaky under load).
+	solverName := fmt.Sprintf("test-sleeps-%d", time.Now().UnixNano())
+	if err := RegisterSolver(solverName, func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		time.Sleep(250 * time.Millisecond)
+		d := make([]int, len(layers))
+		for i := range d {
+			d[i] = 1
+		}
+		return d, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := eng.Evaluate(context.Background(), Request{
+		Model: "tinyconvnet", ExtraPEs: 1, WeightDuplication: true,
+		Solver: solverName, TimeoutMillis: 1,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The request's own deadline must not loosen an earlier caller
+	// deadline.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = eng.Evaluate(ctx, Request{Model: "tinyconvnet", TimeoutMillis: 60_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Engine.Compile honors the same contract: a cold compile that ran
+	// past the deadline reports the expiry to the bounded caller (the
+	// compilation itself still lands in the cache).
+	_, err = eng.Compile(context.Background(), Request{
+		Model: "tinyconvnet", ExtraPEs: 2, WeightDuplication: true,
+		Solver: solverName, TimeoutMillis: 1,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Compile err = %v, want context.DeadlineExceeded", err)
+	}
+	// Negative timeouts are rejected by validation.
+	if err := (Request{Model: "tinyconvnet", TimeoutMillis: -1}).Validate(); err == nil {
+		t.Fatal("negative TimeoutMillis passed Validate")
+	}
+	// A generous timeout lets the request complete normally.
+	if _, err := eng.Evaluate(context.Background(), Request{Model: "tinyconvnet", TimeoutMillis: 600_000}); err != nil {
+		t.Fatalf("generous timeout failed: %v", err)
+	}
+	// An absurd timeout clamps instead of overflowing time.Duration
+	// into an instantly-expired deadline.
+	if _, err := eng.Evaluate(context.Background(), Request{Model: "tinyconvnet", TimeoutMillis: math.MaxInt64 / 2}); err != nil {
+		t.Fatalf("huge timeout failed: %v", err)
 	}
 }

@@ -1,0 +1,126 @@
+// Remote sweep: the benchmark_sweep example re-expressed against a
+// clsaserved daemon — the evaluation runs in the server's process, the
+// sweep logic here only speaks JSON through the typed client package.
+// Many such clients can share one daemon, whose bounded compile cache
+// then builds each distinct (model, mapping) key once for all of them.
+//
+// Run against a live daemon:
+//
+//	go run ./cmd/clsaserved -addr :8080 &
+//	go run ./examples/remote_sweep -addr http://127.0.0.1:8080
+//
+// Or self-contained (no daemon needed): with no -addr the example
+// starts an in-process server on a loopback port and sweeps against
+// that, which is also what the build smoke test exercises.
+//
+//	go run ./examples/remote_sweep -model tinyyolov4 -x 4,8,16,32
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	clsacim "clsacim"
+	"clsacim/client"
+	"clsacim/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "daemon base URL (empty: start an in-process server)")
+	model := flag.String("model", "tinyyolov4", "model to sweep")
+	xFlag := flag.String("x", "4,8,16,32", "comma-separated extra-PE values")
+	mode := flag.String("sched", "xinf", "scheduling mode for the swept points")
+	flag.Parse()
+
+	base := *addr
+	if base == "" {
+		var stopLocal func()
+		var err error
+		base, stopLocal, err = startLocal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopLocal()
+		fmt.Printf("started in-process daemon at %s\n\n", base)
+	}
+
+	c, err := client.New(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := c.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	schedMode, err := clsacim.ParseMode(*mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reqs []clsacim.Request
+	for _, s := range strings.Split(*xFlag, ",") {
+		x, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			log.Fatalf("bad -x value %q: %v", s, err)
+		}
+		reqs = append(reqs, clsacim.Request{
+			Model:             *model,
+			Mode:              schedMode,
+			ExtraPEs:          x,
+			WeightDuplication: true,
+		})
+	}
+
+	results, err := c.EvaluateBatch(ctx, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %6s %6s  %10s %12s\n", "model", "x", "sched", "speedup", "utilization")
+	for _, r := range results {
+		if r.Error != "" {
+			fmt.Printf("%-12s %6d %6s  error: %s\n", r.Request.Model, r.Request.ExtraPEs, r.Request.Mode, r.Error)
+			continue
+		}
+		fmt.Printf("%-12s %6d %6s  %9.2fx %11.1f%%\n",
+			r.Request.Model, r.Request.ExtraPEs, r.Request.Mode,
+			r.Evaluation.Speedup, r.Evaluation.Result.Utilization*100)
+	}
+
+	// The stats endpoint shows the cache doing the sharing: one
+	// baseline compile plus one per distinct mapping point, and every
+	// repeated point a hit.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver: %d compiles, %d hits, %d misses, %d evictions, %d cached (limit %d)\n",
+		stats.Engine.Compiles, stats.Engine.CacheHits, stats.Engine.CacheMisses,
+		stats.Engine.Evictions, stats.Engine.CachedEntries, stats.Engine.CacheLimit)
+}
+
+// startLocal runs a daemon inside this process on a loopback port.
+func startLocal() (baseURL string, stop func(), err error) {
+	eng, err := clsacim.New(clsacim.WithCacheLimit(16))
+	if err != nil {
+		return "", nil, err
+	}
+	handler, err := serve.New(eng)
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }, nil
+}

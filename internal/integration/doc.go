@@ -1,0 +1,7 @@
+// Package integration holds whole-pipeline property tests: randomly
+// generated CNNs are pushed through canonicalization, mapping, CLSA-CIM
+// Stages I-IV (paper §III-IV), both schedulers, and the event-driven
+// simulator, with every timeline invariant (internal/check) asserted on
+// every seed. The package exists only for its test files — no
+// production code lives here, and nothing imports it.
+package integration

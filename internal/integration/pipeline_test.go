@@ -1,7 +1,3 @@
-// Package integration holds whole-pipeline property tests: randomly
-// generated CNNs are pushed through canonicalization, mapping, CLSA-CIM
-// Stages I-IV, both schedulers, and the event-driven simulator, with
-// every invariant checked on every seed. No production code lives here.
 package integration
 
 import (

@@ -167,3 +167,22 @@ func WithWorkers(n int) Option {
 		return nil
 	}
 }
+
+// WithCacheLimit bounds the compile cache to at most n retained
+// compilations (default 0 = unbounded). Beyond the bound the
+// least-recently-used finished entry is evicted; Stats.Evictions counts
+// them. A long-running service sweeping many distinct
+// (model, architecture, mapping) keys needs the bound to keep memory
+// flat — each cached compilation holds the full Stage I/II analysis and
+// every scheduled timeline of its model. In-flight compilations are
+// never evicted, so the cache may transiently exceed n while more than
+// n distinct keys compile concurrently.
+func WithCacheLimit(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("clsacim: negative cache limit %d", n)
+		}
+		e.cacheLimit = n
+		return nil
+	}
+}

@@ -36,6 +36,15 @@ type Request struct {
 	// entirely (the overlay fields above still apply on top). Use it
 	// when a request must control the architecture itself.
 	Config *Config `json:"config,omitempty"`
+	// TimeoutMillis bounds this request's wall-clock time when positive:
+	// Evaluate/Schedule/Compile run under a context deadline of
+	// TimeoutMillis milliseconds (in addition to whatever deadline the
+	// caller's context already carries) and fail with
+	// context.DeadlineExceeded when it expires. A compilation already
+	// started is never abandoned mid-flight — the deadline is checked
+	// between pipeline steps and while waiting on the cache — so a
+	// timed-out request may still have warmed the cache for the next one.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // Validate checks the request against the process-wide registries
@@ -52,6 +61,9 @@ func (r Request) Validate() error {
 	}
 	if r.TotalPEs < 0 {
 		return fmt.Errorf("clsacim: request has negative TotalPEs %d", r.TotalPEs)
+	}
+	if r.TimeoutMillis < 0 {
+		return fmt.Errorf("clsacim: request has negative TimeoutMillis %d", r.TimeoutMillis)
 	}
 	if r.Solver != "" {
 		if _, err := lookupSolver(r.Solver); err != nil {

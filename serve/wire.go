@@ -1,0 +1,173 @@
+package serve
+
+import "clsacim"
+
+// This file defines the JSON wire schema of the service. Requests reuse
+// clsacim.Request verbatim (its json tags are the wire format);
+// responses get dedicated types here so the schema is stable and
+// snake_case even if the in-process result structs grow fields. The
+// client package decodes into these same types, so a Go caller of the
+// HTTP API never sees the encoding.
+
+// Report is the wire form of one scheduling outcome (clsacim.Report):
+// the paper's per-configuration metrics.
+type Report struct {
+	// Model is the evaluated model's registered name.
+	Model string `json:"model"`
+	// Mode is the scheduling mode's wire name: "lbl", "xinf", or "x<K>".
+	Mode string `json:"mode"`
+	// F is the PE count of the compiled architecture (PEmin + x).
+	F int `json:"f"`
+	// PEMin is the minimum PE count storing every weight once.
+	PEMin int `json:"pe_min"`
+	// MakespanCycles is the schedule length in MVM cycles.
+	MakespanCycles int64 `json:"makespan_cycles"`
+	// LatencyNanos is MakespanCycles * tMVM.
+	LatencyNanos float64 `json:"latency_nanos"`
+	// Utilization is paper Eq. 2, in [0, 1].
+	Utilization float64 `json:"utilization"`
+	// Duplication is the applied weight-duplication vector d in plan
+	// order.
+	Duplication []int `json:"duplication,omitempty"`
+	// EnergyMicroJoule is the dynamic energy estimate (0 unless the
+	// engine configures EnergyPerMVMNanoJ).
+	EnergyMicroJoule float64 `json:"energy_uj,omitempty"`
+	// ReloadCycles is the crossbar-programming time included in the
+	// makespan (weight virtualization only).
+	ReloadCycles int64 `json:"reload_cycles,omitempty"`
+}
+
+// Evaluation is the wire form of clsacim.Evaluation: one configuration
+// measured against the paper's layer-by-layer reference.
+type Evaluation struct {
+	Baseline Report `json:"baseline"`
+	Result   Report `json:"result"`
+	// Speedup is Baseline.MakespanCycles / Result.MakespanCycles.
+	Speedup float64 `json:"speedup"`
+	// UtilizationGain is Result.Utilization / Baseline.Utilization.
+	UtilizationGain float64 `json:"utilization_gain"`
+	// Eq3Speedup is the paper's Eq. 3 estimate from the utilizations.
+	Eq3Speedup float64 `json:"eq3_speedup"`
+}
+
+// BatchRequest is the body of POST /v1/evaluate/batch.
+type BatchRequest struct {
+	Requests []clsacim.Request `json:"requests"`
+}
+
+// BatchResult is one positional outcome of a batch: exactly one of
+// Evaluation and Error is set.
+type BatchResult struct {
+	Request    clsacim.Request `json:"request"`
+	Evaluation *Evaluation     `json:"evaluation,omitempty"`
+	Error      string          `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a successful POST /v1/evaluate/batch:
+// results are positionally aligned with the submitted requests, and
+// per-request failures land in their slot's Error instead of failing
+// the batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ModelsResponse is the body of GET /v1/models: every model name a
+// Request can reference on this daemon (builtin and registered), plus
+// the registered duplication solvers and the scheduling-mode family.
+type ModelsResponse struct {
+	Models  []string `json:"models"`
+	Solvers []string `json:"solvers"`
+	// Modes documents the accepted scheduling-mode names.
+	Modes []string `json:"modes"`
+}
+
+// EngineStats is the wire form of clsacim.Stats: the compile-cache and
+// work accounting of the daemon's engine.
+type EngineStats struct {
+	Compiles      int64 `json:"compiles"`
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	Evictions     int64 `json:"cache_evictions"`
+	Evaluations   int64 `json:"evaluations"`
+	CachedEntries int   `json:"cached_entries"`
+	CacheLimit    int   `json:"cache_limit"`
+}
+
+// ServerStats counts HTTP-level activity since the server started.
+type ServerStats struct {
+	// Requests counts every handled request, including failed ones.
+	Requests int64 `json:"requests"`
+	// Errors counts requests answered with a 4xx/5xx status.
+	Errors int64 `json:"errors"`
+	// BatchItems counts individual evaluations submitted through the
+	// batch endpoint.
+	BatchItems int64 `json:"batch_items"`
+	// InFlight is the number of requests currently being handled.
+	InFlight int64 `json:"in_flight"`
+	// UptimeSeconds is the time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Engine EngineStats `json:"engine"`
+	Server ServerStats `json:"server"`
+}
+
+// Machine-readable error codes carried in ErrorResponse.Code. The
+// client package maps them back onto the sentinel errors a local
+// Engine would return; the human-readable Error message is not part of
+// the contract.
+const (
+	CodeUnknownModel     = "unknown_model"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeCanceled         = "canceled"
+)
+
+// ErrorResponse is the body of every non-2xx response. Code is set for
+// the conditions a caller is expected to branch on (see the Code*
+// constants); other failures carry only the message.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+// wireReport converts an in-process report.
+func wireReport(r *clsacim.Report) Report {
+	return Report{
+		Model:            r.Model,
+		Mode:             r.Mode.Name(),
+		F:                r.F,
+		PEMin:            r.PEmin,
+		MakespanCycles:   r.MakespanCycles,
+		LatencyNanos:     r.LatencyNanos,
+		Utilization:      r.Utilization,
+		Duplication:      r.Duplication,
+		EnergyMicroJoule: r.EnergyMicroJoule,
+		ReloadCycles:     r.ReloadCycles,
+	}
+}
+
+// wireEvaluation converts an in-process evaluation.
+func wireEvaluation(ev *clsacim.Evaluation) *Evaluation {
+	return &Evaluation{
+		Baseline:        wireReport(ev.Baseline),
+		Result:          wireReport(ev.Result),
+		Speedup:         ev.Speedup,
+		UtilizationGain: ev.UtilizationGain,
+		Eq3Speedup:      ev.Eq3Speedup,
+	}
+}
+
+// wireStats converts an engine stats snapshot.
+func wireStats(s clsacim.Stats) EngineStats {
+	return EngineStats{
+		Compiles:      s.Compiles,
+		CacheHits:     s.CacheHits,
+		CacheMisses:   s.CacheMisses,
+		Evictions:     s.Evictions,
+		Evaluations:   s.Evaluations,
+		CachedEntries: s.CachedEntries,
+		CacheLimit:    s.CacheLimit,
+	}
+}
