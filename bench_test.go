@@ -11,6 +11,7 @@
 package clsacim_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -402,6 +403,33 @@ func BenchmarkFunctionalCrossbarConv(b *testing.B) {
 		if _, err := clsacim.VerifyFunctional(m, 2, 4); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStreamThroughput serves a closed-loop stream of TinyYOLOv4
+// inferences under xinf and reports the steady-state serving rate next
+// to the single-inference rate. The pipelined throughput must be
+// strictly greater than 1/makespan of one inference — the subsystem's
+// acceptance criterion.
+func BenchmarkStreamThroughput(b *testing.B) {
+	eng := clsacim.MustNew()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.EvaluateStream(context.Background(), clsacim.StreamRequest{
+			Models:     []clsacim.StreamModel{{Model: "tinyyolov4"}},
+			Inferences: 16,
+			Mode:       clsacim.ModeCrossLayer,
+			Arrival:    clsacim.ArrivalProcess{Kind: "closed", Concurrency: 4},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		single := res.PerModel[0].SingleRatePerSec
+		if res.ThroughputPerSec <= single {
+			b.Fatalf("streamed throughput %.2f/s not above single-inference rate %.2f/s",
+				res.ThroughputPerSec, single)
+		}
+		b.ReportMetric(res.ThroughputPerSec, "inf/s")
+		b.ReportMetric(res.ThroughputPerSec/single, "gain")
 	}
 }
 

@@ -126,6 +126,16 @@ func (c *Client) EvaluateBatch(ctx context.Context, reqs []clsacim.Request) ([]s
 	return resp.Results, nil
 }
 
+// Stream submits one streamed multi-inference evaluation to
+// POST /v1/stream.
+func (c *Client) Stream(ctx context.Context, req clsacim.StreamRequest) (*serve.StreamResponse, error) {
+	var resp serve.StreamResponse
+	if err := c.post(ctx, "/v1/stream", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Models fetches GET /v1/models: what the daemon can evaluate.
 func (c *Client) Models(ctx context.Context) (*serve.ModelsResponse, error) {
 	var resp serve.ModelsResponse

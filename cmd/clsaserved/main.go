@@ -11,8 +11,8 @@
 //	clsaserved -config arch.json                 # engine base Config from JSON
 //
 // Endpoints: POST /v1/evaluate, POST /v1/evaluate/batch,
-// GET /v1/models, GET /v1/stats, GET /healthz. See docs/serving.md for
-// the wire schema and curl examples.
+// POST /v1/stream, GET /v1/models, GET /v1/stats, GET /healthz. See
+// docs/serving.md for the wire schema and curl examples.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and gives
 // in-flight requests -shutdown-grace to finish before exiting.

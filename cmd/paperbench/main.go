@@ -3,22 +3,26 @@
 //
 // Usage:
 //
-//	paperbench                  # everything
+//	paperbench                  # everything, BENCH_<exp>.json in .
 //	paperbench -exp table1      # one experiment
 //	paperbench -exp fig7 -csv   # machine-readable series
-//	paperbench -json .          # additionally write BENCH_<exp>.json
+//	paperbench -json ""         # suppress the JSON result documents
 //
-// Experiments: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all.
+// Experiments: table1, table2, fig6a, fig6b, fig6c, fig7, ablations,
+// stream, all.
 //
-// With -json DIR each experiment additionally writes a machine-readable
-// result document DIR/BENCH_<experiment>.json (schema
-// "clsacim-bench/v1"): an envelope with the experiment name, wall-clock
-// elapsed_ms, and engine compile-cache stats, plus one payload section
-// matching the experiment kind — table1/table2 rows, measurement points
-// (model, mapping, x, sched, speedup, utilization, makespan_cycles,
-// ut_gain), or ablation points. Bench-trajectory tooling consumes these
-// files instead of scraping the text tables; see the README
-// "Verification & fuzzing" section for the full format.
+// Each experiment additionally writes a machine-readable result
+// document DIR/BENCH_<experiment>.json (schema "clsacim-bench/v1",
+// default DIR is the working directory — the repo root in CI, so the
+// perf trajectory is recorded next to the code it measures): an
+// envelope with the experiment name, wall-clock elapsed_ms, and engine
+// compile-cache stats, plus one payload section matching the experiment
+// kind — table1/table2 rows, measurement points (model, mapping, x,
+// sched, speedup, utilization, makespan_cycles, ut_gain), ablation
+// points, or streaming points (scenario, throughput_per_sec,
+// single_rate_per_sec, gain, latency percentiles). Bench-trajectory
+// tooling consumes these files instead of scraping the text tables; see
+// the README "Verification & fuzzing" section for the full format.
 //
 // -cpuprofile and -memprofile write pprof profiles of the run (the
 // README "Performance" section shows the full profiling recipe).
@@ -37,11 +41,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, stream, all")
 	csv := flag.Bool("csv", false, "emit fig6c/fig7 series as CSV")
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
 	stats := flag.Bool("stats", false, "print engine compile-cache statistics after the run")
-	jsonDir := flag.String("json", "", "directory to write BENCH_<experiment>.json result documents (empty = off)")
+	jsonDir := flag.String("json", ".", "directory to write BENCH_<experiment>.json result documents (empty = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	flag.Parse()
@@ -187,6 +191,13 @@ func main() {
 			return bench.Doc{}, err
 		}
 		return bench.Doc{Ablations: points}, bench.PrintAblationPoints(w, points)
+	})
+	run("stream", func() (bench.Doc, error) {
+		points, err := h.RunStream()
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{Stream: points}, bench.PrintStreamPoints(w, points)
 	})
 
 	if *stats {

@@ -56,6 +56,8 @@ type Engine struct {
 	misses      atomic.Int64
 	evictions   atomic.Int64
 	evaluations atomic.Int64
+	streamEvals atomic.Int64
+	streamInfs  atomic.Int64
 }
 
 // compileEntry is a cache slot with single-flight semantics: the first
@@ -116,6 +118,10 @@ type Stats struct {
 	Evictions int64
 	// Evaluations counts completed Evaluate calls.
 	Evaluations int64
+	// StreamEvaluations counts completed EvaluateStream calls, and
+	// StreamInferences the total inferences they served.
+	StreamEvaluations int64
+	StreamInferences  int64
 	// CachedEntries is the current number of cached compilations.
 	CachedEntries int
 	// CacheLimit is the configured bound on CachedEntries (0 =
@@ -129,13 +135,15 @@ func (e *Engine) Stats() Stats {
 	entries := len(e.cache)
 	e.mu.Unlock()
 	return Stats{
-		Compiles:      e.compiles.Load(),
-		CacheHits:     e.hits.Load(),
-		CacheMisses:   e.misses.Load(),
-		Evictions:     e.evictions.Load(),
-		Evaluations:   e.evaluations.Load(),
-		CachedEntries: entries,
-		CacheLimit:    e.cacheLimit,
+		Compiles:          e.compiles.Load(),
+		CacheHits:         e.hits.Load(),
+		CacheMisses:       e.misses.Load(),
+		Evictions:         e.evictions.Load(),
+		Evaluations:       e.evaluations.Load(),
+		StreamEvaluations: e.streamEvals.Load(),
+		StreamInferences:  e.streamInfs.Load(),
+		CachedEntries:     entries,
+		CacheLimit:        e.cacheLimit,
 	}
 }
 

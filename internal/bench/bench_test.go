@@ -226,3 +226,42 @@ func TestAblationCrossbarSize(t *testing.T) {
 		t.Errorf("param missing PEmin: %q", points[0].Param)
 	}
 }
+
+func TestStreamScenarios(t *testing.T) {
+	h := coarse()
+	points, err := h.RunStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(StreamScenarios) {
+		t.Fatalf("got %d points for %d scenarios", len(points), len(StreamScenarios))
+	}
+	byName := make(map[string]StreamPoint)
+	for _, p := range points {
+		byName[p.Scenario] = p
+		if p.Inferences != streamInferences {
+			t.Errorf("%s served %d inferences, want %d", p.Scenario, p.Inferences, streamInferences)
+		}
+		if p.ThroughputPerSec <= 0 || p.SingleRatePerSec <= 0 {
+			t.Errorf("%s has degenerate rates: %+v", p.Scenario, p)
+		}
+		if p.P99Nanos < p.P50Nanos {
+			t.Errorf("%s latency percentiles out of order: %+v", p.Scenario, p)
+		}
+	}
+	// A single-job closed loop is serial execution; deeper loops must
+	// pipeline past the serial rate.
+	if c1 := byName["closed-c1"]; c1.Gain > 1.001 {
+		t.Errorf("closed-c1 gain %.3f, want ~1 (serial)", c1.Gain)
+	}
+	if c4 := byName["closed-c4"]; c4.Gain <= 1 {
+		t.Errorf("closed-c4 gain %.3f, want > 1 (pipelined)", c4.Gain)
+	}
+	var buf bytes.Buffer
+	if err := PrintStreamPoints(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "closed-c4") {
+		t.Errorf("printed table missing scenarios:\n%s", buf.String())
+	}
+}

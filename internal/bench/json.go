@@ -17,7 +17,7 @@ const Schema = "clsacim-bench/v1"
 
 // Doc is the machine-readable result of one paperbench experiment,
 // written as BENCH_<experiment>.json. Exactly one of the payload
-// sections (TableI, TableII, Points, Ablations) is populated, matching
+// sections (TableI, TableII, Points, Ablations, Stream) is populated, matching
 // the experiment kind; the envelope fields are always present. See the
 // README "Verification & fuzzing" section for the field-by-field format
 // description.
@@ -34,6 +34,7 @@ type Doc struct {
 	TableII   []TableIIRow    `json:"table2,omitempty"`
 	Points    []Point         `json:"points,omitempty"`
 	Ablations []AblationPoint `json:"ablations,omitempty"`
+	Stream    []StreamPoint   `json:"stream,omitempty"`
 	// Engine carries the compile-cache statistics accumulated so far in
 	// the producing run.
 	Engine *clsacim.Stats `json:"engine,omitempty"`

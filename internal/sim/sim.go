@@ -17,11 +17,12 @@
 // proxy for the tile buffer / DRAM traffic requirements of §II-A).
 //
 // The per-replica dispatch state mirrors the CSR's layout discipline:
-// replicas are numbered globally (layer li's replicas occupy
-// [repOff[li], repOff[li+1])), their dispatch orders live in one flat
-// array indexed by orderOff, and the event queue is an inlined min-heap
-// over a plain []event — no per-layer slice-of-slices and no interface
-// boxing on the hot path.
+// the immutable Stage III dispatch plan (schedule.Dispatch) numbers
+// replicas globally and flattens their set orders into offset-indexed
+// arrays, and the event queue is an inlined min-heap over a plain
+// []event — no per-layer slice-of-slices and no interface boxing on the
+// hot path. The same Dispatch plan drives the streamed multi-inference
+// engine in internal/stream.
 package sim
 
 import (
@@ -165,15 +166,12 @@ type simState struct {
 	readyAt  []int64 // max dependency completion (+edge cost) per flat set
 	consLeft []int32 // outstanding consumer count per flat set (buffer accounting)
 
-	// Replica dispatch state, offset-indexed: layer li owns the global
-	// replica ids [repOff[li], repOff[li+1]); replica g executes the
-	// layer-local set indices order[orderOff[g]:orderOff[g+1]] in
-	// policy dispatch order, pos[g] of which are complete.
-	repOff   []int32
-	orderOff []int32
-	order    []int32
-	pos      []int32
-	busy     []bool
+	// disp is the immutable Stage III dispatch plan (which sets each
+	// global replica executes, in order); pos[g] of replica g's sets are
+	// complete, busy[g] marks it executing.
+	disp *schedule.Dispatch
+	pos  []int32
+	busy []bool
 
 	// Admission window: layer li may start only once every layer up to
 	// li-K is complete. gateOpen marks admitted layers; frontier is the
@@ -203,9 +201,7 @@ func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Po
 		depsLeft:  make([]int32, ns),
 		readyAt:   make([]int64, ns),
 		consLeft:  make([]int32, ns),
-		repOff:    make([]int32, nl+1),
-		orderOff:  make([]int32, totalReps+1),
-		order:     make([]int32, ns),
+		disp:      schedule.NewDispatch(dg, p),
 		pos:       make([]int32, totalReps),
 		busy:      make([]bool, totalReps),
 		window:    p.Window(),
@@ -218,39 +214,8 @@ func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Po
 			PEActive: make([]int64, arch.NumPEs),
 		},
 	}
-	// Fill the flat dispatch orders: count sets per global replica,
-	// prefix-sum into orderOff, then place each set at its replica's
-	// cursor (raster order within a replica, matching Stage III).
-	reps := 0
 	for li, ls := range dg.Plan.Layers {
-		st.repOff[li] = int32(reps)
-		reps += ls.Group.Dup
 		st.setsLeft[li] = int32(len(ls.Sets))
-	}
-	st.repOff[nl] = int32(reps)
-	cnt := make([]int32, totalReps)
-	for li, ls := range dg.Plan.Layers {
-		base := st.repOff[li]
-		d := ls.Group.Dup
-		for si := range ls.Sets {
-			cnt[base+int32(p.Replica(si, d))]++
-		}
-	}
-	var off int32
-	for g, n := range cnt {
-		st.orderOff[g] = off
-		off += n
-		cnt[g] = st.orderOff[g] // reuse as write cursor
-	}
-	st.orderOff[totalReps] = off
-	for li, ls := range dg.Plan.Layers {
-		base := st.repOff[li]
-		d := ls.Group.Dup
-		for si := range ls.Sets {
-			g := base + int32(p.Replica(si, d))
-			st.order[cnt[g]] = int32(si)
-			cnt[g]++
-		}
 	}
 	for i := 0; i < ns; i++ {
 		st.depsLeft[i] = csr.PredOff[i+1] - csr.PredOff[i]
@@ -293,7 +258,7 @@ func (st *simState) openGates(now int64) {
 				progressed = true
 				continue
 			}
-			for rep := 0; rep < int(st.repOff[li+1]-st.repOff[li]); rep++ {
+			for rep := 0; rep < st.disp.Replicas(li); rep++ {
 				st.tryStart(li, rep, now)
 			}
 		}
@@ -321,15 +286,15 @@ func (st *simState) chargePEs(li, rep int, cycles int64) {
 // admitted, the replica is idle, and the set's dependencies are met.
 // now is the current sim time.
 func (st *simState) tryStart(li, rep int, now int64) {
-	g := st.repOff[li] + int32(rep)
+	g := st.disp.RepOff[li] + int32(rep)
 	if !st.gateOpen[li] || st.busy[g] {
 		return
 	}
-	next := st.orderOff[g] + st.pos[g]
-	if next >= st.orderOff[g+1] {
+	next := st.disp.OrderOff[g] + st.pos[g]
+	if next >= st.disp.OrderOff[g+1] {
 		return
 	}
-	si := st.order[next]
+	si := st.disp.Order[next]
 	id := st.csr.ID(li, int(si))
 	if st.depsLeft[id] > 0 {
 		return
@@ -352,7 +317,7 @@ func (st *simState) complete(e event) {
 	li, si := st.csr.Set(e.id)
 	ls := st.dg.Plan.Layers[li]
 	rep := st.p.Replica(si, ls.Group.Dup)
-	g := st.repOff[li] + int32(rep)
+	g := st.disp.RepOff[li] + int32(rep)
 	st.chargePEs(li, rep, st.csr.Cycles[e.id])
 	st.busy[g] = false
 	st.pos[g]++

@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// The generators must be pure functions of the seed: identical golden
+// sequences on every run, platform, and GOMAXPROCS setting. The golden
+// values pin the exact splitmix64 + inverse-CDF arithmetic; a change in
+// either silently invalidates every recorded benchmark, so it has to
+// show up here.
+func TestPoissonArrivalsGolden(t *testing.T) {
+	want := []int64{1353, 1527, 1853, 2275, 2314, 4341, 4587, 6200}
+	got, err := PoissonArrivals(42, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestBurstyArrivalsGolden(t *testing.T) {
+	want := []int64{8, 8127, 8443, 8641, 8713, 8980, 9035, 30196}
+	got, err := BurstyArrivals(7, 8, BurstyConfig{MeanInterarrival: 500, MeanOnCycles: 2000, MeanOffCycles: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestModelSequenceGolden(t *testing.T) {
+	want := []int{0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	got, err := ModelSequence(99, 12, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for _, mi := range got {
+		if mi < 0 || mi >= 2 {
+			t.Fatalf("model index %d out of range", mi)
+		}
+	}
+}
+
+func TestArrivalsDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	ref, err := PoissonArrivals(12345, 256, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBurst, err := BurstyArrivals(54321, 256, BurstyConfig{MeanInterarrival: 300, MeanOnCycles: 5000, MeanOffCycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, procs := range []int{1, 2, old} {
+		runtime.GOMAXPROCS(procs)
+		p, err := PoissonArrivals(12345, 256, 700)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p, ref) {
+			t.Fatalf("GOMAXPROCS=%d changed the Poisson sequence", procs)
+		}
+		b, err := BurstyArrivals(54321, 256, BurstyConfig{MeanInterarrival: 300, MeanOnCycles: 5000, MeanOffCycles: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(b, refBurst) {
+			t.Fatalf("GOMAXPROCS=%d changed the bursty sequence", procs)
+		}
+	}
+}
+
+func TestArrivalsSortedAndNonNegative(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p, err := PoissonArrivals(seed, 128, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BurstyArrivals(seed, 128, BurstyConfig{MeanInterarrival: 100, MeanOnCycles: 1000, MeanOffCycles: 3000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seq := range [][]int64{p, b} {
+			for i, a := range seq {
+				if a < 0 {
+					t.Fatalf("seed %d: negative arrival %d", seed, a)
+				}
+				if i > 0 && a < seq[i-1] {
+					t.Fatalf("seed %d: arrivals out of order at %d", seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestArrivalsRejectBadInputs(t *testing.T) {
+	if _, err := PoissonArrivals(1, 0, 100); err == nil {
+		t.Error("zero count accepted")
+	}
+	if _, err := PoissonArrivals(1, 4, 0); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if _, err := BurstyArrivals(1, 4, BurstyConfig{MeanInterarrival: 100, MeanOnCycles: 0, MeanOffCycles: 10}); err == nil {
+		t.Error("zero ON period accepted")
+	}
+	if _, err := ModelSequence(1, 4, []float64{0, 0}); err == nil {
+		t.Error("zero-weight mix accepted")
+	}
+	if _, err := ModelSequence(1, 4, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+}

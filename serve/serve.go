@@ -10,6 +10,7 @@
 //
 //	POST /v1/evaluate        one clsacim.Request -> Evaluation
 //	POST /v1/evaluate/batch  BatchRequest -> BatchResponse (positional)
+//	POST /v1/stream          one clsacim.StreamRequest -> StreamResponse
 //	GET  /v1/models          models, solvers, and mode names
 //	GET  /v1/stats           engine cache counters + server counters
 //	GET  /healthz            liveness probe ("ok")
@@ -57,6 +58,19 @@ type Server struct {
 	errors     atomic.Int64
 	batchItems atomic.Int64
 	inFlight   atomic.Int64
+
+	streamEvals atomic.Int64
+	streamInfs  atomic.Int64
+	// lastStream snapshots the most recent streamed evaluation for the
+	// stream block of /v1/stats; nil until the first stream completes.
+	lastStream atomic.Pointer[streamSummary]
+}
+
+// streamSummary is the retained slice of one streamed evaluation.
+type streamSummary struct {
+	models     []string
+	throughput float64
+	p99Nanos   float64
 }
 
 // Option configures a Server at construction time.
@@ -132,6 +146,7 @@ func New(eng *clsacim.Engine, opts ...Option) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/evaluate", s.method(http.MethodPost, s.handleEvaluate))
 	s.mux.HandleFunc("/v1/evaluate/batch", s.method(http.MethodPost, s.handleBatch))
+	s.mux.HandleFunc("/v1/stream", s.method(http.MethodPost, s.handleStream))
 	s.mux.HandleFunc("/v1/models", s.method(http.MethodGet, s.handleModels))
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealth))
@@ -240,6 +255,33 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	var req clsacim.StreamRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeError(w, decodeStatus(err), err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		s.writeError(w, validateStatus(err), err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.eng.EvaluateStream(ctx, req)
+	if err != nil {
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	s.streamEvals.Add(1)
+	s.streamInfs.Add(int64(res.Inferences))
+	sum := &streamSummary{throughput: res.ThroughputPerSec, p99Nanos: res.Latency.P99Nanos}
+	for _, pm := range res.PerModel {
+		sum.models = append(sum.models, pm.Model)
+	}
+	s.lastStream.Store(sum)
+	s.writeJSON(w, http.StatusOK, wireStreamResult(res))
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, ModelsResponse{
 		Models:  clsacim.AllModels(),
@@ -249,7 +291,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Engine: wireStats(s.eng.Stats()),
 		Server: ServerStats{
 			Requests:      s.requests.Load(),
@@ -258,7 +300,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			InFlight:      s.inFlight.Load(),
 			UptimeSeconds: time.Since(s.start).Seconds(),
 		},
-	})
+	}
+	if sum := s.lastStream.Load(); sum != nil {
+		resp.Stream = &StreamStats{
+			Evaluations:          s.streamEvals.Load(),
+			Inferences:           s.streamInfs.Load(),
+			LastModels:           sum.models,
+			LastThroughputPerSec: sum.throughput,
+			LastP99Nanos:         sum.p99Nanos,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

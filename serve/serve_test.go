@@ -322,6 +322,90 @@ func TestBatchContextCancellation(t *testing.T) {
 	}
 }
 
+func TestStreamHappyPathAndStats(t *testing.T) {
+	// One streamed evaluation over the wire, then its footprint in
+	// /v1/stats: engine counters plus the stream block snapshotting the
+	// last run's throughput and p99.
+	s, eng := newTestServer(t, nil)
+
+	// Before any stream has run the stats payload must omit the block.
+	var before StatsResponse
+	doJSON(t, s, http.MethodGet, "/v1/stats", "", &before)
+	if before.Stream != nil {
+		t.Fatalf("stream stats present before any stream ran: %+v", before.Stream)
+	}
+	if before.Engine.StreamEvaluations != 0 || before.Engine.StreamInferences != 0 {
+		t.Fatalf("engine stream counters nonzero at start: %+v", before.Engine)
+	}
+
+	var resp StreamResponse
+	rec := doJSON(t, s, http.MethodPost, "/v1/stream",
+		`{"models": [{"model": "tinyconvnet"}], "inferences": 4, "mode": "xinf",
+		  "arrival": {"kind": "closed", "concurrency": 2}}`, &resp)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	if resp.Inferences != 4 || len(resp.Jobs) != 4 {
+		t.Fatalf("served %d inferences with %d jobs, want 4/4", resp.Inferences, len(resp.Jobs))
+	}
+	if resp.ThroughputPerSec <= 0 || resp.Latency.P99Nanos <= 0 {
+		t.Fatalf("degenerate stream metrics: %+v", resp)
+	}
+	if len(resp.PerModel) != 1 || resp.PerModel[0].Model != "tinyconvnet" {
+		t.Fatalf("per-model results = %+v", resp.PerModel)
+	}
+	if st := eng.Stats(); st.StreamEvaluations != 1 || st.StreamInferences != 4 {
+		t.Errorf("engine stream counters = %d/%d, want 1/4", st.StreamEvaluations, st.StreamInferences)
+	}
+
+	var stats StatsResponse
+	doJSON(t, s, http.MethodGet, "/v1/stats", "", &stats)
+	if stats.Engine.StreamEvaluations != 1 || stats.Engine.StreamInferences != 4 {
+		t.Errorf("wire engine stream counters = %d/%d, want 1/4",
+			stats.Engine.StreamEvaluations, stats.Engine.StreamInferences)
+	}
+	if stats.Stream == nil {
+		t.Fatal("stream block missing from stats after a streamed evaluation")
+	}
+	if stats.Stream.Evaluations != 1 || stats.Stream.Inferences != 4 {
+		t.Errorf("stream block counters = %+v, want 1 evaluation / 4 inferences", stats.Stream)
+	}
+	if stats.Stream.LastThroughputPerSec != resp.ThroughputPerSec {
+		t.Errorf("last throughput = %g, want %g", stats.Stream.LastThroughputPerSec, resp.ThroughputPerSec)
+	}
+	if stats.Stream.LastP99Nanos != resp.Latency.P99Nanos {
+		t.Errorf("last p99 = %g, want %g", stats.Stream.LastP99Nanos, resp.Latency.P99Nanos)
+	}
+	if len(stats.Stream.LastModels) != 1 || stats.Stream.LastModels[0] != "tinyconvnet" {
+		t.Errorf("last models = %v, want [tinyconvnet]", stats.Stream.LastModels)
+	}
+}
+
+func TestStreamRejectsInvalidRequests(t *testing.T) {
+	s, _ := newTestServer(t, nil)
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"unknown model", `{"models": [{"model": "no-such-net"}], "inferences": 1}`, http.StatusNotFound},
+		{"no inferences", `{"models": [{"model": "tinyconvnet"}]}`, http.StatusBadRequest},
+		{"bad arrival kind", `{"models": [{"model": "tinyconvnet"}], "inferences": 1,
+			"arrival": {"kind": "zipf"}}`, http.StatusBadRequest},
+		{"malformed", `{"models": `, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		var er ErrorResponse
+		rec := doJSON(t, s, http.MethodPost, "/v1/stream", tc.body, &er)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", tc.name, rec.Code, tc.want, rec.Body)
+		}
+		if er.Error == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+}
+
 func TestModelsEndpoint(t *testing.T) {
 	s, _ := newTestServer(t, nil)
 	var resp ModelsResponse

@@ -81,16 +81,71 @@ type ModelsResponse struct {
 	Modes []string `json:"modes"`
 }
 
+// StreamLatency is the wire form of clsacim.LatencyStats: the
+// per-inference sojourn-time distribution in nanoseconds.
+type StreamLatency struct {
+	P50Nanos  float64 `json:"p50_nanos"`
+	P95Nanos  float64 `json:"p95_nanos"`
+	P99Nanos  float64 `json:"p99_nanos"`
+	MeanNanos float64 `json:"mean_nanos"`
+	MaxNanos  float64 `json:"max_nanos"`
+}
+
+// StreamJob is the wire form of one served inference's lifecycle.
+type StreamJob struct {
+	Model        string  `json:"model"`
+	ArrivalCycle int64   `json:"arrival_cycle"`
+	StartCycle   int64   `json:"start_cycle"`
+	EndCycle     int64   `json:"end_cycle"`
+	LatencyNanos float64 `json:"latency_nanos"`
+}
+
+// StreamQueueSample is one point of the queue-depth trace.
+type StreamQueueSample struct {
+	Cycle int64 `json:"cycle"`
+	Depth int   `json:"depth"`
+}
+
+// StreamModelResult is the per-model slice of a streamed evaluation,
+// including the single-inference reference that quantifies the
+// pipelining gain.
+type StreamModelResult struct {
+	Model                string        `json:"model"`
+	Inferences           int           `json:"inferences"`
+	SingleMakespanCycles int64         `json:"single_makespan_cycles"`
+	SingleRatePerSec     float64       `json:"single_rate_per_sec"`
+	ThroughputPerSec     float64       `json:"throughput_per_sec"`
+	Latency              StreamLatency `json:"latency"`
+}
+
+// StreamResponse is the body of a successful POST /v1/stream: the wire
+// form of clsacim.StreamResult.
+type StreamResponse struct {
+	Inferences       int                 `json:"inferences"`
+	MakespanCycles   int64               `json:"makespan_cycles"`
+	ElapsedNanos     float64             `json:"elapsed_nanos"`
+	ThroughputPerSec float64             `json:"throughput_per_sec"`
+	Latency          StreamLatency       `json:"latency"`
+	FabricPEs        int                 `json:"fabric_pes"`
+	PEUtilization    float64             `json:"pe_utilization"`
+	UtilizationPerPE []float64           `json:"utilization_per_pe"`
+	QueueDepth       []StreamQueueSample `json:"queue_depth"`
+	Jobs             []StreamJob         `json:"jobs"`
+	PerModel         []StreamModelResult `json:"per_model"`
+}
+
 // EngineStats is the wire form of clsacim.Stats: the compile-cache and
 // work accounting of the daemon's engine.
 type EngineStats struct {
-	Compiles      int64 `json:"compiles"`
-	CacheHits     int64 `json:"cache_hits"`
-	CacheMisses   int64 `json:"cache_misses"`
-	Evictions     int64 `json:"cache_evictions"`
-	Evaluations   int64 `json:"evaluations"`
-	CachedEntries int   `json:"cached_entries"`
-	CacheLimit    int   `json:"cache_limit"`
+	Compiles          int64 `json:"compiles"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	Evictions         int64 `json:"cache_evictions"`
+	Evaluations       int64 `json:"evaluations"`
+	StreamEvaluations int64 `json:"stream_evaluations"`
+	StreamInferences  int64 `json:"stream_inferences"`
+	CachedEntries     int   `json:"cached_entries"`
+	CacheLimit        int   `json:"cache_limit"`
 }
 
 // ServerStats counts HTTP-level activity since the server started.
@@ -108,10 +163,31 @@ type ServerStats struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StreamStats summarizes streamed evaluations served by this daemon.
+// It appears in StatsResponse only after the first POST /v1/stream
+// completed successfully; the Last* fields snapshot the most recent
+// stream so dashboards can read current throughput and tail latency
+// without re-running the evaluation.
+type StreamStats struct {
+	// Evaluations and Inferences count streamed work served over HTTP
+	// (the engine's own counters also include in-process callers).
+	Evaluations int64 `json:"evaluations"`
+	Inferences  int64 `json:"inferences"`
+	// LastModels names the resident models of the most recent stream.
+	LastModels []string `json:"last_models"`
+	// LastThroughputPerSec is the most recent stream's steady-state
+	// serving rate (inferences per second of simulated time).
+	LastThroughputPerSec float64 `json:"last_throughput_per_sec"`
+	// LastP99Nanos is the most recent stream's p99 sojourn time.
+	LastP99Nanos float64 `json:"last_p99_nanos"`
+}
+
+// StatsResponse is the body of GET /v1/stats. Stream is omitted until
+// the first streamed evaluation has run.
 type StatsResponse struct {
-	Engine EngineStats `json:"engine"`
-	Server ServerStats `json:"server"`
+	Engine EngineStats  `json:"engine"`
+	Server ServerStats  `json:"server"`
+	Stream *StreamStats `json:"stream,omitempty"`
 }
 
 // Machine-readable error codes carried in ErrorResponse.Code. The
@@ -162,12 +238,61 @@ func wireEvaluation(ev *clsacim.Evaluation) *Evaluation {
 // wireStats converts an engine stats snapshot.
 func wireStats(s clsacim.Stats) EngineStats {
 	return EngineStats{
-		Compiles:      s.Compiles,
-		CacheHits:     s.CacheHits,
-		CacheMisses:   s.CacheMisses,
-		Evictions:     s.Evictions,
-		Evaluations:   s.Evaluations,
-		CachedEntries: s.CachedEntries,
-		CacheLimit:    s.CacheLimit,
+		Compiles:          s.Compiles,
+		CacheHits:         s.CacheHits,
+		CacheMisses:       s.CacheMisses,
+		Evictions:         s.Evictions,
+		Evaluations:       s.Evaluations,
+		StreamEvaluations: s.StreamEvaluations,
+		StreamInferences:  s.StreamInferences,
+		CachedEntries:     s.CachedEntries,
+		CacheLimit:        s.CacheLimit,
+	}
+}
+
+// wireStreamResult converts an in-process stream result.
+func wireStreamResult(res *clsacim.StreamResult) *StreamResponse {
+	out := &StreamResponse{
+		Inferences:       res.Inferences,
+		MakespanCycles:   res.MakespanCycles,
+		ElapsedNanos:     res.ElapsedNanos,
+		ThroughputPerSec: res.ThroughputPerSec,
+		Latency:          wireLatency(res.Latency),
+		FabricPEs:        res.FabricPEs,
+		PEUtilization:    res.PEUtilization,
+		UtilizationPerPE: res.UtilizationPerPE,
+	}
+	for _, js := range res.Jobs {
+		out.Jobs = append(out.Jobs, StreamJob{
+			Model:        js.Model,
+			ArrivalCycle: js.ArrivalCycle,
+			StartCycle:   js.StartCycle,
+			EndCycle:     js.EndCycle,
+			LatencyNanos: js.LatencyNanos,
+		})
+	}
+	for _, qs := range res.QueueDepth {
+		out.QueueDepth = append(out.QueueDepth, StreamQueueSample{Cycle: qs.Cycle, Depth: qs.Depth})
+	}
+	for _, pm := range res.PerModel {
+		out.PerModel = append(out.PerModel, StreamModelResult{
+			Model:                pm.Model,
+			Inferences:           pm.Inferences,
+			SingleMakespanCycles: pm.SingleMakespanCycles,
+			SingleRatePerSec:     pm.SingleRatePerSec,
+			ThroughputPerSec:     pm.ThroughputPerSec,
+			Latency:              wireLatency(pm.Latency),
+		})
+	}
+	return out
+}
+
+func wireLatency(l clsacim.LatencyStats) StreamLatency {
+	return StreamLatency{
+		P50Nanos:  l.P50Nanos,
+		P95Nanos:  l.P95Nanos,
+		P99Nanos:  l.P99Nanos,
+		MeanNanos: l.MeanNanos,
+		MaxNanos:  l.MaxNanos,
 	}
 }
