@@ -316,19 +316,54 @@ func BenchmarkStageIV(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulate measures the raw discrete-event simulator on the
-// same workload and policies, consuming the same CSR arrays.
+// BenchmarkSimulate measures the steady-state discrete-event simulator
+// on the same workload and policies: a reused sim.State and a prebuilt
+// Stage III dispatch plan, the way Compiled.Simulate drives it. The
+// cold path (fresh scratch, dispatch built per run) is sim.Run.
 func BenchmarkSimulate(b *testing.B) {
 	m, dg, arch := stageIVWorkload(b)
 	for _, p := range []schedule.Policy{schedule.LayerByLayer, schedule.Windowed(4), schedule.CrossLayer} {
 		b.Run(p.Name(), func(b *testing.B) {
+			st := sim.NewState()
+			opt := sim.Options{Dispatch: schedule.NewDispatch(dg, p)}
+			if _, err := st.Run(arch, dg, m, p, opt); err != nil {
+				b.Fatal(err) // warm the scratch so allocs/op is steady-state
+			}
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(arch, dg, m, p, nil)
+				res, err := st.Run(arch, dg, m, p, opt)
 				if err != nil {
 					b.Fatal(err)
 				}
 				if res.Makespan <= 0 {
+					b.Fatal("empty simulation")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateCoarse measures the scalar-only fast path: same
+// event loop, no Timeline materialization, zero steady-state
+// allocations.
+func BenchmarkSimulateCoarse(b *testing.B) {
+	m, dg, arch := stageIVWorkload(b)
+	for _, p := range []schedule.Policy{schedule.LayerByLayer, schedule.Windowed(4), schedule.CrossLayer} {
+		b.Run(p.Name(), func(b *testing.B) {
+			st := sim.NewState()
+			opt := sim.Options{Dispatch: schedule.NewDispatch(dg, p)}
+			if _, err := st.RunCoarse(arch, dg, m, p, opt); err != nil {
+				b.Fatal(err) // warm the scratch so allocs/op is steady-state
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				co, err := st.RunCoarse(arch, dg, m, p, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if co.Makespan <= 0 {
 					b.Fatal("empty simulation")
 				}
 			}

@@ -83,12 +83,24 @@ func TestClientRoundTrip(t *testing.T) {
 		t.Errorf("models = %v, want tinyconvnet listed", models.Models)
 	}
 
+	// A new mode on an already-cached compilation takes the incremental
+	// path: the compile is a cache hit that still runs Stage III/IV,
+	// which the stats expose as a partial hit.
+	if _, err := c.Evaluate(ctx, clsacim.Request{
+		Model: "tinyconvnet", Mode: clsacim.ModeCrossLayer,
+	}); err != nil {
+		t.Fatalf("evaluate (cached compile): %v", err)
+	}
+
 	stats, err := c.Stats(ctx)
 	if err != nil {
 		t.Fatalf("stats: %v", err)
 	}
-	if stats.Engine.Evaluations != 3 {
-		t.Errorf("engine evaluations = %d, want 3", stats.Engine.Evaluations)
+	if stats.Engine.Evaluations != 4 {
+		t.Errorf("engine evaluations = %d, want 4", stats.Engine.Evaluations)
+	}
+	if stats.Engine.PartialHits != 1 {
+		t.Errorf("engine partial hits = %d, want 1", stats.Engine.PartialHits)
 	}
 	if stats.Server.BatchItems != 2 {
 		t.Errorf("batch items = %d, want 2", stats.Server.BatchItems)

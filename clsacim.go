@@ -253,16 +253,36 @@ type Compiled struct {
 	// weight virtualization is active.
 	virtual *mapping.VirtualMapping
 
-	// timelines caches validated schedules per mode wire name. A
-	// Compiled is immutable and shared through the Engine's compile
-	// cache, so the schedule of a (compile key, mode) pair is computed
-	// once; sweeps that rescore the same baseline hit this cache.
-	// checked (same key space, same lock) marks timelines that already
-	// passed the full internal/check invariant set, so WithValidation
-	// sweeps validate each cached timeline once instead of per request.
-	schedMu   sync.Mutex
+	// sched is the compilation's mutable scheduling state, shared by
+	// pointer between a base compilation and its derived F-views (see
+	// withExtraPEs), so all of them reuse one set of timelines,
+	// validation marks, the Stage III dispatch plan, and the simulator
+	// scratch pool.
+	sched *schedState
+}
+
+// schedState caches everything scheduling and simulation derive from a
+// compilation's immutable Stage I-III artifacts.
+//
+// timelines caches validated schedules per canonical mode wire name. A
+// Compiled is immutable and shared through the Engine's compile cache,
+// so the schedule of a (compile key, mode) pair is computed once;
+// sweeps that rescore the same baseline hit this cache. checked (same
+// key space, same lock) marks timelines that already passed the full
+// internal/check invariant set, so WithValidation sweeps validate each
+// cached timeline once instead of per request.
+//
+// dispatch is the lazily built Stage III dispatch plan; every built-in
+// policy shares the raster Replica rule, so one plan serves every
+// scheduling mode — re-simulating a cached compilation under another
+// mode reuses it and only re-runs the event loop. simPool recycles
+// sim.State scratch across those re-simulations.
+type schedState struct {
+	mu        sync.Mutex
 	timelines map[string]*schedule.Timeline
 	checked   map[string]bool
+	dispatch  *schedule.Dispatch
+	simPool   sync.Pool // *sim.State
 }
 
 // Virtualized reports whether the compilation uses weight reloading
@@ -384,21 +404,43 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 	}
 	c := &Compiled{
 		ModelName: model.Name,
-		timelines: make(map[string]*schedule.Timeline),
-		checked:   make(map[string]bool),
-		cfg:       cfg,
-		arch:      arch,
-		graph:     g,
-		plan:      plan,
-		mapped:    mapped,
-		setsPlan:  setsPlan,
-		depGraph:  depGraph,
-		dup:       sol,
-		peMin:     plan.MinPEs,
-		virtual:   virtual,
+		sched: &schedState{
+			timelines: make(map[string]*schedule.Timeline),
+			checked:   make(map[string]bool),
+			simPool:   sync.Pool{New: func() any { return sim.NewState() }},
+		},
+		cfg:      cfg,
+		arch:     arch,
+		graph:    g,
+		plan:     plan,
+		mapped:   mapped,
+		setsPlan: setsPlan,
+		depGraph: depGraph,
+		dup:      sol,
+		peMin:    plan.MinPEs,
+		virtual:  virtual,
 	}
 	c.edgeCost = c.buildEdgeCost()
 	return c, nil
+}
+
+// withExtraPEs derives the F = PEmin + x view of a base compilation
+// (compiled with ExtraPEs = 0). Without weight duplication, TotalPEs,
+// and NoC routing, every Stage I-III artifact and every timeline is
+// independent of how many idle extra PEs the architecture provides —
+// only the reported F, the Eq. 2 utilization denominator, and the Eq. 3
+// x differ. The view is a shallow copy with the PE count adjusted; the
+// scheduling state (timelines, dispatch plan, simulator pool) stays
+// shared with the base, so a no-duplication ExtraPEs sweep compiles and
+// schedules once.
+func (c *Compiled) withExtraPEs(x int) *Compiled {
+	v := *c
+	v.cfg.ExtraPEs = x
+	v.arch.NumPEs = c.peMin + x
+	mv := *c.mapped
+	mv.F = v.arch.NumPEs
+	v.mapped = &mv
+	return &v
 }
 
 // buildEdgeCost assembles the optional NoC + GPEU dependency-edge cost
@@ -505,9 +547,9 @@ func (c *Compiled) normalizeMode(mode ScheduleMode) ScheduleMode {
 func (c *Compiled) timeline(mode ScheduleMode) (*schedule.Timeline, error) {
 	mode = c.normalizeMode(mode)
 	key := mode.wireName()
-	c.schedMu.Lock()
-	t, ok := c.timelines[key]
-	c.schedMu.Unlock()
+	c.sched.mu.Lock()
+	t, ok := c.sched.timelines[key]
+	c.sched.mu.Unlock()
 	if ok {
 		return t, nil
 	}
@@ -528,14 +570,40 @@ func (c *Compiled) timeline(mode ScheduleMode) (*schedule.Timeline, error) {
 	if err := t.Validate(c.depGraph, opt); err != nil {
 		return nil, fmt.Errorf("clsacim: schedule validation: %w", err)
 	}
-	c.schedMu.Lock()
-	if prev, ok := c.timelines[key]; ok {
+	c.sched.mu.Lock()
+	if prev, ok := c.sched.timelines[key]; ok {
 		t = prev // a concurrent builder won the race; both are identical
 	} else {
-		c.timelines[key] = t
+		c.sched.timelines[key] = t
 	}
-	c.schedMu.Unlock()
+	c.sched.mu.Unlock()
 	return t, nil
+}
+
+// hasTimeline reports whether the canonical mode's timeline is already
+// cached — the Engine's partial-hit accounting asks this before
+// scheduling on a cache-hit compilation.
+func (c *Compiled) hasTimeline(mode ScheduleMode) bool {
+	key := c.normalizeMode(mode).wireName()
+	c.sched.mu.Lock()
+	_, ok := c.sched.timelines[key]
+	c.sched.mu.Unlock()
+	return ok
+}
+
+// dispatch returns the compilation's shared Stage III dispatch plan,
+// building it on first use. Every built-in policy shares the raster
+// Replica rule, so one plan serves all scheduling modes.
+func (c *Compiled) dispatch() *schedule.Dispatch {
+	s := c.sched
+	s.mu.Lock()
+	d := s.dispatch
+	if d == nil {
+		d = schedule.NewDispatch(c.depGraph, schedule.CrossLayer)
+		s.dispatch = d
+	}
+	s.mu.Unlock()
+	return d
 }
 
 // Schedule runs Stage III/IV under the mode's policy (the layer-by-layer
@@ -710,9 +778,19 @@ type SimReport struct {
 // (package sim) instead of the analytic scheduler. Both produce
 // identical timelines — the simulator additionally reports per-PE
 // activity and buffer pressure.
+//
+// Re-simulation on a cached compilation is incremental: the Stage I-III
+// artifacts and the dispatch plan are reused across modes, the event
+// loop's scratch state comes from a shared pool, and only the event
+// loop itself re-runs.
 func (c *Compiled) Simulate(mode ScheduleMode) (*SimReport, error) {
 	nm := c.normalizeMode(mode)
-	res, err := sim.Run(c.arch, c.depGraph, c.mapped, nm.policy(), c.schedOptions(nm).EdgeCost)
+	st := c.sched.simPool.Get().(*sim.State)
+	res, err := st.Run(c.arch, c.depGraph, c.mapped, nm.policy(), sim.Options{
+		Edge:     c.schedOptions(nm).EdgeCost,
+		Dispatch: c.dispatch(),
+	})
+	c.sched.simPool.Put(st)
 	if err != nil {
 		return nil, err
 	}
@@ -724,6 +802,43 @@ func (c *Compiled) Simulate(mode ScheduleMode) (*SimReport, error) {
 		Utilization:    res.Utilization,
 		PeakLiveElems:  res.PeakLiveElems,
 		PEActive:       res.PEActive,
+	}, nil
+}
+
+// SimSummary is the outcome of a coarse simulation: the scalar metrics
+// of a run that skipped per-set timeline materialization.
+type SimSummary struct {
+	Model          string
+	Mode           ScheduleMode
+	MakespanCycles int64
+	LatencyNanos   float64
+	Utilization    float64
+	PeakLiveElems  int64
+}
+
+// SimulateCoarse is the fast-path simulation for callers that only need
+// makespan, utilization, and buffer pressure: the event loop runs
+// without materializing per-set timeline items, and on a warm
+// compilation it allocates nothing — the cheap cost model for
+// mapping-space search loops that call it thousands of times.
+func (c *Compiled) SimulateCoarse(mode ScheduleMode) (SimSummary, error) {
+	nm := c.normalizeMode(mode)
+	st := c.sched.simPool.Get().(*sim.State)
+	res, err := st.RunCoarse(c.arch, c.depGraph, c.mapped, nm.policy(), sim.Options{
+		Edge:     c.schedOptions(nm).EdgeCost,
+		Dispatch: c.dispatch(),
+	})
+	c.sched.simPool.Put(st)
+	if err != nil {
+		return SimSummary{}, err
+	}
+	return SimSummary{
+		Model:          c.ModelName,
+		Mode:           mode,
+		MakespanCycles: res.Makespan,
+		LatencyNanos:   metrics.LatencyNanos(res.Makespan, c.arch.TMVMNanos),
+		Utilization:    res.Utilization,
+		PeakLiveElems:  res.PeakLiveElems,
 	}, nil
 }
 

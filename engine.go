@@ -53,6 +53,7 @@ type Engine struct {
 
 	compiles    atomic.Int64
 	hits        atomic.Int64
+	partialHits atomic.Int64
 	misses      atomic.Int64
 	evictions   atomic.Int64
 	evaluations atomic.Int64
@@ -111,6 +112,12 @@ type Stats struct {
 	// CacheHits counts compile requests served from the cache
 	// (including requests that waited on an in-flight compilation).
 	CacheHits int64
+	// PartialHits counts the cache hits that still ran Stage III/IV
+	// because the requested scheduling mode had no cached timeline yet —
+	// the incremental re-simulation path (compile reused, event loop
+	// re-run). CacheHits - PartialHits are full hits serving both the
+	// compilation and the timeline from cache.
+	PartialHits int64
 	// CacheMisses counts compile requests that had to compile.
 	CacheMisses int64
 	// Evictions counts cached compilations dropped by the LRU bound
@@ -137,6 +144,7 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		Compiles:          e.compiles.Load(),
 		CacheHits:         e.hits.Load(),
+		PartialHits:       e.partialHits.Load(),
 		CacheMisses:       e.misses.Load(),
 		Evictions:         e.evictions.Load(),
 		Evaluations:       e.evaluations.Load(),
@@ -170,17 +178,37 @@ func (e *Engine) effective(req Request) Config {
 	return cfg
 }
 
-// cacheKey canonicalizes a (model, config) pair. Configs are defaulted
-// first so that e.g. Config{} and Config{PERows: 256, PECols: 256} share
-// an entry, and compile-irrelevant fields are normalized away: without
-// weight duplication the solver never runs, so all solver names map to
-// the same no-duplication compilation — this is what lets a solver
-// comparison sweep share one baseline.
-func cacheKey(model string, cfg Config) (string, error) {
+// normalizeCfg canonicalizes a Config for cache keying and returns the
+// ExtraPEs the caller must re-apply as a derived view (withExtraPEs).
+// Configs are defaulted first so that e.g. Config{} and
+// Config{PERows: 256, PECols: 256} share an entry, and
+// compile-irrelevant fields are normalized away:
+//
+//   - Without weight duplication the solver never runs, so all solver
+//     names map to the same no-duplication compilation — a solver
+//     comparison sweep shares one baseline.
+//   - Without weight duplication (and without TotalPEs), extra PEs sit
+//     idle: every Stage I-III artifact and every timeline is identical
+//     for any ExtraPEs >= 0, so the whole x sweep folds onto the x = 0
+//     compilation and is served through F-adjusted views. NoC routing
+//     disables this fold — the mesh shape (and with it every hop
+//     distance on dependency edges) derives from the PE count.
+func normalizeCfg(cfg Config) (Config, int) {
 	cfg = cfg.withDefaults()
 	if !cfg.WeightDuplication {
 		cfg.Solver = "none"
+		if cfg.TotalPEs == 0 && cfg.ExtraPEs > 0 && cfg.NoCCyclesPerHop <= 0 {
+			x := cfg.ExtraPEs
+			cfg.ExtraPEs = 0
+			return cfg, x
+		}
 	}
+	return cfg, 0
+}
+
+// cacheKey canonicalizes a (model, config) pair via normalizeCfg.
+func cacheKey(model string, cfg Config) (string, error) {
+	cfg, _ = normalizeCfg(cfg)
 	b, err := json.Marshal(cfg)
 	if err != nil {
 		return "", fmt.Errorf("clsacim: encoding cache key: %w", err)
@@ -189,17 +217,37 @@ func cacheKey(model string, cfg Config) (string, error) {
 }
 
 // compile returns the cached compilation of (m, cfg), compiling at most
-// once per key (single-flight). Waiters honor ctx; the compilation
-// itself runs to completion once started so late arrivals can still use
-// it. With a cache limit set, finishing a compilation may evict the
-// least-recently-used finished entries beyond the bound.
+// once per key (single-flight).
 func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, error) {
+	c, _, err := e.compileCounted(ctx, m, cfg)
+	return c, err
+}
+
+// compileCounted is compile exposing whether the request was served
+// from the cache (hit = true includes waiting on an in-flight
+// compilation) — the input of the partial-hit accounting. Waiters honor
+// ctx; the compilation itself runs to completion once started so late
+// arrivals can still use it. With a cache limit set, finishing a
+// compilation may evict the least-recently-used finished entries beyond
+// the bound.
+//
+// Keys are normalized (normalizeCfg): a no-duplication ExtraPEs request
+// compiles the x = 0 base once and returns a derived F-view of it.
+func (e *Engine) compileCounted(ctx context.Context, m *Model, cfg Config) (*Compiled, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	key, err := cacheKey(m.Name, cfg)
+	norm, extra := normalizeCfg(cfg)
+	b, err := json.Marshal(norm)
 	if err != nil {
-		return nil, err
+		return nil, false, fmt.Errorf("clsacim: encoding cache key: %w", err)
+	}
+	key := m.Name + "\x00" + string(b)
+	view := func(c *Compiled) *Compiled {
+		if extra > 0 && c != nil {
+			return c.withExtraPEs(extra)
+		}
+		return c
 	}
 	e.mu.Lock()
 	ent, ok := e.cache[key]
@@ -212,9 +260,9 @@ func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, 
 		select {
 		case <-ent.ready:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, true, ctx.Err()
 		}
-		return ent.c, ent.err
+		return view(ent.c), true, ent.err
 	}
 	e.misses.Add(1)
 	ent = &compileEntry{key: key, ready: make(chan struct{})}
@@ -240,8 +288,8 @@ func (e *Engine) compile(ctx context.Context, m *Model, cfg Config) (*Compiled, 
 		e.mu.Unlock()
 		close(ent.ready)
 	}()
-	ent.c, ent.err = Compile(m, cfg)
-	return ent.c, ent.err
+	ent.c, ent.err = Compile(m, norm)
+	return view(ent.c), false, ent.err
 }
 
 // evictLocked drops least-recently-used finished entries until the
@@ -282,23 +330,24 @@ func requestCtx(ctx context.Context, req Request) (context.Context, context.Canc
 }
 
 // compileRequest resolves the request's model and compiles it (cached)
-// under the request's effective configuration and deadline. The
-// returned context carries the deadline for the caller's later steps;
-// cancel must always be called.
-func (e *Engine) compileRequest(ctx context.Context, req Request) (*Compiled, context.Context, context.CancelFunc, error) {
+// under the request's effective configuration and deadline. hit reports
+// whether the compilation came from the cache. The returned context
+// carries the deadline for the caller's later steps; cancel must always
+// be called.
+func (e *Engine) compileRequest(ctx context.Context, req Request) (*Compiled, bool, context.Context, context.CancelFunc, error) {
 	m, err := lookupModel(req.Model)
 	if err != nil {
-		return nil, ctx, func() {}, err
+		return nil, false, ctx, func() {}, err
 	}
 	ctx, cancel := requestCtx(ctx, req)
-	c, err := e.compile(ctx, m, e.effective(req))
-	return c, ctx, cancel, err
+	c, hit, err := e.compileCounted(ctx, m, e.effective(req))
+	return c, hit, ctx, cancel, err
 }
 
 // Compile resolves the request's model and returns its (cached)
 // compilation under the request's effective configuration.
 func (e *Engine) Compile(ctx context.Context, req Request) (*Compiled, error) {
-	c, ctx, cancel, err := e.compileRequest(ctx, req)
+	c, _, ctx, cancel, err := e.compileRequest(ctx, req)
 	defer cancel()
 	if err != nil {
 		return nil, err
@@ -312,16 +361,31 @@ func (e *Engine) Compile(ctx context.Context, req Request) (*Compiled, error) {
 	return c, nil
 }
 
+// notePartial records a compile-cache hit that still has to run Stage
+// III/IV because the requested canonical mode has no cached timeline
+// yet. Callers invoke it (on hit) before scheduling; the check races
+// benignly with concurrent builders of the same timeline — a request
+// that loses that race did wait on scheduling work, which is exactly
+// what the counter measures.
+func (e *Engine) notePartial(comp *Compiled, mode ScheduleMode) {
+	if !comp.hasTimeline(mode) {
+		e.partialHits.Add(1)
+	}
+}
+
 // Schedule compiles (cached) and schedules the request, returning the
 // paper's per-configuration report.
 func (e *Engine) Schedule(ctx context.Context, req Request) (*Report, error) {
-	comp, ctx, cancel, err := e.compileRequest(ctx, req)
+	comp, hit, ctx, cancel, err := e.compileRequest(ctx, req)
 	defer cancel()
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if hit {
+		e.notePartial(comp, req.Mode)
 	}
 	rep, err := comp.Schedule(req.Mode)
 	if err != nil {
@@ -344,9 +408,9 @@ func (e *Engine) checkReport(rep *Report) error {
 	}
 	comp := rep.comp
 	key := comp.normalizeMode(rep.Mode).wireName()
-	comp.schedMu.Lock()
-	done := comp.checked[key]
-	comp.schedMu.Unlock()
+	comp.sched.mu.Lock()
+	done := comp.sched.checked[key]
+	comp.sched.mu.Unlock()
 	if done {
 		return nil
 	}
@@ -355,9 +419,9 @@ func (e *Engine) checkReport(rep *Report) error {
 	if err := check.Timeline(comp.mapped, comp.depGraph, tl.Policy, tl, check.Options{EdgeCost: opt.EdgeCost}); err != nil {
 		return fmt.Errorf("clsacim: %q %s timeline failed validation: %w", rep.Model, rep.Mode, err)
 	}
-	comp.schedMu.Lock()
-	comp.checked[key] = true
-	comp.schedMu.Unlock()
+	comp.sched.mu.Lock()
+	comp.sched.checked[key] = true
+	comp.sched.mu.Unlock()
 	return nil
 }
 
@@ -384,17 +448,26 @@ func (e *Engine) EvaluateModel(ctx context.Context, m *Model, req Request) (*Eva
 	return e.evaluate(ctx, m, req)
 }
 
+// baselineCfg derives the paper's reference configuration from an
+// effective request config: layer-by-layer on F = PEmin without
+// duplication.
+func baselineCfg(cfg Config) Config {
+	cfg.ExtraPEs = 0
+	cfg.TotalPEs = 0
+	cfg.WeightDuplication = false
+	return cfg
+}
+
 func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluation, error) {
 	ctx, cancel := requestCtx(ctx, req)
 	defer cancel()
 	cfg := e.effective(req)
-	baseCfg := cfg
-	baseCfg.ExtraPEs = 0
-	baseCfg.TotalPEs = 0
-	baseCfg.WeightDuplication = false
-	baseComp, err := e.compile(ctx, m, baseCfg)
+	baseComp, baseHit, err := e.compileCounted(ctx, m, baselineCfg(cfg))
 	if err != nil {
 		return nil, err
+	}
+	if baseHit {
+		e.notePartial(baseComp, ModeLayerByLayer)
 	}
 	baseline, err := baseComp.Schedule(ModeLayerByLayer)
 	if err != nil {
@@ -403,12 +476,15 @@ func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluati
 	if err := e.checkReport(baseline); err != nil {
 		return nil, err
 	}
-	comp, err := e.compile(ctx, m, cfg)
+	comp, hit, err := e.compileCounted(ctx, m, cfg)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if hit {
+		e.notePartial(comp, req.Mode)
 	}
 	result, err := comp.Schedule(req.Mode)
 	if err != nil {
@@ -421,20 +497,11 @@ func (e *Engine) evaluate(ctx context.Context, m *Model, req Request) (*Evaluati
 	return newEvaluation(baseline, result, comp), nil
 }
 
-// EvaluateBatch evaluates requests concurrently on a worker pool
-// bounded by WithWorkers (default GOMAXPROCS). Results are positionally
-// aligned with reqs; per-request failures land in BatchResult.Err
-// rather than aborting the batch. The returned error is non-nil only
-// when ctx was cancelled, in which case unprocessed requests carry the
-// context error.
-func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResult, error) {
-	out := make([]BatchResult, len(reqs))
-	if len(reqs) == 0 {
-		return out, nil
-	}
+// runPool runs fn(0..n-1) on the Engine's bounded worker pool.
+func (e *Engine) runPool(n int, fn func(int)) {
 	workers := e.workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
@@ -446,20 +513,159 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				out[i].Request = reqs[i]
-				if err := ctx.Err(); err != nil {
-					out[i].Err = err
-					continue
-				}
-				out[i].Evaluation, out[i].Err = e.Evaluate(ctx, reqs[i])
+				fn(i)
 			}
 		}()
 	}
-	for i := range reqs {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// EvaluateBatch evaluates requests concurrently on a worker pool
+// bounded by WithWorkers (default GOMAXPROCS). Results are positionally
+// aligned with reqs; per-request failures land in BatchResult.Err
+// rather than aborting the batch. The returned error is non-nil only
+// when ctx was cancelled, in which case unprocessed requests carry the
+// context error.
+//
+// The batch is sweep-structured: requests are first grouped by their
+// compile keys (model, architecture, mapping, granularity — baseline
+// and variant alike), each distinct key compiles exactly once on the
+// worker pool, and only then does the per-request scheduling work fan
+// out. A sweep of N points over K distinct configurations probes the
+// compile cache K times instead of 2N; cache accounting stays exactly
+// as if the requests had run serially (each deduplicated reference
+// counts as the hit it would have been).
+func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResult, error) {
+	out := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	// Phase 1: resolve models, normalize configs, deduplicate compile
+	// jobs. A job is attributed to its first referencing request: that
+	// request's deadline bounds the compile and its probe carries the
+	// hit/miss accounting.
+	type compileJob struct {
+		m    *Model
+		cfg  Config // normalized (ExtraPEs folded out)
+		req  Request
+		comp *Compiled
+		hit  bool
+		err  error
+	}
+	type reqPlan struct {
+		err        error
+		base, vari *compileJob
+		baseFirst  bool // this request's probe compiles the baseline key
+		variFirst  bool
+		variX      int // ExtraPEs to re-apply as an F-view
+	}
+	jobs := make(map[string]*compileJob)
+	var order []*compileJob
+	plan := make([]reqPlan, len(reqs))
+	for i, req := range reqs {
+		m, err := lookupModel(req.Model)
+		if err != nil {
+			plan[i].err = err
+			continue
+		}
+		cfg := e.effective(req)
+		for slot, c := range [2]Config{baselineCfg(cfg), cfg} {
+			norm, extra := normalizeCfg(c)
+			b, err := json.Marshal(norm)
+			if err != nil {
+				plan[i].err = fmt.Errorf("clsacim: encoding cache key: %w", err)
+				break
+			}
+			key := m.Name + "\x00" + string(b)
+			j, ok := jobs[key]
+			if !ok {
+				j = &compileJob{m: m, cfg: norm, req: req}
+				jobs[key] = j
+				order = append(order, j)
+			}
+			if slot == 0 {
+				plan[i].base, plan[i].baseFirst = j, !ok
+			} else {
+				plan[i].vari, plan[i].variFirst, plan[i].variX = j, !ok, extra
+			}
+		}
+	}
+	// Phase 2: compile each distinct key once, fanned over the pool.
+	e.runPool(len(order), func(k int) {
+		j := order[k]
+		jctx, cancel := requestCtx(ctx, j.req)
+		defer cancel()
+		j.comp, j.hit, j.err = e.compileCounted(jctx, j.m, j.cfg)
+	})
+	// Phase 3: per-request scheduling, fanned over the pool.
+	e.runPool(len(reqs), func(i int) {
+		out[i].Request = reqs[i]
+		p := plan[i]
+		if p.err != nil {
+			out[i].Err = p.err
+			return
+		}
+		// Every reference beyond a key's compiling probe is a cache hit.
+		if !p.baseFirst {
+			e.hits.Add(1)
+		}
+		if !p.variFirst {
+			e.hits.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		if p.base.err != nil {
+			out[i].Err = p.base.err
+			return
+		}
+		if p.vari.err != nil {
+			out[i].Err = p.vari.err
+			return
+		}
+		rctx, cancel := requestCtx(ctx, reqs[i])
+		defer cancel()
+		if err := rctx.Err(); err != nil {
+			out[i].Err = err
+			return
+		}
+		baseComp := p.base.comp
+		comp := p.vari.comp
+		if p.variX > 0 {
+			comp = comp.withExtraPEs(p.variX)
+		}
+		if p.base.hit || !p.baseFirst {
+			e.notePartial(baseComp, ModeLayerByLayer)
+		}
+		if p.vari.hit || !p.variFirst {
+			e.notePartial(comp, reqs[i].Mode)
+		}
+		baseline, err := baseComp.Schedule(ModeLayerByLayer)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		if err := e.checkReport(baseline); err != nil {
+			out[i].Err = err
+			return
+		}
+		result, err := comp.Schedule(reqs[i].Mode)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		if err := e.checkReport(result); err != nil {
+			out[i].Err = err
+			return
+		}
+		e.evaluations.Add(1)
+		out[i].Evaluation = newEvaluation(baseline, result, comp)
+	})
 	return out, ctx.Err()
 }
 

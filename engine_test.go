@@ -41,8 +41,11 @@ func TestEngineCompileCacheAccounting(t *testing.T) {
 	}
 	s := eng.Stats()
 	// Distinct compile keys: the shared baseline (x=0, no duplication)
-	// plus 5 x-values x 2 mappings.
-	const wantKeys = 11
+	// plus 5 x-values with duplication. The 5 no-duplication x points
+	// fold onto the baseline key (extra PEs sit idle, so the compiled
+	// artifacts are identical; see normalizeCfg) and are served as
+	// F-adjusted views.
+	const wantKeys = 6
 	if s.Compiles != wantKeys {
 		t.Errorf("Compiles = %d, want %d (one per distinct key)", s.Compiles, wantKeys)
 	}
@@ -67,6 +70,155 @@ func TestEngineCompileCacheAccounting(t *testing.T) {
 	}
 	if s2 := eng.Stats(); s2.Compiles != wantKeys {
 		t.Errorf("repeat sweep compiled %d more times", s2.Compiles-wantKeys)
+	}
+}
+
+func TestStatsPartialHits(t *testing.T) {
+	eng := MustNew()
+	ctx := context.Background()
+	schedule := func(mode ScheduleMode) {
+		t.Helper()
+		if _, err := eng.Schedule(ctx, Request{Model: "tinybranchnet", Mode: mode}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	schedule(ModeCrossLayer) // compiles fresh: neither hit nor partial
+	if s := eng.Stats(); s.PartialHits != 0 || s.CacheHits != 0 {
+		t.Fatalf("after miss: partial=%d hits=%d, want 0/0", s.PartialHits, s.CacheHits)
+	}
+	schedule(ModeCrossLayer) // full hit: compile and timeline cached
+	if s := eng.Stats(); s.PartialHits != 0 || s.CacheHits != 1 {
+		t.Fatalf("after full hit: partial=%d hits=%d, want 0/1", s.PartialHits, s.CacheHits)
+	}
+	schedule(ModeLayerByLayer) // partial: cached compile, uncached mode
+	if s := eng.Stats(); s.PartialHits != 1 || s.CacheHits != 2 {
+		t.Fatalf("after new mode: partial=%d hits=%d, want 1/2", s.PartialHits, s.CacheHits)
+	}
+	schedule(ModeLayerByLayer) // that mode is now cached too
+	if s := eng.Stats(); s.PartialHits != 1 || s.CacheHits != 3 {
+		t.Fatalf("after repeat: partial=%d hits=%d, want 1/3", s.PartialHits, s.CacheHits)
+	}
+	// An ExtraPEs view shares the base's timeline cache: both halves of
+	// this evaluation are full hits and nothing recompiles.
+	if _, err := eng.Evaluate(ctx, Request{Model: "tinybranchnet", Mode: ModeCrossLayer, ExtraPEs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.Stats(); s.PartialHits != 1 || s.CacheHits != 5 || s.Compiles != 1 {
+		t.Fatalf("after view evaluation: partial=%d hits=%d compiles=%d, want 1/5/1",
+			s.PartialHits, s.CacheHits, s.Compiles)
+	}
+}
+
+func TestExtraPEsViewMatchesDirectCompile(t *testing.T) {
+	// A no-duplication ExtraPEs request is served as an F-adjusted view
+	// of the x = 0 compilation; every reported number must match a
+	// direct one-shot compilation at F = PEmin + x.
+	const x = 4
+	eng := MustNew()
+	rep, err := eng.Schedule(context.Background(),
+		Request{Model: "tinybranchnet", Mode: ModeCrossLayer, ExtraPEs: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModel("tinybranchnet", ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(m, Config{ExtraPEs: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := comp.Schedule(ModeCrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.F != direct.F || rep.F != rep.PEmin+x {
+		t.Errorf("view F = %d, direct F = %d, want PEmin+%d = %d", rep.F, direct.F, x, rep.PEmin+x)
+	}
+	if rep.MakespanCycles != direct.MakespanCycles {
+		t.Errorf("view makespan = %d, direct = %d", rep.MakespanCycles, direct.MakespanCycles)
+	}
+	if rep.Utilization != direct.Utilization {
+		t.Errorf("view utilization = %v, direct = %v", rep.Utilization, direct.Utilization)
+	}
+	if rep.LatencyNanos != direct.LatencyNanos {
+		t.Errorf("view latency = %v, direct = %v", rep.LatencyNanos, direct.LatencyNanos)
+	}
+	// The simulator sees the view's F too.
+	vc, err := eng.Compile(context.Background(),
+		Request{Model: "tinybranchnet", Mode: ModeCrossLayer, ExtraPEs: x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.TotalPEs() != rep.PEmin+x {
+		t.Errorf("view TotalPEs = %d, want %d", vc.TotalPEs(), rep.PEmin+x)
+	}
+	sr, err := vc.Simulate(ModeCrossLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.PEActive) != rep.PEmin+x {
+		t.Errorf("simulated PEActive length = %d, want F = %d", len(sr.PEActive), rep.PEmin+x)
+	}
+	if sr.Utilization != direct.Utilization {
+		t.Errorf("simulated view utilization = %v, direct = %v", sr.Utilization, direct.Utilization)
+	}
+}
+
+func TestEvaluateBatchStatsMatchSerial(t *testing.T) {
+	// The sweep-structured batch must preserve the cache accounting of
+	// the serial path exactly: one miss per distinct key, every further
+	// reference a hit.
+	reqs := sweepRequests("tinybranchnet", 8)
+	serial := MustNew()
+	for _, req := range reqs {
+		if _, err := serial.Evaluate(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := MustNew()
+	results, err := batch.EvaluateBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch result %d: %v", i, res.Err)
+		}
+	}
+	ss, bs := serial.Stats(), batch.Stats()
+	if bs.Compiles != ss.Compiles || bs.CacheMisses != ss.CacheMisses ||
+		bs.CacheHits != ss.CacheHits || bs.Evaluations != ss.Evaluations {
+		t.Errorf("batch stats %+v, serial stats %+v", bs, ss)
+	}
+	if bs.CachedEntries != ss.CachedEntries {
+		t.Errorf("batch cached %d entries, serial %d", bs.CachedEntries, ss.CachedEntries)
+	}
+}
+
+func TestSimulateCoarseMatchesFull(t *testing.T) {
+	eng := MustNew()
+	comp, err := eng.Compile(context.Background(),
+		Request{Model: "tinybranchnet", Mode: ModeCrossLayer, ExtraPEs: 2, WeightDuplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeWindow(2), ModeCrossLayer} {
+		full, err := comp.Simulate(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := comp.SimulateCoarse(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coarse.MakespanCycles != full.MakespanCycles ||
+			coarse.Utilization != full.Utilization ||
+			coarse.PeakLiveElems != full.PeakLiveElems ||
+			coarse.LatencyNanos != full.LatencyNanos {
+			t.Errorf("%s: coarse %+v disagrees with full simulation (makespan %d, util %v, peak %d)",
+				mode, coarse, full.MakespanCycles, full.Utilization, full.PeakLiveElems)
+		}
 	}
 }
 
@@ -554,9 +706,11 @@ func BenchmarkEngineSweep(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		if s := eng.Stats(); s.Compiles != sweepPoints+1 {
+		// Distinct keys: the shared baseline (which also serves every
+		// no-duplication x point as an F-view) plus the 5 wdup points.
+		if s := eng.Stats(); s.Compiles != sweepPoints/2+1 {
 			b.Fatalf("engine compiled %d times, want %d (one per distinct key)",
-				s.Compiles, sweepPoints+1)
+				s.Compiles, sweepPoints/2+1)
 		}
 	}
 }

@@ -1,0 +1,157 @@
+// Package eventq is the bucketed calendar event queue shared by the
+// discrete-event engines (internal/sim, internal/stream).
+//
+// Both engines schedule set completions whose timestamps advance
+// monotonically and whose increments are bounded: a completion pushed
+// at simulation time `now` lands at `start + cycles`, where start is at
+// most a few edge-cost cycles past now and cycles is bounded by the
+// longest set of the workload. Under that regime a calendar queue
+// (Brown, CACM 1988) replaces the binary heap's O(log n) sift with O(1)
+// amortized push/pop: events hash into a ring of time buckets of fixed
+// width, the pop scan walks the ring from the current bucket, and the
+// bounded increment guarantees every live event sits within one lap.
+//
+// Determinism is preserved exactly: Pop returns the strict minimum
+// under the (Time, Seq) order the heap used, because days (bucket
+// indices) are strictly ordered along the scan and the minimum within
+// one bucket is selected by a linear (Time, Seq) scan. Events whose
+// time exceeds the ring's horizon (possible only under unbounded
+// caller-supplied edge costs) overflow into a side list and migrate
+// back once the clock catches up, so correctness never depends on the
+// increment bound — only speed does.
+//
+// A Queue is reusable: Init reshapes the ring for a workload's bound
+// and keeps the bucket storage of earlier runs, so a warm queue
+// allocates nothing. It is not safe for concurrent use.
+package eventq
+
+// Event is one queue element: ordered by (Time, Seq), carrying the
+// engine's payload P (a flat set id, a job/set pair, ...).
+type Event[P any] struct {
+	Time int64
+	Seq  int64
+	P    P
+}
+
+// Queue is a bucketed calendar queue over monotonically advancing
+// event time. The zero value is empty but unshaped; call Init before
+// the first Push.
+type Queue[P any] struct {
+	buckets [][]Event[P]
+	mask    int64 // len(buckets)-1; len is a power of two
+	shift   uint  // bucket width = 1 << shift cycles
+
+	now   int64 // time of the last popped event (monotonic)
+	ringN int   // events currently in the ring
+
+	overflow    []Event[P] // events beyond the ring horizon
+	overflowMin int64      // min Time in overflow (valid when non-empty)
+}
+
+// Init shapes the queue for a run: span is the maximum push increment
+// (an upper bound on e.Time - now at push time; pushes beyond it are
+// still correct, just slower), and width the expected number of
+// concurrently pending events. The queue must be empty; bucket storage
+// from earlier runs is kept, so a warm Init allocates only when the
+// shape grows.
+func (q *Queue[P]) Init(span int64, width int) {
+	if span < 1 {
+		span = 1
+	}
+	nb := 16
+	for nb < 2*width && nb < 8192 {
+		nb <<= 1
+	}
+	var shift uint
+	// Every push within span must land under one lap of the ring:
+	// day(now+span) - day(now) <= (span >> shift) + 1 <= nb-1.
+	for span>>shift > int64(nb-2) {
+		shift++
+	}
+	if len(q.buckets) < nb {
+		q.buckets = make([][]Event[P], nb)
+	} else {
+		q.buckets = q.buckets[:nb]
+	}
+	q.mask = int64(nb - 1)
+	q.shift = shift
+	q.now = 0
+	q.ringN = 0
+	q.overflow = q.overflow[:0]
+}
+
+// Len returns the number of pending events.
+func (q *Queue[P]) Len() int { return q.ringN + len(q.overflow) }
+
+// Push enqueues an event. t must be at least the time of the last
+// popped event (the engines' no-time-travel invariant).
+func (q *Queue[P]) Push(t, seq int64, p P) {
+	if (t>>q.shift)-(q.now>>q.shift) > q.mask {
+		if len(q.overflow) == 0 || t < q.overflowMin {
+			q.overflowMin = t
+		}
+		q.overflow = append(q.overflow, Event[P]{Time: t, Seq: seq, P: p})
+		return
+	}
+	b := (t >> q.shift) & q.mask
+	q.buckets[b] = append(q.buckets[b], Event[P]{Time: t, Seq: seq, P: p})
+	q.ringN++
+}
+
+// Pop removes and returns the pending event with the least (Time, Seq),
+// or ok=false when the queue is empty.
+func (q *Queue[P]) Pop() (e Event[P], ok bool) {
+	if q.ringN == 0 && len(q.overflow) == 0 {
+		return e, false
+	}
+	if len(q.overflow) > 0 {
+		if q.ringN == 0 {
+			q.now = q.overflowMin
+		}
+		if (q.overflowMin>>q.shift)-(q.now>>q.shift) <= q.mask {
+			q.migrate()
+		}
+	}
+	day := q.now >> q.shift
+	for i := int64(0); i <= q.mask; i++ {
+		b := q.buckets[(day+i)&q.mask]
+		if len(b) == 0 {
+			continue
+		}
+		best := 0
+		for j := 1; j < len(b); j++ {
+			if b[j].Time < b[best].Time || (b[j].Time == b[best].Time && b[j].Seq < b[best].Seq) {
+				best = j
+			}
+		}
+		e = b[best]
+		last := len(b) - 1
+		b[best] = b[last]
+		q.buckets[(day+i)&q.mask] = b[:last]
+		q.ringN--
+		q.now = e.Time
+		return e, true
+	}
+	// Unreachable: ringN > 0 guarantees a non-empty bucket within one lap.
+	panic("eventq: ring accounting corrupted")
+}
+
+// migrate moves overflow events that now fit under the ring horizon
+// into their buckets and recomputes the overflow minimum.
+func (q *Queue[P]) migrate() {
+	day := q.now >> q.shift
+	kept := q.overflow[:0]
+	for _, e := range q.overflow {
+		if (e.Time>>q.shift)-day > q.mask {
+			if len(kept) == 0 || e.Time < q.overflowMin {
+				q.overflowMin = e.Time
+			}
+			kept = append(kept, e)
+			continue
+		}
+		b := (e.Time >> q.shift) & q.mask
+		q.buckets[b] = append(q.buckets[b], e)
+		q.ringN++
+	}
+	q.overflow = kept
+}

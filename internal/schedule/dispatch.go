@@ -12,11 +12,17 @@ import "clsacim/internal/deps"
 // The plan depends only on the dependency graph's set plan and the
 // policy's Replica rule, so event engines executing many concurrent
 // inferences of one compilation (internal/stream) share a single
-// Dispatch and keep only per-inference cursors.
+// Dispatch and keep only per-inference cursors. Every built-in policy
+// shares the raster Replica rule, so one plan also serves every
+// scheduling mode of one compilation — the incremental re-simulation
+// path on a cached compile reuses it across modes.
 type Dispatch struct {
 	RepOff   []int32
 	OrderOff []int32
 	Order    []int32
+	// RepOf[id] is the global replica group executing flat CSR set id —
+	// the event engines' O(1) inverse of the policy's Replica rule.
+	RepOf []int32
 }
 
 // NumReplicas returns the total replica PE group count across layers.
@@ -39,6 +45,7 @@ func NewDispatch(dg *deps.Graph, p Policy) *Dispatch {
 		RepOff:   make([]int32, nl+1),
 		OrderOff: make([]int32, totalReps+1),
 		Order:    make([]int32, ns),
+		RepOf:    make([]int32, ns),
 	}
 	reps := 0
 	for li := range dg.Plan.Layers {
@@ -61,6 +68,7 @@ func NewDispatch(dg *deps.Graph, p Policy) *Dispatch {
 		cnt[g] = d.OrderOff[g] // reuse as write cursor
 	}
 	d.OrderOff[totalReps] = off
+	id := int32(0)
 	for li, ls := range dg.Plan.Layers {
 		base := d.RepOff[li]
 		dup := ls.Group.Dup
@@ -68,6 +76,8 @@ func NewDispatch(dg *deps.Graph, p Policy) *Dispatch {
 			g := base + int32(p.Replica(si, dup))
 			d.Order[cnt[g]] = int32(si)
 			cnt[g]++
+			d.RepOf[id] = g
+			id++
 		}
 	}
 	return d

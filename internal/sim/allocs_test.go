@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+
+	"clsacim/internal/models"
+	"clsacim/internal/schedule"
+	"clsacim/internal/sets"
+)
+
+// TestRunAllocs pins the steady-state allocation profile of the
+// simulator. A full Run must allocate only the Result it returns (the
+// Timeline's arrays are the caller's to keep); with the scratch State
+// and a prebuilt Dispatch everything else is reused, so the budget is
+// small and independent of workload size. The coarse path returns
+// scalars by value and must not allocate at all once the scratch is
+// warm.
+func TestRunAllocs(t *testing.T) {
+	cp := compile(t, models.TinyYOLOv4, 128, 0, sets.FineGranularity)
+	disp := schedule.NewDispatch(cp.dg, schedule.CrossLayer)
+	st := NewState()
+	opt := Options{Dispatch: disp}
+
+	// Warm the scratch (first run sizes every array).
+	if _, err := st.Run(cp.arch, cp.dg, cp.m, schedule.CrossLayer, opt); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := st.Run(cp.arch, cp.dg, cp.m, schedule.CrossLayer, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 21 {
+		t.Errorf("warm State.Run allocates %v objects per run, want <= 21", allocs)
+	}
+
+	if _, err := st.RunCoarse(cp.arch, cp.dg, cp.m, schedule.CrossLayer, opt); err != nil {
+		t.Fatal(err)
+	}
+	coarse := testing.AllocsPerRun(10, func() {
+		if _, err := st.RunCoarse(cp.arch, cp.dg, cp.m, schedule.CrossLayer, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if coarse != 0 {
+		t.Errorf("warm State.RunCoarse allocates %v objects per run, want 0", coarse)
+	}
+}

@@ -16,13 +16,18 @@
 // to paper Eq. 2) and tracks the live intermediate-data footprint (a
 // proxy for the tile buffer / DRAM traffic requirements of §II-A).
 //
-// The per-replica dispatch state mirrors the CSR's layout discipline:
-// the immutable Stage III dispatch plan (schedule.Dispatch) numbers
-// replicas globally and flattens their set orders into offset-indexed
-// arrays, and the event queue is an inlined min-heap over a plain
-// []event — no per-layer slice-of-slices and no interface boxing on the
-// hot path. The same Dispatch plan drives the streamed multi-inference
-// engine in internal/stream.
+// The event loop is built for re-simulation: a State holds every
+// scratch array plus a bucketed calendar queue (internal/eventq) and is
+// reset, not reallocated, across runs — re-evaluating one compilation
+// under another scheduling mode touches no per-set allocations beyond
+// the returned Timeline. The immutable Stage III dispatch plan
+// (schedule.Dispatch) can be supplied through Options and shared across
+// modes and engines (internal/stream uses the same plan), and RunCoarse
+// skips per-set Timeline materialization entirely for callers that only
+// need makespan/utilization — the cost-model path of mapping-space
+// search. The previous binary-heap loop survives as the reference
+// implementation in reference_test.go, with a differential test pinning
+// byte-identical timelines.
 package sim
 
 import (
@@ -31,6 +36,7 @@ import (
 	"clsacim/internal/check"
 	"clsacim/internal/cim"
 	"clsacim/internal/deps"
+	"clsacim/internal/eventq"
 	"clsacim/internal/mapping"
 	"clsacim/internal/schedule"
 )
@@ -50,60 +56,13 @@ type Result struct {
 	Utilization float64
 }
 
-// event is a set completion.
-type event struct {
-	time int64
-	id   int32 // flat CSR set id
-	seq  int64 // tie-break for determinism
-}
-
-// eventQueue is a binary min-heap over (time, seq), inlined instead of
-// container/heap: Push/Pop through the heap.Interface box every event
-// into an interface value (one allocation per scheduled set), which
-// dominated the simulator's allocation profile.
-type eventQueue []event
-
-func eventLess(a, b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	h := *q
-	for i := len(h) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !eventLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	*q = h[:n]
-	for i := 0; ; {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && eventLess(h[r], h[c]) {
-			c = r
-		}
-		if !eventLess(h[c], h[i]) {
-			break
-		}
-		h[i], h[c] = h[c], h[i]
-		i = c
-	}
-	return top
+// Coarse is the outcome of a coarse run: the scalar metrics without the
+// per-set timeline. It is returned by value, so a warm State yields it
+// without allocating.
+type Coarse struct {
+	Makespan      int64
+	Utilization   float64
+	PeakLiveElems int64
 }
 
 // Options configures a simulation run.
@@ -111,6 +70,12 @@ type Options struct {
 	// Edge is the optional dependency-edge cost (NoC hops, GPEU
 	// processing); nil means the paper's idealized zero-cost movement.
 	Edge schedule.EdgeCostFn
+	// Dispatch optionally supplies a precomputed Stage III dispatch plan
+	// for (dg, p). It must have been built by schedule.NewDispatch for
+	// the same dependency graph and a policy with the same Replica rule
+	// (all built-in policies share the raster rule, so one plan serves
+	// every mode). Nil builds a fresh plan for the run.
+	Dispatch *schedule.Dispatch
 	// Debug runs the engine-independent invariant checker
 	// (check.Timeline) on the simulated timeline before it is returned:
 	// dependency order, crossbar exclusivity, window admission,
@@ -126,25 +91,105 @@ func Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy,
 	return RunOpt(arch, dg, m, p, Options{Edge: edge})
 }
 
-// RunOpt is Run with full Options (edge cost plus debug validation).
+// RunOpt is Run with full Options (edge cost plus debug validation). It
+// allocates a fresh State per call; callers simulating one compilation
+// repeatedly should hold a State and call State.Run.
 func RunOpt(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, opt Options) (*Result, error) {
-	if err := arch.Validate(); err != nil {
+	return NewState().Run(arch, dg, m, p, opt)
+}
+
+// State holds the simulator's reusable scratch: per-set counters,
+// per-replica cursors, window state, the calendar event queue, and the
+// per-workload caches (set volumes, maximum set duration). A State is
+// reset — not reallocated — across runs, so re-simulating one
+// compilation under different modes allocates only the returned
+// Timeline (and nothing at all on the coarse path). A State is not safe
+// for concurrent use; engines pool them.
+type State struct {
+	// Per-workload cache, keyed by dependency-graph identity: the OFM
+	// volume of every flat set (buffer accounting) and the longest set
+	// duration (the calendar queue's increment bound).
+	volsFor   *deps.Graph
+	vols      []int64
+	maxCycles int64
+
+	depsLeft []int32 // unmet dependency count per flat set
+	readyAt  []int64 // max dependency completion (+edge cost) per flat set
+	consLeft []int32 // outstanding consumer count per flat set (buffer accounting)
+	pos      []int32 // completed-set cursor per global replica group
+	busy     []bool  // per global replica group
+	repAct   []int64 // busy cycles per global replica group
+
+	// Admission window: layer li may start only once every layer up to
+	// li-K is complete. gateOpen marks admitted layers; frontier is the
+	// first incomplete layer (all layers below it are done).
+	gateOpen  []bool
+	setsLeft  []int32
+	layerDone []bool
+
+	queue eventq.Queue[int32]
+
+	// Per-run fields.
+	arch      cim.Config
+	dg        *deps.Graph
+	csr       *deps.CSR
+	m         *mapping.Mapping
+	p         schedule.Policy
+	edge      schedule.EdgeCostFn
+	disp      *schedule.Dispatch
+	items     []schedule.Item // nil on the coarse path
+	window    int
+	frontier  int
+	seq       int64
+	done      int // completed sets
+	liveElems int64
+	peakLive  int64
+}
+
+// NewState returns an empty State ready for its first run.
+func NewState() *State { return &State{} }
+
+// Run simulates the workload and returns the full Result (timeline,
+// per-PE activity, buffer pressure). The State's scratch is reused; the
+// returned Result owns fresh memory and survives later runs.
+func (st *State) Run(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, opt Options) (*Result, error) {
+	if err := st.prepare(arch, dg, m, p, opt); err != nil {
 		return nil, err
 	}
-	if p == nil {
-		return nil, fmt.Errorf("sim: nil policy")
+	res := &Result{
+		Timeline: schedule.NewTimeline(dg, p),
+		PEActive: make([]int64, arch.NumPEs),
 	}
-	if dg == nil || dg.CSR == nil {
-		return nil, fmt.Errorf("sim: dependency graph has no CSR (build it with deps.Build)")
-	}
-	if len(dg.Plan.Layers) != len(m.Groups) {
-		return nil, fmt.Errorf("sim: plan has %d layers, mapping %d groups", len(dg.Plan.Layers), len(m.Groups))
-	}
-	st := newState(arch, dg, m, p, opt.Edge)
-	res, err := st.run()
+	st.items = res.Items
+	makespan, err := st.loop()
 	if err != nil {
 		return nil, err
 	}
+	res.Makespan = makespan
+	// Distribute the per-group activity: every PE of a replica is active
+	// exactly while the replica executes, so per-PE accounting is a
+	// fan-out of repAct at finish time instead of a loop per event.
+	var sum int64
+	for li, g := range m.Groups {
+		c := int64(g.PEsPerReplica())
+		var layer int64
+		row := res.ReplicaActive[li]
+		base := st.disp.RepOff[li]
+		for r := range row {
+			a := st.repAct[base+int32(r)]
+			row[r] = a
+			layer += a
+			for _, pe := range g.ReplicaPEs(r) {
+				res.PEActive[pe] = a
+			}
+		}
+		res.LayerActive[li] = layer
+		sum += c * layer
+	}
+	if makespan > 0 && arch.NumPEs > 0 {
+		res.Utilization = float64(sum) / (float64(arch.NumPEs) * float64(makespan))
+	}
+	res.PeakLiveElems = st.peakLive
 	if opt.Debug {
 		if err := check.Timeline(m, dg, p, res.Timeline, check.Options{EdgeCost: opt.Edge}); err != nil {
 			return nil, fmt.Errorf("sim: debug validation: %w", err)
@@ -153,94 +198,158 @@ func RunOpt(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Poli
 	return res, nil
 }
 
-type simState struct {
-	res  *Result
-	arch cim.Config
-	dg   *deps.Graph
-	csr  *deps.CSR
-	m    *mapping.Mapping
-	p    schedule.Policy
-	edge schedule.EdgeCostFn
-
-	depsLeft []int32 // unmet dependency count per flat set
-	readyAt  []int64 // max dependency completion (+edge cost) per flat set
-	consLeft []int32 // outstanding consumer count per flat set (buffer accounting)
-
-	// disp is the immutable Stage III dispatch plan (which sets each
-	// global replica executes, in order); pos[g] of replica g's sets are
-	// complete, busy[g] marks it executing.
-	disp *schedule.Dispatch
-	pos  []int32
-	busy []bool
-
-	// Admission window: layer li may start only once every layer up to
-	// li-K is complete. gateOpen marks admitted layers; frontier is the
-	// first incomplete layer (all layers below it are done).
-	window    int
-	gateOpen  []bool
-	setsLeft  []int32
-	layerDone []bool
-	frontier  int
-
-	queue eventQueue
-	seq   int64
-
-	liveElems int64
+// RunCoarse simulates the workload without materializing per-set
+// timeline items: only the makespan, the Eq. 2 utilization, and the
+// buffer peak are computed. On a warm State this path performs no
+// allocations — the fast cost model for mapping-space search and
+// sweeps that do not render timelines. Options.Debug is rejected: the
+// invariant checker needs the full timeline.
+func (st *State) RunCoarse(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, opt Options) (Coarse, error) {
+	if opt.Debug {
+		return Coarse{}, fmt.Errorf("sim: coarse run cannot validate (no timeline); use Run")
+	}
+	if err := st.prepare(arch, dg, m, p, opt); err != nil {
+		return Coarse{}, err
+	}
+	st.items = nil
+	makespan, err := st.loop()
+	if err != nil {
+		return Coarse{}, err
+	}
+	var sum int64
+	for li, g := range m.Groups {
+		c := int64(g.PEsPerReplica())
+		for gg := st.disp.RepOff[li]; gg < st.disp.RepOff[li+1]; gg++ {
+			sum += c * st.repAct[gg]
+		}
+	}
+	out := Coarse{Makespan: makespan, PeakLiveElems: st.peakLive}
+	if makespan > 0 && arch.NumPEs > 0 {
+		out.Utilization = float64(sum) / (float64(arch.NumPEs) * float64(makespan))
+	}
+	return out, nil
 }
 
-func newState(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, edge schedule.EdgeCostFn) *simState {
+// prepare validates the inputs and resets the scratch for one run.
+func (st *State) prepare(arch cim.Config, dg *deps.Graph, m *mapping.Mapping, p schedule.Policy, opt Options) error {
+	if err := arch.Validate(); err != nil {
+		return err
+	}
+	if p == nil {
+		return fmt.Errorf("sim: nil policy")
+	}
+	if dg == nil || dg.CSR == nil {
+		return fmt.Errorf("sim: dependency graph has no CSR (build it with deps.Build)")
+	}
+	if len(dg.Plan.Layers) != len(m.Groups) {
+		return fmt.Errorf("sim: plan has %d layers, mapping %d groups", len(dg.Plan.Layers), len(m.Groups))
+	}
 	csr := dg.CSR
 	nl := len(dg.Plan.Layers)
 	ns := csr.NumSets()
-	totalReps := 0
+	st.arch, st.dg, st.csr, st.m, st.p, st.edge = arch, dg, csr, m, p, opt.Edge
+	st.disp = opt.Dispatch
+	if st.disp == nil {
+		st.disp = schedule.NewDispatch(dg, p)
+	}
+	if st.volsFor != dg {
+		st.vols = grow(st.vols, ns)
+		for li, ls := range dg.Plan.Layers {
+			off := csr.LayerOff[li]
+			for si := range ls.Sets {
+				st.vols[off+int32(si)] = int64(ls.Sets[si].Box.Volume())
+			}
+		}
+		st.maxCycles = 1
+		for _, c := range csr.Cycles {
+			if c > st.maxCycles {
+				st.maxCycles = c
+			}
+		}
+		st.volsFor = dg
+	}
+	totalReps := st.disp.NumReplicas()
+	st.depsLeft = grow(st.depsLeft, ns)
+	st.readyAt = grow(st.readyAt, ns)
+	st.consLeft = grow(st.consLeft, ns)
+	st.pos = grow(st.pos, totalReps)
+	st.busy = grow(st.busy, totalReps)
+	st.repAct = grow(st.repAct, totalReps)
+	st.gateOpen = grow(st.gateOpen, nl)
+	st.setsLeft = grow(st.setsLeft, nl)
+	st.layerDone = grow(st.layerDone, nl)
+	clear(st.readyAt)
+	clear(st.pos)
+	clear(st.busy)
+	clear(st.repAct)
+	clear(st.gateOpen)
+	clear(st.layerDone)
 	for li := range dg.Plan.Layers {
-		totalReps += dg.Plan.Layers[li].Group.Dup
-	}
-	st := &simState{
-		arch: arch, dg: dg, csr: csr, m: m, p: p, edge: edge,
-		depsLeft:  make([]int32, ns),
-		readyAt:   make([]int64, ns),
-		consLeft:  make([]int32, ns),
-		disp:      schedule.NewDispatch(dg, p),
-		pos:       make([]int32, totalReps),
-		busy:      make([]bool, totalReps),
-		window:    p.Window(),
-		gateOpen:  make([]bool, nl),
-		setsLeft:  make([]int32, nl),
-		layerDone: make([]bool, nl),
-		queue:     make(eventQueue, 0, totalReps),
-		res: &Result{
-			Timeline: schedule.NewTimeline(dg, p),
-			PEActive: make([]int64, arch.NumPEs),
-		},
-	}
-	for li, ls := range dg.Plan.Layers {
-		st.setsLeft[li] = int32(len(ls.Sets))
+		st.setsLeft[li] = int32(len(dg.Plan.Layers[li].Sets))
 	}
 	for i := 0; i < ns; i++ {
 		st.depsLeft[i] = csr.PredOff[i+1] - csr.PredOff[i]
 		st.consLeft[i] = csr.SuccOff[i+1] - csr.SuccOff[i]
 	}
-	return st
+	st.queue.Init(st.maxCycles, totalReps)
+	st.window = p.Window()
+	st.frontier = 0
+	st.seq = 0
+	st.done = 0
+	st.liveElems = 0
+	st.peakLive = 0
+	return nil
 }
 
-func (st *simState) run() (*Result, error) {
+// grow returns s resized to n, reusing its backing array when large
+// enough (contents are unspecified; callers overwrite or clear).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// loop runs the event loop to completion and returns the makespan.
+func (st *State) loop() (int64, error) {
 	// Open the initial window and handle (degenerate) empty layers.
 	st.openGates(0)
 	var now int64
-	for len(st.queue) > 0 {
-		e := st.queue.pop()
-		now = e.time
-		st.complete(e)
+	for {
+		e, ok := st.queue.Pop()
+		if !ok {
+			break
+		}
+		now = e.Time
+		st.complete(e.P, now)
 	}
-	return st.finish(now)
+	if st.done != st.csr.NumSets() {
+		return 0, st.deadlockErr()
+	}
+	return now, nil
+}
+
+// deadlockErr names the first set that never executed.
+func (st *State) deadlockErr() error {
+	for g := 0; g < st.disp.NumReplicas(); g++ {
+		next := st.disp.OrderOff[g] + st.pos[g]
+		if next < st.disp.OrderOff[g+1] {
+			si := st.disp.Order[next]
+			li := 0
+			for int(st.disp.RepOff[li+1]) <= g {
+				li++
+			}
+			return fmt.Errorf("sim: set L%d/S%d never executed (deadlock)", li, si)
+		}
+	}
+	return fmt.Errorf("sim: %d of %d sets never executed (deadlock)", st.csr.NumSets()-st.done, st.csr.NumSets())
 }
 
 // openGates admits every layer the current frontier allows (layers
 // below frontier+window) and tries to start their replicas at time now.
 // Layers with no sets complete immediately, which may advance the
 // frontier further.
-func (st *simState) openGates(now int64) {
+func (st *State) openGates(now int64) {
 	nl := len(st.gateOpen)
 	for {
 		limit := nl
@@ -258,8 +367,8 @@ func (st *simState) openGates(now int64) {
 				progressed = true
 				continue
 			}
-			for rep := 0; rep < st.disp.Replicas(li); rep++ {
-				st.tryStart(li, rep, now)
+			for g := st.disp.RepOff[li]; g < st.disp.RepOff[li+1]; g++ {
+				st.tryStart(li, g, now)
 			}
 		}
 		for st.frontier < nl && st.layerDone[st.frontier] {
@@ -272,21 +381,10 @@ func (st *simState) openGates(now int64) {
 	}
 }
 
-// chargePEs books busy cycles on the PEs of one replica.
-func (st *simState) chargePEs(li, rep int, cycles int64) {
-	g := st.m.Groups[li]
-	for _, pe := range g.ReplicaPEs(rep) {
-		st.res.PEActive[pe] += cycles
-	}
-	st.res.LayerActive[li] += cycles
-	st.res.ReplicaActive[li][rep] += cycles
-}
-
-// tryStart launches the head set of (layer, replica) if the layer is
-// admitted, the replica is idle, and the set's dependencies are met.
-// now is the current sim time.
-func (st *simState) tryStart(li, rep int, now int64) {
-	g := st.disp.RepOff[li] + int32(rep)
+// tryStart launches the head set of global replica group g (of layer
+// li) if the layer is admitted, the group is idle, and the set's
+// dependencies are met. now is the current sim time.
+func (st *State) tryStart(li int, g int32, now int64) {
 	if !st.gateOpen[li] || st.busy[g] {
 		return
 	}
@@ -295,7 +393,7 @@ func (st *simState) tryStart(li, rep int, now int64) {
 		return
 	}
 	si := st.disp.Order[next]
-	id := st.csr.ID(li, int(si))
+	id := st.csr.LayerOff[li] + si
 	if st.depsLeft[id] > 0 {
 		return
 	}
@@ -305,91 +403,72 @@ func (st *simState) tryStart(li, rep int, now int64) {
 	}
 	end := start + st.csr.Cycles[id]
 	st.busy[g] = true
-	st.res.Items[id] = schedule.Item{Layer: li, Set: int(si), Replica: rep, Start: start, End: end}
+	if st.items != nil {
+		st.items[id] = schedule.Item{Layer: li, Set: int(si), Replica: int(g - st.disp.RepOff[li]), Start: start, End: end}
+	}
 	st.seq++
-	st.queue.push(event{time: end, id: id, seq: st.seq})
+	st.queue.Push(end, st.seq, id)
 }
 
 // complete processes a set-completion event: it frees the replica,
 // releases consumers, advances the admission window, and starts newly
 // runnable work.
-func (st *simState) complete(e event) {
-	li, si := st.csr.Set(e.id)
-	ls := st.dg.Plan.Layers[li]
-	rep := st.p.Replica(si, ls.Group.Dup)
-	g := st.disp.RepOff[li] + int32(rep)
-	st.chargePEs(li, rep, st.csr.Cycles[e.id])
+func (st *State) complete(id int32, now int64) {
+	csr := st.csr
+	li := int(csr.SetLayer[id])
+	g := st.disp.RepOf[id]
+	st.repAct[g] += csr.Cycles[id]
 	st.busy[g] = false
 	st.pos[g]++
 
 	// Buffer accounting: the produced elements stay live until every
 	// consumer set has executed.
-	vol := int64(ls.Sets[si].Box.Volume())
+	vol := st.vols[id]
 	st.liveElems += vol
-	if st.liveElems > st.res.PeakLiveElems {
-		st.res.PeakLiveElems = st.liveElems
+	if st.liveElems > st.peakLive {
+		st.peakLive = st.liveElems
 	}
-	if st.consLeft[e.id] == 0 {
+	if st.consLeft[id] == 0 {
 		// No consumers (network output or unread layer): retire
 		// immediately to DRAM.
 		st.liveElems -= vol
 	}
 
-	for x := st.csr.SuccOff[e.id]; x < st.csr.SuccOff[e.id+1]; x++ {
-		cid := st.csr.Succ[x]
-		cl, cs := st.csr.Set(cid)
-		cost := int64(0)
+	for x := csr.SuccOff[id]; x < csr.SuccOff[id+1]; x++ {
+		cid := csr.Succ[x]
+		cl := int(csr.SetLayer[cid])
+		t := now
 		if st.edge != nil {
-			cost = st.edge(deps.SetRef{Layer: li, Set: si, Vol: int(st.csr.SuccVol[x])}, cl)
+			t += st.edge(deps.SetRef{Layer: li, Set: int(id - csr.LayerOff[li]), Vol: int(csr.SuccVol[x])}, cl)
 		}
-		if t := e.time + cost; t > st.readyAt[cid] {
+		if t > st.readyAt[cid] {
 			st.readyAt[cid] = t
 		}
 		st.depsLeft[cid]--
-		st.tryStart(cl, st.p.Replica(cs, st.dg.Plan.Layers[cl].Group.Dup), e.time)
+		st.tryStart(cl, st.disp.RepOf[cid], now)
 	}
-	st.retireInputsOf(e.id)
+	st.retireInputsOf(id)
 
 	st.setsLeft[li]--
 	if st.setsLeft[li] == 0 {
 		st.layerDone[li] = true
 		if li == st.frontier {
-			st.openGates(e.time)
+			st.openGates(now)
 		}
 	}
+	st.done++
 	// The replica may have further runnable sets.
-	st.tryStart(li, rep, e.time)
+	st.tryStart(li, g, now)
 }
 
 // retireInputsOf releases the buffer claims this set held on its
 // producers.
-func (st *simState) retireInputsOf(id int32) {
+func (st *State) retireInputsOf(id int32) {
 	for e := st.csr.PredOff[id]; e < st.csr.PredOff[id+1]; e++ {
 		pid := st.csr.Pred[e]
 		st.consLeft[pid]--
 		if st.consLeft[pid] == 0 {
-			pl, ps := st.csr.Set(pid)
-			st.liveElems -= int64(st.dg.Plan.Layers[pl].Sets[ps].Box.Volume())
+			st.liveElems -= st.vols[pid]
 		}
 	}
-}
-
-func (st *simState) finish(makespan int64) (*Result, error) {
-	st.res.Makespan = makespan
-	for id := range st.res.Items {
-		// An executed set has End > Start >= 0; unexecuted items remain
-		// at the zero value with End == 0 despite a positive duration.
-		if st.res.Items[id].End == 0 && st.csr.Cycles[id] > 0 {
-			li, si := st.csr.Set(int32(id))
-			return nil, fmt.Errorf("sim: set L%d/S%d never executed (deadlock)", li, si)
-		}
-	}
-	if makespan > 0 && st.arch.NumPEs > 0 {
-		var sum int64
-		for _, a := range st.res.PEActive {
-			sum += a
-		}
-		st.res.Utilization = float64(sum) / (float64(st.arch.NumPEs) * float64(makespan))
-	}
-	return st.res, nil
 }

@@ -38,6 +38,7 @@ import (
 
 	"clsacim/internal/check"
 	"clsacim/internal/deps"
+	"clsacim/internal/eventq"
 	"clsacim/internal/mapping"
 	"clsacim/internal/schedule"
 )
@@ -116,57 +117,16 @@ type Result struct {
 	Queue []QueueSample
 }
 
-// event is a job arrival (id < 0) or a set completion.
-type event struct {
-	time int64
-	seq  int64
-	job  int32
-	id   int32
-}
-
-type eventQueue []event
-
-func eventLess(a, b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
-}
-
-func (q *eventQueue) push(e event) {
-	*q = append(*q, e)
-	h := *q
-	for i := len(h) - 1; i > 0; {
-		parent := (i - 1) / 2
-		if !eventLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (q *eventQueue) pop() event {
-	h := *q
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	*q = h[:n]
-	for i := 0; ; {
-		c := 2*i + 1
-		if c >= n {
-			break
-		}
-		if r := c + 1; r < n && eventLess(h[r], h[c]) {
-			c = r
-		}
-		if !eventLess(h[c], h[i]) {
-			break
-		}
-		h[i], h[c] = h[c], h[i]
-		i = c
-	}
-	return top
+// payload is the calendar-queue payload: a job arrival (id < 0) or the
+// completion of the job's flat set id. The queue itself (a bucketed
+// calendar queue, internal/eventq) orders events by (time, seq) exactly
+// as the previous inlined binary heap did — arrivals are enqueued with
+// the lowest sequence numbers before any completion, so at equal times
+// arrivals still precede completions and keep admission timing
+// byte-identical.
+type payload struct {
+	job int32
+	id  int32
 }
 
 // jobState is the mutable execution state of one admitted job. The
@@ -211,6 +171,10 @@ type engine struct {
 	conflicts [][]int32
 	busy      []bool
 	fifo      []fifoQueue
+	// grpAct[G] accumulates the busy cycles of global replica group G
+	// across all jobs; the per-PE fan-out happens once at the end of the
+	// run instead of once per completion event.
+	grpAct []int64
 
 	jobs     []*jobState
 	arrived  []bool
@@ -223,7 +187,7 @@ type engine struct {
 	doneTotal    int
 	nextArrival  int // closed loop: next job index to spawn
 
-	queue eventQueue
+	queue eventq.Queue[payload]
 	seq   int64
 
 	res   *Result
@@ -338,10 +302,20 @@ func newEngine(w Workload, opt Options) *engine {
 	total := e.peOff[len(w.Models)]
 	e.busy = make([]bool, total)
 	e.fifo = make([]fifoQueue, total)
+	e.grpAct = make([]int64, total)
 	e.conflicts = buildConflicts(w.Models, e.peOff, total)
 	for j, mi := range w.Sequence {
 		e.perModel[mi] = append(e.perModel[mi], int32(j))
 	}
+	span := int64(1)
+	for _, csr := range e.csr {
+		for _, c := range csr.Cycles {
+			if c > span {
+				span = c
+			}
+		}
+	}
+	e.queue.Init(span, total)
 	return e
 }
 
@@ -399,7 +373,7 @@ func (e *engine) run() (*Result, error) {
 	if e.w.Arrivals != nil {
 		for j, t := range e.w.Arrivals {
 			e.seq++
-			e.queue.push(event{time: t, seq: e.seq, job: int32(j), id: -1})
+			e.queue.Push(t, e.seq, payload{job: int32(j), id: -1})
 		}
 	} else {
 		n := e.w.Concurrency
@@ -412,16 +386,20 @@ func (e *engine) run() (*Result, error) {
 		e.nextArrival = n
 		e.admitAll(0)
 	}
-	for len(e.queue) > 0 {
-		ev := e.queue.pop()
-		now = ev.time
-		if ev.id < 0 {
-			e.arrive(ev.job, now)
+	for {
+		ev, ok := e.queue.Pop()
+		if !ok {
+			break
+		}
+		now = ev.Time
+		if ev.P.id < 0 {
+			e.arrive(ev.P.job, now)
 		} else {
-			e.complete(ev)
+			e.complete(ev.P, now)
 		}
 		e.admitAll(now)
 	}
+	e.bookPEActivity()
 	for j, jb := range e.jobs {
 		if jb == nil {
 			return nil, fmt.Errorf("stream: job %d (model %d) never admitted (deadlock)", j, e.w.Sequence[j])
@@ -599,7 +577,7 @@ func (e *engine) tryStart(G int, now int64) {
 			jb.start = start
 		}
 		e.seq++
-		e.queue.push(event{time: end, seq: e.seq, job: j, id: id})
+		e.queue.Push(end, e.seq, payload{job: j, id: id})
 		return
 	}
 }
@@ -609,22 +587,20 @@ func (e *engine) tryStart(G int, now int64) {
 // window, and — when the job's last set finishes — retires the job,
 // releases its admission-gate slot, and (closed loop) spawns the next
 // arrival.
-func (e *engine) complete(ev event) {
+func (e *engine) complete(ev payload, now int64) {
 	jb := e.jobs[ev.job]
 	mi := jb.model
 	s := e.w.Models[mi]
 	csr := e.csr[mi]
-	li, si := csr.Set(ev.id)
 	d := e.disp[mi]
-	dup := s.Graph.Plan.Layers[li].Group.Dup
-	rep := s.Policy.Replica(si, dup)
-	lg := d.RepOff[li] + int32(rep)
+	li := int(csr.SetLayer[ev.id])
+	si := int(ev.id - csr.LayerOff[li])
+	lg := d.RepOf[ev.id] // O(1) inverse of the policy's Replica rule
+	rep := int(lg - d.RepOff[li])
 	G := e.peOff[mi] + int(lg)
 
 	cycles := csr.Cycles[ev.id]
-	for _, pe := range s.Mapping.Groups[li].ReplicaPEs(rep) {
-		e.res.PEActive[s.PEBase+pe] += cycles
-	}
+	e.grpAct[G] += cycles
 	jb.tl.LayerActive[li] += cycles
 	jb.tl.ReplicaActive[li][rep] += cycles
 
@@ -633,35 +609,57 @@ func (e *engine) complete(ev event) {
 
 	for x := csr.SuccOff[ev.id]; x < csr.SuccOff[ev.id+1]; x++ {
 		cid := csr.Succ[x]
-		cl, cs := csr.Set(cid)
+		cl := int(csr.SetLayer[cid])
 		cost := int64(0)
 		if s.Edge != nil {
 			cost = s.Edge(deps.SetRef{Layer: li, Set: si, Vol: int(csr.SuccVol[x])}, cl)
 		}
-		if t := ev.time + cost; t > jb.readyAt[cid] {
+		if t := now + cost; t > jb.readyAt[cid] {
 			jb.readyAt[cid] = t
 		}
 		jb.depsLeft[cid]--
-		crep := s.Policy.Replica(cs, s.Graph.Plan.Layers[cl].Group.Dup)
-		e.tryStart(e.peOff[mi]+int(d.RepOff[cl])+crep, ev.time)
+		e.tryStart(e.peOff[mi]+int(d.RepOf[cid]), now)
 	}
 
 	jb.setsLeft[li]--
 	if jb.setsLeft[li] == 0 {
 		jb.layerDone[li] = true
 		if li == jb.frontier {
-			e.openGates(ev.job, ev.time)
+			e.openGates(ev.job, now)
 		}
 	}
 
 	jb.remaining--
 	if jb.remaining == 0 {
-		e.retire(ev.job, ev.time)
+		e.retire(ev.job, now)
 	}
 
-	e.tryStart(G, ev.time)
+	e.tryStart(G, now)
 	for _, c := range e.conflicts[G] {
-		e.tryStart(int(c), ev.time)
+		e.tryStart(int(c), now)
+	}
+}
+
+// bookPEActivity distributes the accumulated per-group busy cycles onto
+// the global fabric PEs once at the end of the run — every PE of a
+// replica is active exactly while the replica executes, so the fan-out
+// commutes with per-event accumulation.
+func (e *engine) bookPEActivity() {
+	for mi, s := range e.w.Models {
+		d := e.disp[mi]
+		base := e.peOff[mi]
+		for li := range s.Graph.Plan.Layers {
+			for lg := d.RepOff[li]; lg < d.RepOff[li+1]; lg++ {
+				a := e.grpAct[base+int(lg)]
+				if a == 0 {
+					continue
+				}
+				rep := int(lg - d.RepOff[li])
+				for _, pe := range s.Mapping.Groups[li].ReplicaPEs(rep) {
+					e.res.PEActive[s.PEBase+pe] += a
+				}
+			}
+		}
 	}
 }
 

@@ -322,6 +322,41 @@ func TestBatchContextCancellation(t *testing.T) {
 	}
 }
 
+func TestStatsPartialHits(t *testing.T) {
+	// /v1/stats must separate full cache hits from partial hits — hits
+	// that reused a compilation but still ran Stage III/IV for a mode
+	// whose timeline was not cached yet.
+	s, eng := newTestServer(t, nil)
+	eval := func() {
+		t.Helper()
+		rec := doJSON(t, s, http.MethodPost, "/v1/evaluate",
+			`{"model": "tinyconvnet", "mode": "xinf"}`, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("evaluate: status %d, body %s", rec.Code, rec.Body)
+		}
+	}
+	// First evaluation compiles the key once; the variant probe of the
+	// same key is a hit that still has to schedule xinf — one partial.
+	eval()
+	var st StatsResponse
+	doJSON(t, s, http.MethodGet, "/v1/stats", "", &st)
+	if st.Engine.PartialHits != 1 || st.Engine.CacheHits != 1 {
+		t.Errorf("after first evaluation: partial_hits=%d cache_hits=%d, want 1/1",
+			st.Engine.PartialHits, st.Engine.CacheHits)
+	}
+	// The identical request serves both timelines from cache: hits
+	// grow, partial hits don't.
+	eval()
+	doJSON(t, s, http.MethodGet, "/v1/stats", "", &st)
+	if st.Engine.PartialHits != 1 || st.Engine.CacheHits != 3 {
+		t.Errorf("after repeat: partial_hits=%d cache_hits=%d, want 1/3",
+			st.Engine.PartialHits, st.Engine.CacheHits)
+	}
+	if es := eng.Stats(); es.PartialHits != st.Engine.PartialHits {
+		t.Errorf("wire partial_hits=%d, engine says %d", st.Engine.PartialHits, es.PartialHits)
+	}
+}
+
 func TestStreamHappyPathAndStats(t *testing.T) {
 	// One streamed evaluation over the wire, then its footprint in
 	// /v1/stats: engine counters plus the stream block snapshotting the

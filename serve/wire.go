@@ -137,8 +137,13 @@ type StreamResponse struct {
 // EngineStats is the wire form of clsacim.Stats: the compile-cache and
 // work accounting of the daemon's engine.
 type EngineStats struct {
-	Compiles          int64 `json:"compiles"`
-	CacheHits         int64 `json:"cache_hits"`
+	Compiles  int64 `json:"compiles"`
+	CacheHits int64 `json:"cache_hits"`
+	// PartialHits are cache hits that still ran Stage III/IV because
+	// the requested mode's timeline was not cached yet (the incremental
+	// re-simulation path); CacheHits - PartialHits served everything
+	// from cache.
+	PartialHits       int64 `json:"partial_hits"`
 	CacheMisses       int64 `json:"cache_misses"`
 	Evictions         int64 `json:"cache_evictions"`
 	Evaluations       int64 `json:"evaluations"`
@@ -240,6 +245,7 @@ func wireStats(s clsacim.Stats) EngineStats {
 	return EngineStats{
 		Compiles:          s.Compiles,
 		CacheHits:         s.CacheHits,
+		PartialHits:       s.PartialHits,
 		CacheMisses:       s.CacheMisses,
 		Evictions:         s.Evictions,
 		Evaluations:       s.Evaluations,
