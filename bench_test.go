@@ -263,6 +263,30 @@ func BenchmarkCompileTinyYOLOv4(b *testing.B) {
 	}
 }
 
+// BenchmarkSolverSearch measures a full compilation with the scored
+// search solver at its default budget: every one of the ~48 candidate
+// duplication vectors is scored by a Stage I-IV coarse run, so this is
+// the cost of trading compile time for schedule quality. Coarse Stage I
+// granularity (26 sets) keeps the per-candidate evaluation at the scale
+// the ablation and the serving path use.
+func BenchmarkSolverSearch(b *testing.B) {
+	m, err := clsacim.LoadModel("tinyyolov4", clsacim.ModelOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := clsacim.Config{
+		TargetSets: 26, ExtraPEs: 32, WeightDuplication: true,
+		Solver: "search", SolverSeed: 1, SolverMode: "xinf",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clsacim.Compile(m, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // stageIVWorkload lowers TinyYOLOv4 (wdup+32, fine granularity) through
 // Stages I-II for the scheduler/simulator micro benchmarks.
 func stageIVWorkload(b *testing.B) (*mapping.Mapping, *deps.Graph, cim.Config) {

@@ -153,9 +153,26 @@ type Config struct {
 	WeightDuplication bool `json:"weight_duplication,omitempty"`
 	// Solver picks the duplication solver: "dp" (exact for the paper's
 	// Optimization Problem 1, default), "greedy", "minmax" (bottleneck
-	// objective, extension), "none", or any name added through
-	// RegisterSolver.
+	// objective, extension), "uniform" (even spread baseline), "none",
+	// "search" (schedule-aware annealing scored by the coarse
+	// simulator), or any name added through RegisterSolver.
 	Solver string `json:"solver,omitempty"`
+	// SolverBudget bounds the candidate evaluations of a scored solver
+	// such as "search" (0 = the solver's default;
+	// mapping.DefaultSearchBudget for "search"). The budget is expressed
+	// in evaluations, not wall clock, so a fixed (seed, budget) pair is
+	// reproducible across machines and GOMAXPROCS settings. Plain
+	// solvers ignore it.
+	SolverBudget int `json:"solver_budget,omitempty"`
+	// SolverSeed seeds the deterministic move RNG of a scored solver.
+	// Plain solvers ignore it.
+	SolverSeed uint64 `json:"solver_seed,omitempty"`
+	// SolverMode names the scheduling mode ("lbl", "x4", "xinf") whose
+	// makespan a scored solver optimizes. Empty means "xinf". The Engine
+	// fills it from the request's mode, so direct Engine users never set
+	// it; it exists so the compile cache can key on it and one-shot
+	// Compile callers can steer the search. Plain solvers ignore it.
+	SolverMode string `json:"solver_mode,omitempty"`
 	// TargetSets is the Stage I granularity (sets per layer). The
 	// default is the finest alignment-respecting partition, which
 	// realizes the paper's "maximum achievable utilization and minimum
@@ -327,9 +344,14 @@ func (c *Compiled) ResidentLayers() int {
 // compile cache shares this work across requests.
 func Compile(model *Model, cfg Config) (*Compiled, error) {
 	cfg = cfg.withDefaults()
-	solve, err := cfg.solverFunc()
-	if err != nil {
-		return nil, err
+	scored := cfg.WeightDuplication && mapping.IsScored(cfg.Solver)
+	var solve mapping.Func
+	var err error
+	if !scored {
+		solve, err = cfg.solverFunc()
+		if err != nil {
+			return nil, err
+		}
 	}
 	g, err := model.graph()
 	if err != nil {
@@ -385,7 +407,11 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 		mapped = virtual.Mapping
 		sol = mapping.Solution{D: mapped.Dup, PEsNeeded: mapped.PEsUsed}
 	} else {
-		sol, err = solve(plan, f)
+		if scored {
+			sol, err = solveScored(cfg, g, plan, f, arch)
+		} else {
+			sol, err = solve(plan, f)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("clsacim: solving duplication for %q: %w", model.Name, err)
 		}
@@ -420,7 +446,7 @@ func Compile(model *Model, cfg Config) (*Compiled, error) {
 		peMin:    plan.MinPEs,
 		virtual:  virtual,
 	}
-	c.edgeCost = c.buildEdgeCost()
+	c.edgeCost = edgeCostFn(arch, mapped)
 	return c, nil
 }
 
@@ -443,21 +469,23 @@ func (c *Compiled) withExtraPEs(x int) *Compiled {
 	return &v
 }
 
-// buildEdgeCost assembles the optional NoC + GPEU dependency-edge cost
-// from the architecture configuration (nil when idealized).
-func (c *Compiled) buildEdgeCost() schedule.EdgeCostFn {
-	noc := c.arch.NoC.Enabled && c.arch.NoC.CyclesPerHop > 0
-	gpeu := c.arch.GPEUCyclesPerKElem > 0
+// edgeCostFn assembles the optional NoC + GPEU dependency-edge cost for
+// a mapping on an architecture (nil when idealized). It is a free
+// function rather than a Compiled method because the scored-solver
+// evaluation loop needs it for candidate mappings that never become a
+// Compiled.
+func edgeCostFn(arch cim.Config, mapped *mapping.Mapping) schedule.EdgeCostFn {
+	noc := arch.NoC.Enabled && arch.NoC.CyclesPerHop > 0
+	gpeu := arch.GPEUCyclesPerKElem > 0
 	if !noc && !gpeu {
 		return nil
 	}
-	tileOf := make([]int, len(c.mapped.Groups))
-	for i, g := range c.mapped.Groups {
+	tileOf := make([]int, len(mapped.Groups))
+	for i, g := range mapped.Groups {
 		if len(g.PEs) > 0 {
-			tileOf[i] = c.arch.TileOf(g.PEs[0])
+			tileOf[i] = arch.TileOf(g.PEs[0])
 		}
 	}
-	arch := c.arch
 	return func(pred deps.SetRef, toLayer int) int64 {
 		var cost float64
 		if noc {
@@ -468,6 +496,77 @@ func (c *Compiled) buildEdgeCost() schedule.EdgeCostFn {
 		}
 		return int64(cost + 0.5)
 	}
+}
+
+// scoringMode resolves the mode a scored solver optimizes for from
+// Config.SolverMode (default xinf), folded onto its canonical
+// representative for the layer count like Compiled.normalizeMode.
+func scoringMode(cfg Config, layers int) (ScheduleMode, error) {
+	mode := ModeCrossLayer
+	if cfg.SolverMode != "" {
+		var err error
+		mode, err = ParseMode(cfg.SolverMode)
+		if err != nil {
+			return ScheduleMode{}, err
+		}
+	}
+	switch k := mode.Window(); {
+	case k <= 1:
+		return ModeLayerByLayer, nil
+	case k >= layers:
+		return ModeCrossLayer, nil
+	default:
+		return mode, nil
+	}
+}
+
+// solveScored runs a schedule-aware duplication solver: the candidate
+// evaluation callback replays the real pipeline — mapping.Apply, Stage I
+// set determination, Stage II dependency build, and a coarse simulation
+// under the scoring mode — and returns the achieved makespan in cycles.
+// One sim.State is reused across all evaluations, so a warm evaluation
+// allocates only the candidate's Stage I-II artifacts.
+func solveScored(cfg Config, g *nn.Graph, plan *mapping.Plan, f int, arch cim.Config) (mapping.Solution, error) {
+	fn, ok := mapping.LookupScored(cfg.Solver)
+	if !ok {
+		return mapping.Solution{}, fmt.Errorf("%w %q", ErrUnknownSolver, cfg.Solver)
+	}
+	mode, err := scoringMode(cfg, len(plan.Layers))
+	if err != nil {
+		return mapping.Solution{}, err
+	}
+	st := sim.NewState()
+	score := func(d []int) (int64, error) {
+		sol, err := mapping.NewSolution(plan, d)
+		if err != nil {
+			return 0, err
+		}
+		mapped, err := mapping.Apply(g, plan, sol, f)
+		if err != nil {
+			return 0, err
+		}
+		setsPlan, err := sets.Determine(g, mapped, sets.Options{TargetSets: cfg.TargetSets})
+		if err != nil {
+			return 0, err
+		}
+		dg, err := deps.Build(g, setsPlan)
+		if err != nil {
+			return 0, err
+		}
+		var edge schedule.EdgeCostFn
+		if mode.Window() > 1 {
+			// Mirrors schedOptions: edge costs engage only under
+			// cross-layer overlap, so the search optimizes exactly what
+			// the final schedule will be charged.
+			edge = edgeCostFn(arch, mapped)
+		}
+		res, err := st.RunCoarse(arch, dg, mapped, mode.policy(), sim.Options{Edge: edge})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	return fn(plan, f, score, mapping.ScoredOptions{Seed: cfg.SolverSeed, Budget: cfg.SolverBudget})
 }
 
 // PEmin returns the minimum PE count storing every weight once.

@@ -9,7 +9,7 @@
 //	paperbench -json ""         # suppress the JSON result documents
 //
 // Experiments: table1, table2, fig6a, fig6b, fig6c, fig7, ablations,
-// stream, all.
+// stream, solver, all.
 //
 // Each experiment additionally writes a machine-readable result
 // document DIR/BENCH_<experiment>.json (schema "clsacim-bench/v1",
@@ -41,7 +41,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, stream, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig6a, fig6b, fig6c, fig7, ablations, stream, solver, all")
 	csv := flag.Bool("csv", false, "emit fig6c/fig7 series as CSV")
 	sets := flag.Int("sets", 0, "target sets per layer (0 = finest granularity, as in the paper's peak numbers)")
 	stats := flag.Bool("stats", false, "print engine compile-cache statistics after the run")
@@ -198,6 +198,14 @@ func main() {
 			return bench.Doc{}, err
 		}
 		return bench.Doc{Stream: points}, bench.PrintStreamPoints(w, points)
+	})
+	run("solver", func() (bench.Doc, error) {
+		const x = 32
+		points, err := h.RunSolverAblation(nil, x)
+		if err != nil {
+			return bench.Doc{}, err
+		}
+		return bench.Doc{Solver: points}, bench.PrintSolverPoints(w, x, points)
 	})
 
 	if *stats {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"clsacim/internal/check"
+	"clsacim/internal/mapping"
 	"clsacim/internal/metrics"
 )
 
@@ -175,6 +176,18 @@ func (e *Engine) effective(req Request) Config {
 	if req.Solver != "" {
 		cfg.Solver = req.Solver
 	}
+	if req.SolverBudget != 0 {
+		cfg.SolverBudget = req.SolverBudget
+	}
+	if req.SolverSeed != 0 {
+		cfg.SolverSeed = req.SolverSeed
+	}
+	// A scored solver optimizes the makespan of a concrete scheduling
+	// mode; absent an explicit choice, optimize for the mode the request
+	// will actually be scheduled under.
+	if cfg.WeightDuplication && cfg.SolverMode == "" && mapping.IsScored(cfg.Solver) {
+		cfg.SolverMode = req.Mode.Name()
+	}
 	return cfg
 }
 
@@ -195,6 +208,20 @@ func (e *Engine) effective(req Request) Config {
 //     distance on dependency edges) derives from the PE count.
 func normalizeCfg(cfg Config) (Config, int) {
 	cfg = cfg.withDefaults()
+	// Scored-solver knobs influence compilation only when a scored
+	// solver actually runs; otherwise they are cleared so e.g. a dp
+	// request with a stray seed shares the plain dp entry. When they do
+	// apply, the scoring mode is canonicalized to its wire name (default
+	// "xinf") so aliases share an entry.
+	if cfg.WeightDuplication && mapping.IsScored(cfg.Solver) {
+		if cfg.SolverMode == "" {
+			cfg.SolverMode = ModeCrossLayer.wireName()
+		} else if m, err := ParseMode(cfg.SolverMode); err == nil {
+			cfg.SolverMode = m.wireName()
+		}
+	} else {
+		cfg.SolverBudget, cfg.SolverSeed, cfg.SolverMode = 0, 0, ""
+	}
 	if !cfg.WeightDuplication {
 		cfg.Solver = "none"
 		if cfg.TotalPEs == 0 && cfg.ExtraPEs > 0 && cfg.NoCCyclesPerHop <= 0 {
@@ -545,13 +572,14 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 		return out, nil
 	}
 	// Phase 1: resolve models, normalize configs, deduplicate compile
-	// jobs. A job is attributed to its first referencing request: that
-	// request's deadline bounds the compile and its probe carries the
-	// hit/miss accounting.
+	// jobs. A job's probe (its first referencing request) carries the
+	// hit/miss accounting, but the compile itself runs under the batch
+	// context: per-request deadlines apply only to that request's own
+	// result slot, so one short-timeout request can never poison
+	// co-batched requests sharing its compile key.
 	type compileJob struct {
 		m    *Model
 		cfg  Config // normalized (ExtraPEs folded out)
-		req  Request
 		comp *Compiled
 		hit  bool
 		err  error
@@ -566,7 +594,14 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 	jobs := make(map[string]*compileJob)
 	var order []*compileJob
 	plan := make([]reqPlan, len(reqs))
+	// Per-request deadline clocks start now, before the compile fan-out,
+	// so a request's TimeoutMillis covers its share of waiting on shared
+	// compilations (as it would when calling Evaluate directly).
+	rctxs := make([]context.Context, len(reqs))
 	for i, req := range reqs {
+		var cancel context.CancelFunc
+		rctxs[i], cancel = requestCtx(ctx, req)
+		defer cancel()
 		m, err := lookupModel(req.Model)
 		if err != nil {
 			plan[i].err = err
@@ -583,7 +618,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 			key := m.Name + "\x00" + string(b)
 			j, ok := jobs[key]
 			if !ok {
-				j = &compileJob{m: m, cfg: norm, req: req}
+				j = &compileJob{m: m, cfg: norm}
 				jobs[key] = j
 				order = append(order, j)
 			}
@@ -594,12 +629,12 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 			}
 		}
 	}
-	// Phase 2: compile each distinct key once, fanned over the pool.
+	// Phase 2: compile each distinct key once, fanned over the pool,
+	// under the batch context — a key may serve many requests with
+	// different deadlines, so no individual deadline may abort it.
 	e.runPool(len(order), func(k int) {
 		j := order[k]
-		jctx, cancel := requestCtx(ctx, j.req)
-		defer cancel()
-		j.comp, j.hit, j.err = e.compileCounted(jctx, j.m, j.cfg)
+		j.comp, j.hit, j.err = e.compileCounted(ctx, j.m, j.cfg)
 	})
 	// Phase 3: per-request scheduling, fanned over the pool.
 	e.runPool(len(reqs), func(i int) {
@@ -628,9 +663,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, reqs []Request) ([]BatchResu
 			out[i].Err = p.vari.err
 			return
 		}
-		rctx, cancel := requestCtx(ctx, reqs[i])
-		defer cancel()
-		if err := rctx.Err(); err != nil {
+		if err := rctxs[i].Err(); err != nil {
 			out[i].Err = err
 			return
 		}

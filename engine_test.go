@@ -953,3 +953,57 @@ func TestRequestTimeoutMillis(t *testing.T) {
 		t.Fatalf("huge timeout failed: %v", err)
 	}
 }
+
+// TestEvaluateBatchMixedDeadlines: a short-timeout request in a batch
+// must not poison co-batched requests sharing its compile key. The
+// shared compile runs under the batch context; the short deadline fails
+// only that request's own result slot.
+func TestEvaluateBatchMixedDeadlines(t *testing.T) {
+	eng := MustNew()
+	// Pin the shared compile well past the short deadline with a
+	// sleeping solver so the timeout fires deterministically.
+	solverName := fmt.Sprintf("test-batch-sleeps-%d", time.Now().UnixNano())
+	if err := RegisterSolver(solverName, func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error) {
+		time.Sleep(250 * time.Millisecond)
+		d := make([]int, len(layers))
+		for i := range d {
+			d[i] = 1
+		}
+		return d, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Request 0 (the compile job's probe under the old attribution) has
+	// a 1 ms deadline; requests 1 and 2 share its compile key with no
+	// deadline and a generous one.
+	mk := func(timeoutMillis int64) Request {
+		return Request{
+			Model: "tinyconvnet", Mode: ModeCrossLayer, ExtraPEs: 1,
+			WeightDuplication: true, Solver: solverName,
+			TimeoutMillis: timeoutMillis,
+		}
+	}
+	out, err := eng.EvaluateBatch(context.Background(), []Request{mk(1), mk(0), mk(60_000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(out[0].Err, context.DeadlineExceeded) {
+		t.Errorf("short-deadline request: err = %v, want context.DeadlineExceeded", out[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if out[i].Err != nil {
+			t.Errorf("request %d poisoned by co-batched deadline: %v", i, out[i].Err)
+		} else if out[i].Evaluation == nil {
+			t.Errorf("request %d has neither evaluation nor error", i)
+		}
+	}
+	// The compilation itself completed and is cached: re-running the
+	// deadline-free request compiles nothing new.
+	before := eng.Stats().Compiles
+	if _, err := eng.Evaluate(context.Background(), mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	if after := eng.Stats().Compiles; after != before {
+		t.Errorf("re-run recompiled: %d -> %d", before, after)
+	}
+}

@@ -17,8 +17,9 @@ const Schema = "clsacim-bench/v1"
 
 // Doc is the machine-readable result of one paperbench experiment,
 // written as BENCH_<experiment>.json. Exactly one of the payload
-// sections (TableI, TableII, Points, Ablations, Stream) is populated, matching
-// the experiment kind; the envelope fields are always present. See the
+// sections (TableI, TableII, Points, Ablations, Stream, Solver) is
+// populated, matching the experiment kind; the envelope fields are
+// always present. See the
 // README "Verification & fuzzing" section for the field-by-field format
 // description.
 type Doc struct {
@@ -35,6 +36,7 @@ type Doc struct {
 	Points    []Point         `json:"points,omitempty"`
 	Ablations []AblationPoint `json:"ablations,omitempty"`
 	Stream    []StreamPoint   `json:"stream,omitempty"`
+	Solver    []SolverPoint   `json:"solver,omitempty"`
 	// Engine carries the compile-cache statistics accumulated so far in
 	// the producing run.
 	Engine *clsacim.Stats `json:"engine,omitempty"`

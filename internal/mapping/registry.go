@@ -19,14 +19,18 @@ var (
 	ErrDuplicateSolver = fmt.Errorf("mapping: solver already registered")
 )
 
+// The two solver registries share one namespace: a name resolves either
+// to a plain Func (scored == nil in lookups) or to a ScoredFunc, never
+// both.
 var registry = struct {
 	sync.RWMutex
 	m map[string]Func
-}{m: make(map[string]Func)}
+	s map[string]ScoredFunc
+}{m: make(map[string]Func), s: make(map[string]ScoredFunc)}
 
 // Register adds a named solver. Names are case-sensitive and must be
-// unique; registering an existing name (including the builtins) returns
-// ErrDuplicateSolver.
+// unique across both plain and scored solvers; registering an existing
+// name (including the builtins) returns ErrDuplicateSolver.
 func Register(name string, fn Func) error {
 	if name == "" {
 		return fmt.Errorf("mapping: empty solver name")
@@ -39,12 +43,38 @@ func Register(name string, fn Func) error {
 	if _, ok := registry.m[name]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateSolver, name)
 	}
+	if _, ok := registry.s[name]; ok {
+		return fmt.Errorf("%w: %q (as a scored solver)", ErrDuplicateSolver, name)
+	}
 	registry.m[name] = fn
 	return nil
 }
 
-// Lookup resolves a solver by name, returning ErrUnknownSolver (with the
-// available names in the message) when it is not registered.
+// RegisterScored adds a named schedule-aware solver. The name shares the
+// namespace of Register: a name can resolve to a plain solver or a
+// scored one, never both.
+func RegisterScored(name string, fn ScoredFunc) error {
+	if name == "" {
+		return fmt.Errorf("mapping: empty solver name")
+	}
+	if fn == nil {
+		return fmt.Errorf("mapping: nil scored solver func for %q", name)
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, ok := registry.s[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateSolver, name)
+	}
+	if _, ok := registry.m[name]; ok {
+		return fmt.Errorf("%w: %q (as a plain solver)", ErrDuplicateSolver, name)
+	}
+	registry.s[name] = fn
+	return nil
+}
+
+// Lookup resolves a plain solver by name, returning ErrUnknownSolver
+// (with the available names in the message) when it is not registered.
+// Scored solvers do not resolve here; use LookupScored for those.
 func Lookup(name string) (Func, error) {
 	registry.RLock()
 	fn, ok := registry.m[name]
@@ -55,12 +85,33 @@ func Lookup(name string) (Func, error) {
 	return fn, nil
 }
 
-// Names lists the registered solver names, sorted.
+// LookupScored resolves a scored solver by name. The boolean reports
+// whether the name names a scored solver; callers typically check
+// IsScored/LookupScored first and fall back to Lookup.
+func LookupScored(name string) (ScoredFunc, bool) {
+	registry.RLock()
+	fn, ok := registry.s[name]
+	registry.RUnlock()
+	return fn, ok
+}
+
+// IsScored reports whether name names a registered scored solver.
+func IsScored(name string) bool {
+	registry.RLock()
+	_, ok := registry.s[name]
+	registry.RUnlock()
+	return ok
+}
+
+// Names lists all registered solver names — plain and scored — sorted.
 func Names() []string {
 	registry.RLock()
 	defer registry.RUnlock()
-	out := make([]string, 0, len(registry.m))
+	out := make([]string, 0, len(registry.m)+len(registry.s))
 	for name := range registry.m {
+		out = append(out, name)
+	}
+	for name := range registry.s {
 		out = append(out, name)
 	}
 	sort.Strings(out)
@@ -85,14 +136,18 @@ func NewSolution(plan *Plan, d []int) (Solution, error) {
 	return finish(plan, append([]int(nil), d...)), nil
 }
 
-// The builtin solvers of Solve, addressable by name.
+// The builtin solvers of Solve, addressable by name, plus the builtin
+// scored solver.
 func init() {
-	for _, s := range []Solver{SolverNone, SolverGreedy, SolverDP, SolverBrute, SolverMinMax} {
+	for _, s := range []Solver{SolverNone, SolverGreedy, SolverDP, SolverBrute, SolverMinMax, SolverUniform} {
 		s := s
 		if err := Register(s.String(), func(plan *Plan, F int) (Solution, error) {
 			return Solve(plan, F, s)
 		}); err != nil {
 			panic(err)
 		}
+	}
+	if err := RegisterScored("search", SolveSearch); err != nil {
+		panic(err)
 	}
 }

@@ -27,18 +27,25 @@ type Solver int
 // extension beyond the paper that minimizes the pipeline bottleneck
 // max(t_i/d_i) instead of the sum — a better objective when the mapping
 // is combined with cross-layer scheduling, where the slowest layer
-// paces the whole pipeline.
+// paces the whole pipeline. SolverUniform spreads the extra-PE budget as
+// evenly as duplication feasibility allows — the objective-blind
+// baseline the ablations compare the optimizing solvers against.
+//
+// The schedule-aware "search" solver is not a Solver value: it needs a
+// ScoreFunc and registers through the scored registry (see SolveSearch
+// and RegisterScored).
 const (
 	SolverNone Solver = iota
 	SolverGreedy
 	SolverDP
 	SolverBrute
 	SolverMinMax
+	SolverUniform
 )
 
 // String names the solver.
 func (s Solver) String() string {
-	return [...]string{"none", "greedy", "dp", "brute", "minmax"}[s]
+	return [...]string{"none", "greedy", "dp", "brute", "minmax", "uniform"}[s]
 }
 
 // MaxDup bounds the useful duplication of a layer: work is split along
@@ -70,6 +77,8 @@ func Solve(plan *Plan, F int, solver Solver) (Solution, error) {
 		return solveBrute(plan, F)
 	case SolverMinMax:
 		return solveMinMax(plan, F), nil
+	case SolverUniform:
+		return solveUniform(plan, F), nil
 	default:
 		return Solution{}, fmt.Errorf("mapping: unknown solver %d", solver)
 	}
@@ -232,6 +241,37 @@ func solveMinMax(plan *Plan, F int) Solution {
 			}
 			if eff := gain / float64(info.Cost); eff > bestEff {
 				bestEff = eff
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		d[best]++
+		budget -= plan.Layers[best].Cost
+	}
+	return finish(plan, d)
+}
+
+// solveUniform spreads the extra-PE budget evenly: it repeatedly grants
+// one duplicate to the layer with the lowest current duplication factor
+// (lowest index on ties) that still fits the budget and its MaxDup.
+// Deliberately blind to layer latencies — the ablation baseline that
+// isolates how much the optimizing solvers gain over "just spread it".
+func solveUniform(plan *Plan, F int) Solution {
+	n := len(plan.Layers)
+	d := make([]int, n)
+	for i := range d {
+		d[i] = 1
+	}
+	budget := F - plan.MinPEs
+	for {
+		best := -1
+		for i, info := range plan.Layers {
+			if d[i] >= MaxDup(info) || info.Cost > budget {
+				continue
+			}
+			if best < 0 || d[i] < d[best] {
 				best = i
 			}
 		}

@@ -111,13 +111,36 @@ func WithPEsPerTile(n int) Option {
 
 // WithSolver sets the default duplication solver for requests that
 // enable weight duplication without naming one. The name is validated
-// against the registry immediately.
+// against the registry (plain and scored solvers) immediately.
 func WithSolver(name string) Option {
 	return func(e *Engine) error {
-		if _, err := lookupSolver(name); err != nil {
+		if err := checkSolver(name); err != nil {
 			return err
 		}
 		e.base.Solver = name
+		return nil
+	}
+}
+
+// WithSolverBudget sets the default evaluation budget of scored solvers
+// ("search"): how many candidate duplication vectors may be scored by
+// the coarse simulator per compile (0 = solver default). Budgets count
+// evaluations rather than wall clock so results stay reproducible.
+func WithSolverBudget(n int) Option {
+	return func(e *Engine) error {
+		if n < 0 {
+			return fmt.Errorf("clsacim: negative solver budget %d", n)
+		}
+		e.base.SolverBudget = n
+		return nil
+	}
+}
+
+// WithSolverSeed sets the default RNG seed of scored solvers. A fixed
+// (seed, budget) pair makes the "search" solver fully deterministic.
+func WithSolverSeed(seed uint64) Option {
+	return func(e *Engine) error {
+		e.base.SolverSeed = seed
 		return nil
 	}
 }

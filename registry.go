@@ -52,9 +52,9 @@ type SolverFunc func(layers []SolverLayer, totalPEs, minPEs int) ([]int, error)
 
 // RegisterSolver makes a custom duplication solver available under the
 // given name to every Config, Request, and Engine in the process. The
-// builtin names ("dp", "greedy", "minmax", "none", "brute") and
-// previously registered names are rejected with ErrDuplicateSolver.
-// RegisterSolver is safe for concurrent use.
+// builtin names ("dp", "greedy", "minmax", "uniform", "none", "brute",
+// and the scored "search") and previously registered names are rejected
+// with ErrDuplicateSolver. RegisterSolver is safe for concurrent use.
 func RegisterSolver(name string, fn SolverFunc) error {
 	if fn == nil {
 		return fmt.Errorf("clsacim: nil solver func for %q", name)
@@ -93,14 +93,26 @@ func RegisterSolver(name string, fn SolverFunc) error {
 // custom), sorted.
 func Solvers() []string { return mapping.Names() }
 
-// lookupSolver resolves a solver name into the registry-backed solve
-// function, translating the internal error into the package-typed one.
+// lookupSolver resolves a plain solver name into the registry-backed
+// solve function, translating the internal error into the package-typed
+// one. Scored solvers ("search") do not resolve here — Compile routes
+// them through mapping.LookupScored with an evaluation callback.
 func lookupSolver(name string) (mapping.Func, error) {
 	fn, err := mapping.Lookup(name)
 	if err != nil {
 		return nil, fmt.Errorf("%w %q (available: %s)", ErrUnknownSolver, name, strings.Join(Solvers(), ", "))
 	}
 	return fn, nil
+}
+
+// checkSolver validates that a solver name resolves to some registered
+// solver, plain or scored.
+func checkSolver(name string) error {
+	if mapping.IsScored(name) {
+		return nil
+	}
+	_, err := lookupSolver(name)
+	return err
 }
 
 // modelRegistry holds custom models registered through RegisterModel

@@ -32,6 +32,12 @@ type Request struct {
 	WeightDuplication bool `json:"weight_duplication,omitempty"`
 	// Solver overlays Config.Solver when non-empty.
 	Solver string `json:"solver,omitempty"`
+	// SolverBudget overlays Config.SolverBudget when non-zero: the
+	// evaluation budget of a scored solver such as "search".
+	SolverBudget int `json:"solver_budget,omitempty"`
+	// SolverSeed overlays Config.SolverSeed when non-zero: the RNG seed
+	// of a scored solver.
+	SolverSeed uint64 `json:"solver_seed,omitempty"`
 	// Config, when non-nil, replaces the Engine's configuration
 	// entirely (the overlay fields above still apply on top). Use it
 	// when a request must control the architecture itself.
@@ -66,9 +72,12 @@ func (r Request) Validate() error {
 		return fmt.Errorf("clsacim: request has negative TimeoutMillis %d", r.TimeoutMillis)
 	}
 	if r.Solver != "" {
-		if _, err := lookupSolver(r.Solver); err != nil {
+		if err := checkSolver(r.Solver); err != nil {
 			return err
 		}
+	}
+	if r.SolverBudget < 0 {
+		return fmt.Errorf("clsacim: request has negative SolverBudget %d", r.SolverBudget)
 	}
 	return nil
 }

@@ -599,3 +599,36 @@ func contains(xs []string, want string) bool {
 	}
 	return false
 }
+
+// Stream-counter consistency regression: the engine counter, the serve
+// layer's stream block, and each response must all report served jobs —
+// the engine previously counted requested inferences instead, so the
+// three could drift.
+func TestStreamStatsConsistentAcrossLayers(t *testing.T) {
+	s, eng := newTestServer(t, nil)
+	served := 0
+	for _, inferences := range []int{3, 5} {
+		var resp StreamResponse
+		rec := doJSON(t, s, http.MethodPost, "/v1/stream",
+			fmt.Sprintf(`{"models": [{"model": "tinyconvnet"}], "inferences": %d, "mode": "xinf",
+			  "arrival": {"kind": "closed", "concurrency": 2}}`, inferences), &resp)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+		}
+		if resp.Inferences != len(resp.Jobs) {
+			t.Fatalf("response inferences %d != served jobs %d", resp.Inferences, len(resp.Jobs))
+		}
+		served += len(resp.Jobs)
+	}
+	if st := eng.Stats(); st.StreamInferences != int64(served) {
+		t.Errorf("engine StreamInferences = %d, want %d served jobs", st.StreamInferences, served)
+	}
+	var stats StatsResponse
+	doJSON(t, s, http.MethodGet, "/v1/stats", "", &stats)
+	if stats.Engine.StreamInferences != int64(served) {
+		t.Errorf("wire engine stream_inferences = %d, want %d", stats.Engine.StreamInferences, served)
+	}
+	if stats.Stream == nil || stats.Stream.Inferences != int64(served) {
+		t.Errorf("stream block = %+v, want %d inferences", stats.Stream, served)
+	}
+}

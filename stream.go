@@ -254,9 +254,17 @@ func (e *Engine) EvaluateStream(ctx context.Context, req StreamRequest) (*Stream
 		if err != nil {
 			return nil, err
 		}
-		c, err := e.compile(ctx, m, e.effective(sm.request()))
+		// Overlay the stream's scheduling mode: hit accounting below and
+		// scored solvers (which optimize the requested mode's makespan)
+		// both need the mode the models will actually run under.
+		r := sm.request()
+		r.Mode = req.Mode
+		c, hit, err := e.compileCounted(ctx, m, e.effective(r))
 		if err != nil {
 			return nil, err
+		}
+		if hit {
+			e.notePartial(c, req.Mode)
 		}
 		if c.Virtualized() {
 			return nil, fmt.Errorf("clsacim: stream model %q is virtualized (F < PEmin); streaming requires full weight residency", sm.Model)
@@ -334,7 +342,10 @@ func (e *Engine) EvaluateStream(ctx context.Context, req StreamRequest) (*Stream
 		return nil, err
 	}
 	e.streamEvals.Add(1)
-	e.streamInfs.Add(int64(req.Inferences))
+	// Count served jobs, not requested inferences: the two agree on
+	// complete runs, and StreamResult.Inferences and the serve layer's
+	// per-request counter both report served jobs.
+	e.streamInfs.Add(int64(out.Inferences))
 	return out, nil
 }
 

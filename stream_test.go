@@ -216,3 +216,59 @@ func TestEvaluateStreamDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Stream accounting regression: the engine's StreamInferences counter,
+// StreamResult.Inferences, and the served job list must agree, and
+// stream compilations must feed the same hit/partial-hit accounting as
+// ordinary evaluations.
+func TestEvaluateStreamStatsCountServedJobs(t *testing.T) {
+	e := coarseStreamEngine(t)
+	req := StreamRequest{
+		Models:     []StreamModel{{Model: "tinyyolov4"}},
+		Inferences: 6,
+		Mode:       ModeCrossLayer,
+		Arrival:    ArrivalProcess{Kind: "closed", Concurrency: 2},
+	}
+	res, err := e.EvaluateStream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if res.Inferences != len(res.Jobs) {
+		t.Errorf("result inferences %d != served jobs %d", res.Inferences, len(res.Jobs))
+	}
+	if s.StreamInferences != int64(res.Inferences) {
+		t.Errorf("engine StreamInferences %d != result inferences %d", s.StreamInferences, res.Inferences)
+	}
+	if s.StreamEvaluations != 1 {
+		t.Errorf("StreamEvaluations = %d, want 1", s.StreamEvaluations)
+	}
+	// First stream compiled fresh: no hits yet.
+	if s.CacheHits != 0 || s.PartialHits != 0 {
+		t.Errorf("after cold stream: hits=%d partial=%d, want 0/0", s.CacheHits, s.PartialHits)
+	}
+	// A second stream over the same key and mode is a full cache hit:
+	// the first stream cached the mode's timeline through its
+	// single-rate reference schedule.
+	if _, err := e.EvaluateStream(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.Stats()
+	if s2.CacheHits != 1 || s2.PartialHits != 0 {
+		t.Errorf("after warm stream: hits=%d partial=%d, want 1/0", s2.CacheHits, s2.PartialHits)
+	}
+	if s2.StreamInferences != 2*int64(res.Inferences) {
+		t.Errorf("StreamInferences = %d after two streams of %d", s2.StreamInferences, res.Inferences)
+	}
+	// Streaming the same key under a new mode is a partial hit: cached
+	// compile, uncached timeline — the accounting Evaluate uses, which
+	// EvaluateStream bypassed before routing through compileCounted.
+	lbl := req
+	lbl.Mode = ModeLayerByLayer
+	if _, err := e.EvaluateStream(context.Background(), lbl); err != nil {
+		t.Fatal(err)
+	}
+	if s3 := e.Stats(); s3.CacheHits != 2 || s3.PartialHits != 1 {
+		t.Errorf("after new-mode stream: hits=%d partial=%d, want 2/1", s3.CacheHits, s3.PartialHits)
+	}
+}
