@@ -1,0 +1,139 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsacim"
+	"clsacim/client"
+	"clsacim/internal/faultinject"
+	"clsacim/serve"
+)
+
+// TestChaos drives concurrent mixed traffic through the full resilient
+// stack: a validating engine behind the serve middleware chain with
+// deterministic fault injection (latency spikes, injected errors,
+// handler panics, connection drops) and admission gates, called by the
+// retrying client. The assertion is the resilience contract itself:
+// despite the chaos, a healthy majority of calls succeed, and no call
+// ever fails with a non-retryable error — the stack must never turn a
+// good request into a client mistake.
+func TestChaos(t *testing.T) {
+	eng, err := clsacim.New(clsacim.WithValidation(), clsacim.WithCacheLimit(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faultinject.NewInjector(faultinject.Config{
+		Seed:        7,
+		ErrorRate:   0.08,
+		PanicRate:   0.04,
+		DropRate:    0.04,
+		LatencyRate: 0.15,
+		LatencyMin:  time.Millisecond,
+		LatencyMax:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := serve.New(eng,
+		serve.WithLogger(t.Logf),
+		serve.WithMiddleware(inj.Middleware),
+		serve.WithAdmission(serve.ClassEvaluate, serve.AdmissionLimits{
+			MaxConcurrent: 4, MaxQueue: 8, MaxWait: 200 * time.Millisecond,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	c, err := client.New(srv.URL,
+		client.WithRetry(client.RetryPolicy{
+			MaxAttempts: 6,
+			BaseDelay:   2 * time.Millisecond,
+			MaxDelay:    20 * time.Millisecond,
+			Budget:      1000,
+			Seed:        1,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 8, 25
+	var ok, soft atomic.Int64
+	var wg sync.WaitGroup
+	hard := make(chan error, workers*perWorker)
+	models := []string{"tinyconvnet", "tinybranchnet", "tinymlp"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				model := models[(w+i)%len(models)]
+				var err error
+				switch i % 4 {
+				case 0:
+					_, err = c.EvaluateBatch(context.Background(), []clsacim.Request{
+						{Model: model, Mode: clsacim.ModeLayerByLayer},
+						{Model: model, Mode: clsacim.ModeCrossLayer},
+					})
+				case 1:
+					_, err = c.Stats(context.Background())
+				default:
+					_, err = c.Evaluate(context.Background(), clsacim.Request{
+						Model: model, Mode: clsacim.ModeCrossLayer,
+					})
+				}
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case retryableResidue(err):
+					soft.Add(1)
+				default:
+					hard <- fmt.Errorf("worker %d call %d: %w", w, i, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(hard)
+	for err := range hard {
+		t.Errorf("hard failure: %v", err)
+	}
+	total := int64(workers * perWorker)
+	t.Logf("chaos: %d/%d ok, %d exhausted retries", ok.Load(), total, soft.Load())
+	if ok.Load() < total/2 {
+		t.Fatalf("only %d/%d calls succeeded through the chaos", ok.Load(), total)
+	}
+
+	// The daemon survived every injected panic: it still serves, and
+	// the panics were counted, not fatal.
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatalf("post-chaos stats: %v", err)
+	}
+	if _, _, panics, _ := inj.Counts(); panics > 0 && stats.Server.Panics == 0 {
+		t.Error("injected panics left no trace in server stats")
+	}
+}
+
+// retryableResidue reports whether an error is acceptable residue of
+// the chaos run: a temporary API error that outlived the retry budget,
+// or transport noise from an injected connection drop.
+func retryableResidue(err error) bool {
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	// Not an API error: transport-level (connection drop mid-response)
+	// or an open breaker; both expected under injected faults.
+	return true
+}

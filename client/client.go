@@ -19,7 +19,9 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"time"
 
 	"clsacim"
 	"clsacim/serve"
@@ -27,9 +29,16 @@ import (
 
 // Client calls one clsaserved daemon. Construct with New; the zero
 // value is not usable. A Client is safe for concurrent use.
+//
+// By default every call is a single attempt. WithRetry adds budgeted
+// exponential-backoff retries for temporary failures, and
+// WithCircuitBreaker stops hammering a daemon that keeps failing; both
+// compose (the breaker gates each attempt of the retry loop).
 type Client struct {
-	base *url.URL
-	http *http.Client
+	base    *url.URL
+	http    *http.Client
+	retry   *retryState
+	breaker *breaker
 }
 
 // Option configures a Client at construction time.
@@ -83,6 +92,14 @@ type APIError struct {
 	// Code is the serve.Code* constant the daemon attached, "" when
 	// the response carried no envelope or no code.
 	Code string
+	// RequestID echoes the response's X-Request-ID header (also in the
+	// JSON envelope) for correlating the failure with daemon logs.
+	RequestID string
+	// RetryAfter is the response's Retry-After delay (0 when absent):
+	// how long an admission gate or shutting-down daemon asked this
+	// client to wait. WithRetry honors it when it exceeds the computed
+	// backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -177,18 +194,26 @@ func (c *Client) post(ctx context.Context, path string, body, dst any) error {
 	if err != nil {
 		return fmt.Errorf("client: encoding request: %w", err)
 	}
-	req, err := c.newRequest(ctx, http.MethodPost, path, bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, dst)
+	return c.roundTrip(ctx, http.MethodPost, path, b, dst)
 }
 
 func (c *Client) get(ctx context.Context, path string, dst any) error {
-	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	return c.roundTrip(ctx, http.MethodGet, path, nil, dst)
+}
+
+// doOnce performs a single attempt: build the request from the body
+// bytes, execute, decode.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, dst any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := c.newRequest(ctx, method, path, rd)
 	if err != nil {
 		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	return c.do(req, dst)
 }
@@ -213,18 +238,41 @@ func (c *Client) do(req *http.Request, dst any) error {
 	defer drain(resp.Body)
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		msg := readBody(resp.Body)
-		code := ""
+		code, reqID := "", ""
 		var apiErr serve.ErrorResponse
 		if json.Unmarshal([]byte(msg), &apiErr) == nil && apiErr.Error != "" {
 			msg = apiErr.Error
 			code = apiErr.Code
+			reqID = apiErr.RequestID
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(msg), Code: code}
+		if reqID == "" {
+			reqID = resp.Header.Get(serve.RequestIDHeader)
+		}
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    strings.TrimSpace(msg),
+			Code:       code,
+			RequestID:  reqID,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
 		return fmt.Errorf("client: decoding %s response: %w", req.URL.Path, err)
 	}
 	return nil
+}
+
+// parseRetryAfter parses the delay-seconds form of Retry-After (the
+// only form the daemon emits); the HTTP-date form and garbage map to 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // readBody reads a bounded prefix of the body for error reporting.

@@ -1,0 +1,308 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"clsacim/serve"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// client's circuit breaker is open: the daemon failed too many
+// consecutive calls and the cooldown has not elapsed. The condition is
+// temporary by construction, so errors.Is(err, ErrCircuitOpen) callers
+// typically back off and try again later.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// RetryPolicy configures automatic retries (WithRetry). Every endpoint
+// of the evaluation service is a pure computation — re-submitting a
+// request cannot double-apply anything — so the client retries all
+// methods, but only on errors that are plausibly transient: transport
+// failures (connection refused/reset, broken proxies) and responses
+// whose APIError.Temporary reports true (429, 502, 503, 504, and 500
+// with the "internal" code). A 400 or 404 is never retried.
+//
+// Backoff is exponential with full jitter: attempt k sleeps a uniform
+// random duration in [0, min(MaxDelay, BaseDelay·2^k)). When the
+// response carried a longer Retry-After, that wins — the server knows
+// its own recovery time better than the client's jitter does.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries per call, first included
+	// (default 4). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep (default 2s).
+	MaxDelay time.Duration
+	// Budget bounds retries across the whole client, token-bucket
+	// style (default 10): each retry spends one token, each successful
+	// call earns half a token back, up to Budget. When the bucket is
+	// empty, calls fail on their first error instead of amplifying an
+	// outage with synchronized retry storms.
+	Budget float64
+	// Seed fixes the jitter RNG for reproducible tests; 0 seeds from
+	// the clock.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Budget == 0 {
+		p.Budget = 10
+	}
+	if p.Seed == 0 {
+		p.Seed = uint64(time.Now().UnixNano())
+	}
+	return p
+}
+
+// WithRetry enables automatic retries with exponential backoff, full
+// jitter, and a client-wide retry budget. See RetryPolicy for the
+// exact semantics; zero fields take the documented defaults.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) error {
+		if p.MaxAttempts < 0 || p.BaseDelay < 0 || p.MaxDelay < 0 || p.Budget < 0 {
+			return fmt.Errorf("client: invalid retry policy %+v", p)
+		}
+		p = p.withDefaults()
+		c.retry = &retryState{policy: p, tokens: p.Budget, rng: p.Seed}
+		return nil
+	}
+}
+
+// WithCircuitBreaker trips the client open after threshold consecutive
+// temporary failures: calls then fail immediately with ErrCircuitOpen
+// (no network traffic) until cooldown has elapsed, after which a single
+// probe request is let through — success closes the circuit, failure
+// re-opens it for another cooldown. Non-temporary errors (a 400, an
+// unknown model) do not count: the daemon answered, it just disliked
+// the request.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) error {
+		if threshold <= 0 || cooldown <= 0 {
+			return fmt.Errorf("client: invalid circuit breaker (threshold %d, cooldown %s)", threshold, cooldown)
+		}
+		c.breaker = &breaker{threshold: threshold, cooldown: cooldown}
+		return nil
+	}
+}
+
+// retryState is the mutable half of the retry configuration: the token
+// bucket and the jitter RNG, both under one mutex.
+type retryState struct {
+	policy RetryPolicy
+
+	mu     sync.Mutex
+	tokens float64
+	rng    uint64 // splitmix64 state
+}
+
+// spend takes one retry token, reporting false when the bucket cannot
+// cover another retry.
+func (rs *retryState) spend() bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.tokens < 1 {
+		return false
+	}
+	rs.tokens--
+	return true
+}
+
+// credit earns back half a token after a successful call.
+func (rs *retryState) credit() {
+	rs.mu.Lock()
+	rs.tokens += 0.5
+	if rs.tokens > rs.policy.Budget {
+		rs.tokens = rs.policy.Budget
+	}
+	rs.mu.Unlock()
+}
+
+// jitter draws a uniform duration in [0, d).
+func (rs *retryState) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	rs.mu.Lock()
+	rs.rng += 0x9e3779b97f4a7c15
+	z := rs.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	rs.mu.Unlock()
+	return time.Duration(z % uint64(d))
+}
+
+// backoff computes the sleep before retry number attempt (1-based),
+// honoring the server's Retry-After when it asks for more patience.
+func (rs *retryState) backoff(attempt int, last error) time.Duration {
+	d := rs.policy.BaseDelay << (attempt - 1)
+	if d <= 0 || d > rs.policy.MaxDelay {
+		d = rs.policy.MaxDelay
+	}
+	d = rs.jitter(d)
+	var apiErr *APIError
+	if errors.As(last, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+// breaker is a consecutive-failure circuit breaker.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	failures int
+	open     bool
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// allow reports whether a call may proceed, transitioning open →
+// half-open once the cooldown has elapsed (the caller becomes the
+// probe).
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return nil
+	}
+	if time.Since(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record feeds a call's outcome back. success means the daemon
+// answered coherently — a non-temporary API error counts as success
+// here, because the server is demonstrably responsive.
+func (b *breaker) record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.open = false
+		b.probing = false
+		b.failures = 0
+		return
+	}
+	if b.probing {
+		// The half-open probe failed: re-open for another cooldown.
+		b.probing = false
+		b.openedAt = time.Now()
+		return
+	}
+	b.failures++
+	if !b.open && b.failures >= b.threshold {
+		b.open = true
+		b.openedAt = time.Now()
+	}
+}
+
+// temporary classifies an error as plausibly transient. Transport
+// failures are temporary (the connection may come back); API errors
+// delegate to APIError.Temporary; context expiry and encoding bugs are
+// not.
+func temporary(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	// Anything else that made it past request building is a transport
+	// or decode failure; decode failures after a 2xx are rare enough
+	// that retrying them is harmless and retrying resets (EOF,
+	// connection reset mid-body) is the point.
+	return true
+}
+
+// roundTrip executes one logical API call: the retry loop, the budget,
+// and the circuit breaker around doOnce. body is re-wrapped into a
+// fresh request each attempt, so retries never resend a drained
+// reader.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body []byte, dst any) error {
+	maxAttempts := 1
+	if c.retry != nil {
+		maxAttempts = c.retry.policy.MaxAttempts
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		if c.breaker != nil {
+			if berr := c.breaker.allow(); berr != nil {
+				return berr
+			}
+		}
+		err = c.doOnce(ctx, method, path, body, dst)
+		temp := temporary(err)
+		if c.breaker != nil {
+			c.breaker.record(!temp)
+		}
+		if err == nil {
+			if c.retry != nil {
+				c.retry.credit()
+			}
+			return nil
+		}
+		if !temp || attempt >= maxAttempts {
+			return err
+		}
+		if !c.retry.spend() {
+			return err
+		}
+		if serr := c.sleep(ctx, c.retry.backoff(attempt, err)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// sleep waits for d, honoring ctx.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Temporary reports whether the failure is plausibly transient and the
+// same request may succeed on retry: 429 (shed, queue full), 502/504
+// (intermediary trouble), 503 (shed, injected faults, shutdown), and
+// 500 carrying the "internal" code (a recovered handler panic — the
+// daemon survived and the next attempt gets a fresh handler). Client
+// mistakes (400, 404, unknown model) are permanent.
+func (e *APIError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	case http.StatusInternalServerError:
+		return e.Code == serve.CodeInternal
+	}
+	return false
+}

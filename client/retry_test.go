@@ -1,0 +1,308 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clsacim"
+	"clsacim/serve"
+)
+
+func TestAPIErrorTemporary(t *testing.T) {
+	cases := []struct {
+		status int
+		code   string
+		want   bool
+	}{
+		{http.StatusTooManyRequests, serve.CodeOverloaded, true},
+		{http.StatusServiceUnavailable, serve.CodeOverloaded, true},
+		{http.StatusServiceUnavailable, "", true},
+		{http.StatusBadGateway, "", true},
+		{http.StatusGatewayTimeout, "", true},
+		{http.StatusInternalServerError, serve.CodeInternal, true},
+		{http.StatusInternalServerError, "", false}, // unclassified 500: a proxy page, not our envelope
+		{http.StatusBadRequest, "", false},
+		{http.StatusNotFound, serve.CodeUnknownModel, false},
+	}
+	for _, tc := range cases {
+		e := &APIError{StatusCode: tc.status, Code: tc.code}
+		if got := e.Temporary(); got != tc.want {
+			t.Errorf("Temporary(%d, %q) = %v, want %v", tc.status, tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffBoundsAndRetryAfter(t *testing.T) {
+	rs := &retryState{
+		policy: RetryPolicy{BaseDelay: 50 * time.Millisecond, MaxDelay: 200 * time.Millisecond}.withDefaults(),
+		rng:    7,
+	}
+	for attempt := 1; attempt <= 6; attempt++ {
+		cap := rs.policy.BaseDelay << (attempt - 1)
+		if cap > rs.policy.MaxDelay || cap <= 0 {
+			cap = rs.policy.MaxDelay
+		}
+		for i := 0; i < 100; i++ {
+			if d := rs.backoff(attempt, errors.New("transport")); d < 0 || d >= cap {
+				t.Fatalf("attempt %d: backoff %v outside [0, %v)", attempt, d, cap)
+			}
+		}
+	}
+	// A server-provided Retry-After longer than the jittered delay wins.
+	err := &APIError{StatusCode: 429, RetryAfter: 3 * time.Second}
+	if d := rs.backoff(1, err); d != 3*time.Second {
+		t.Errorf("backoff with Retry-After = %v, want 3s", d)
+	}
+}
+
+func TestRetryBudgetSpendAndCredit(t *testing.T) {
+	rs := &retryState{policy: RetryPolicy{Budget: 2}.withDefaults(), tokens: 2}
+	if !rs.spend() || !rs.spend() {
+		t.Fatal("budget of 2 refused its first two retries")
+	}
+	if rs.spend() {
+		t.Fatal("empty budget allowed a retry")
+	}
+	rs.credit()
+	if rs.spend() {
+		t.Fatal("half a token allowed a retry")
+	}
+	rs.credit()
+	if !rs.spend() {
+		t.Fatal("a full credited token refused a retry")
+	}
+	for i := 0; i < 10; i++ {
+		rs.credit()
+	}
+	rs.mu.Lock()
+	tokens := rs.tokens
+	rs.mu.Unlock()
+	if tokens > rs.policy.Budget {
+		t.Errorf("tokens %g exceed budget %g", tokens, rs.policy.Budget)
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 20 * time.Millisecond}
+	for i := 0; i < 2; i++ {
+		if err := b.allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d: %v", i, err)
+		}
+		b.record(false)
+	}
+	// A success resets the consecutive count.
+	b.record(true)
+	b.record(false)
+	b.record(false)
+	if err := b.allow(); err != nil {
+		t.Fatal("breaker opened before threshold consecutive failures")
+	}
+	b.record(false) // third consecutive: opens
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker allowed a call (err %v)", err)
+	}
+	time.Sleep(25 * time.Millisecond)
+	// Half-open: exactly one probe at a time.
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open breaker refused the probe: %v", err)
+	}
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("half-open breaker allowed a second concurrent probe")
+	}
+	b.record(false) // probe failed: open again for a full cooldown
+	if err := b.allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("breaker closed after a failed probe")
+	}
+	time.Sleep(25 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.record(true) // probe succeeded: closed
+	if err := b.allow(); err != nil {
+		t.Fatalf("breaker still open after successful probe: %v", err)
+	}
+}
+
+// flakyServer fails the first n requests with status, then serves a
+// valid evaluation envelope.
+func flakyServer(t *testing.T, n int, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := calls.Add(1)
+		if c <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "flaky", Code: serve.CodeOverloaded})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(serve.Evaluation{Speedup: 1})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func newRetryClient(t *testing.T, url string, opts ...Option) *Client {
+	t.Helper()
+	opts = append([]Option{WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Budget: 100, Seed: 42,
+	})}, opts...)
+	c, err := New(url, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	srv, calls := flakyServer(t, 2, http.StatusServiceUnavailable, "")
+	c := newRetryClient(t, srv.URL)
+	ev, err := c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	if err != nil {
+		t.Fatalf("evaluate through flaky server: %v", err)
+	}
+	if ev.Speedup != 1 {
+		t.Errorf("decoded speedup = %g", ev.Speedup)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusServiceUnavailable, "")
+	c := newRetryClient(t, srv.URL)
+	_, err := c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want the final 503", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("server saw %d calls, want MaxAttempts=4", got)
+	}
+}
+
+func TestPermanentErrorsAreNotRetried(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusBadRequest, "")
+	c := newRetryClient(t, srv.URL)
+	_, err := c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want the 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry of a 400)", got)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	srv, _ := flakyServer(t, 1, http.StatusTooManyRequests, "1")
+	c := newRetryClient(t, srv.URL)
+	start := time.Now()
+	if _, err := c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Errorf("retried after %v, want >= the 1s Retry-After", elapsed)
+	}
+}
+
+func TestRetryBudgetStopsRetryStorm(t *testing.T) {
+	srv, calls := flakyServer(t, 1000, http.StatusServiceUnavailable, "")
+	c, err := New(srv.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: 2, Seed: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First call: 1 try + 2 budgeted retries. Later calls: no budget
+	// left, single attempts.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"}); err == nil {
+			t.Fatal("evaluate succeeded against an always-failing server")
+		}
+	}
+	if got := calls.Load(); got != 5 {
+		t.Errorf("server saw %d calls, want 5 (3+1+1: budget spent on call one)", got)
+	}
+}
+
+func TestCircuitBreakerFailsFastEndToEnd(t *testing.T) {
+	srv, calls := flakyServer(t, 1000, http.StatusServiceUnavailable, "")
+	c, err := New(srv.URL,
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Budget: 100, Seed: 1}),
+		WithCircuitBreaker(3, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 temporary failures trip the breaker (the first call's attempt
+	// pair plus the second call's first attempt).
+	c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	seen := calls.Load()
+	if seen != 3 {
+		t.Fatalf("server saw %d calls before trip, want 3", seen)
+	}
+	_, err = c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != seen {
+		t.Error("open breaker still sent traffic")
+	}
+}
+
+func TestRetryRespectsContext(t *testing.T) {
+	srv, _ := flakyServer(t, 1000, http.StatusServiceUnavailable, "")
+	c, err := New(srv.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 100 * time.Millisecond, Budget: 1000, Seed: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err = c.Evaluate(ctx, clsacim.Request{Model: "tinyconvnet"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAPIErrorCarriesRetryAfterAndRequestID(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.Header().Set(serve.RequestIDHeader, "rid-1")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "busy", Code: serve.CodeOverloaded, RequestID: "rid-1"})
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Evaluate(context.Background(), clsacim.Request{Model: "tinyconvnet"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+	if apiErr.RequestID != "rid-1" {
+		t.Errorf("RequestID = %q, want rid-1", apiErr.RequestID)
+	}
+	if !apiErr.Temporary() {
+		t.Error("429 not Temporary")
+	}
+}

@@ -9,10 +9,19 @@
 //	clsaserved -addr :9090 -workers 8 -cache-limit 128
 //	clsaserved -timeout 30s -max-batch 512 -validate
 //	clsaserved -config arch.json                 # engine base Config from JSON
+//	clsaserved -admit "evaluate=32:64:500ms,batch=4"  # load shedding
+//	clsaserved -degrade                          # deadline → coarse fallback
+//	clsaserved -faults "seed=7,error=0.05"       # chaos testing only
 //
 // Endpoints: POST /v1/evaluate, POST /v1/evaluate/batch,
 // POST /v1/stream, GET /v1/models, GET /v1/stats, GET /healthz. See
-// docs/serving.md for the wire schema and curl examples.
+// docs/serving.md for the wire schema, curl examples, and the
+// resilience model (admission control, panic recovery, degraded mode).
+//
+// -faults injects deterministic faults (latency spikes, errors, handler
+// panics, connection drops) into the request path for resilience
+// testing; the CLSA_FAULTS environment variable provides the default
+// spec. Never enable it on a production daemon.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and gives
 // in-flight requests -shutdown-grace to finish before exiting.
@@ -32,59 +41,105 @@ import (
 	"time"
 
 	clsacim "clsacim"
+	"clsacim/internal/faultinject"
 	"clsacim/serve"
 )
 
+// options collects the daemon's flag values.
+type options struct {
+	addr       string
+	workers    int
+	cacheLimit int
+	timeout    time.Duration
+	maxBatch   int
+	grace      time.Duration
+	validate   bool
+	degrade    bool
+	configPath string
+	admitSpec  string
+	faultsSpec string
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "batch evaluation workers (0 = GOMAXPROCS)")
-	cacheLimit := flag.Int("cache-limit", 64, "max cached compilations, LRU-evicted beyond (0 = unbounded)")
-	timeout := flag.Duration("timeout", 60*time.Second, "per-request handling deadline (0 = none)")
-	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max requests per batch call")
-	grace := flag.Duration("shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGTERM")
-	validate := flag.Bool("validate", false, "run the timeline invariant checker on every schedule (canary mode)")
-	configPath := flag.String("config", "", "JSON file with the engine's base clsacim.Config (architecture defaults)")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&o.workers, "workers", 0, "batch evaluation workers (0 = GOMAXPROCS)")
+	flag.IntVar(&o.cacheLimit, "cache-limit", 64, "max cached compilations, LRU-evicted beyond (0 = unbounded)")
+	flag.DurationVar(&o.timeout, "timeout", 60*time.Second, "per-request handling deadline (0 = none)")
+	flag.IntVar(&o.maxBatch, "max-batch", serve.DefaultMaxBatch, "max requests per batch call")
+	flag.DurationVar(&o.grace, "shutdown-grace", 10*time.Second, "drain time for in-flight requests on SIGTERM")
+	flag.BoolVar(&o.validate, "validate", false, "run the timeline invariant checker on every schedule (canary mode)")
+	flag.BoolVar(&o.degrade, "degrade", false, "serve coarse degraded results when a request deadline is too tight (engine-wide WithDegradation)")
+	flag.StringVar(&o.configPath, "config", "", "JSON file with the engine's base clsacim.Config (architecture defaults)")
+	flag.StringVar(&o.admitSpec, "admit", "", `admission gates per endpoint class, e.g. "evaluate=32:64:500ms,batch=4:8:1s,stream=2" (class=concurrency[:queue[:wait]])`)
+	flag.StringVar(&o.faultsSpec, "faults", os.Getenv("CLSA_FAULTS"),
+		`CHAOS TESTING: fault-injection spec, e.g. "seed=7,error=0.05,panic=0.01,drop=0.01,latency=0.2:1ms:50ms" (default $CLSA_FAULTS)`)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *cacheLimit, *timeout, *maxBatch, *grace, *validate, *configPath); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "clsaserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, cacheLimit int, timeout time.Duration, maxBatch int, grace time.Duration, validate bool, configPath string) error {
-	opts := []clsacim.Option{clsacim.WithCacheLimit(cacheLimit)}
-	if configPath != "" {
-		b, err := os.ReadFile(configPath)
+func run(o options) error {
+	opts := []clsacim.Option{clsacim.WithCacheLimit(o.cacheLimit)}
+	if o.configPath != "" {
+		b, err := os.ReadFile(o.configPath)
 		if err != nil {
 			return err
 		}
 		var cfg clsacim.Config
 		if err := json.Unmarshal(b, &cfg); err != nil {
-			return fmt.Errorf("parsing %s: %w", configPath, err)
+			return fmt.Errorf("parsing %s: %w", o.configPath, err)
 		}
 		opts = append(opts, clsacim.WithConfig(cfg))
 	}
-	if workers > 0 {
-		opts = append(opts, clsacim.WithWorkers(workers))
+	if o.workers > 0 {
+		opts = append(opts, clsacim.WithWorkers(o.workers))
 	}
-	if validate {
+	if o.validate {
 		opts = append(opts, clsacim.WithValidation())
+	}
+	if o.degrade {
+		opts = append(opts, clsacim.WithDegradation())
 	}
 	eng, err := clsacim.New(opts...)
 	if err != nil {
 		return err
 	}
-	handler, err := serve.New(eng,
-		serve.WithRequestTimeout(timeout),
-		serve.WithMaxBatch(maxBatch),
-	)
+	srvOpts := []serve.Option{
+		serve.WithRequestTimeout(o.timeout),
+		serve.WithMaxBatch(o.maxBatch),
+	}
+	if o.admitSpec != "" {
+		gates, err := serve.ParseAdmission(o.admitSpec)
+		if err != nil {
+			return err
+		}
+		for class, lim := range gates {
+			srvOpts = append(srvOpts, serve.WithAdmission(class, lim))
+		}
+	}
+	if o.faultsSpec != "" {
+		cfg, err := faultinject.Parse(o.faultsSpec)
+		if err != nil {
+			return err
+		}
+		inj, err := faultinject.NewInjector(cfg)
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, serve.WithMiddleware(inj.Middleware))
+		log.Printf("clsaserved: FAULT INJECTION ACTIVE (%s) — not for production", o.faultsSpec)
+	}
+	handler, err := serve.New(eng, srvOpts...)
 	if err != nil {
 		return err
 	}
 
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              o.addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -95,7 +150,7 @@ func run(addr string, workers, cacheLimit int, timeout time.Duration, maxBatch i
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("clsaserved: listening on %s (cache limit %d, timeout %v)", addr, cacheLimit, timeout)
+		log.Printf("clsaserved: listening on %s (cache limit %d, timeout %v)", o.addr, o.cacheLimit, o.timeout)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -105,8 +160,8 @@ func run(addr string, workers, cacheLimit int, timeout time.Duration, maxBatch i
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("clsaserved: shutting down (grace %v)", grace)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	log.Printf("clsaserved: shutting down (grace %v)", o.grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -1,0 +1,164 @@
+package clsacim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+)
+
+// degradedRequest is a request whose 1ms deadline cannot cover a cold
+// compile, forcing the degraded path when opted in.
+func degradedRequest() Request {
+	return Request{
+		Model: "mobilenetv1", Mode: ModeCrossLayer,
+		TimeoutMillis: 1, AllowDegraded: true,
+	}
+}
+
+func TestDegradedEvaluation(t *testing.T) {
+	e, err := New(WithValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := e.Evaluate(context.Background(), degradedRequest())
+	if err != nil {
+		t.Fatalf("degradable evaluate: %v", err)
+	}
+	if !ev.Degraded {
+		t.Fatal("evaluation not marked Degraded despite 1ms deadline on a cold compile")
+	}
+	if !ev.Result.Degraded || !ev.Baseline.Degraded {
+		t.Error("degraded evaluation's reports not marked Degraded")
+	}
+	if ev.Result.MakespanCycles <= 0 || ev.Result.Utilization <= 0 || ev.Speedup <= 0 {
+		t.Errorf("degraded scalar metrics missing: makespan %d, utilization %g, speedup %g",
+			ev.Result.MakespanCycles, ev.Result.Utilization, ev.Speedup)
+	}
+
+	// The coarse metrics are exact: the full pipeline on the now-warm
+	// cache must agree.
+	full, err := e.Evaluate(context.Background(), Request{Model: "mobilenetv1", Mode: ModeCrossLayer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded {
+		t.Error("warm-cache evaluation degraded despite no deadline")
+	}
+	if full.Result.MakespanCycles != ev.Result.MakespanCycles {
+		t.Errorf("coarse makespan %d != full makespan %d",
+			ev.Result.MakespanCycles, full.Result.MakespanCycles)
+	}
+	if full.Baseline.MakespanCycles != ev.Baseline.MakespanCycles {
+		t.Errorf("coarse baseline makespan %d != full %d",
+			ev.Baseline.MakespanCycles, full.Baseline.MakespanCycles)
+	}
+
+	// Timeline-derived queries fail cleanly instead of panicking.
+	if spans := ev.Result.LayerSpans(); spans != nil {
+		t.Errorf("degraded LayerSpans returned %d spans, want nil", len(spans))
+	}
+	if err := ev.Result.RenderGantt(io.Discard, 0); err == nil {
+		t.Error("degraded RenderGantt succeeded")
+	}
+	if _, err := ev.Result.CriticalPath(); err == nil {
+		t.Error("degraded CriticalPath succeeded")
+	}
+	if err := ev.Result.WriteScheduleJSON(io.Discard); err == nil {
+		t.Error("degraded WriteScheduleJSON succeeded")
+	}
+
+	st := e.Stats()
+	if st.DegradedEvaluations != 1 {
+		t.Errorf("Stats.DegradedEvaluations = %d, want 1", st.DegradedEvaluations)
+	}
+	if st.Evaluations != 2 {
+		t.Errorf("Stats.Evaluations = %d, want 2", st.Evaluations)
+	}
+}
+
+func TestTightDeadlineWithoutOptInStillFails(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := degradedRequest()
+	req.AllowDegraded = false
+	_, err = e.Evaluate(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithDegradationAppliesEngineWide(t *testing.T) {
+	e, err := New(WithDegradation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := degradedRequest()
+	req.AllowDegraded = false
+	ev, err := e.Evaluate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("engine-wide degradation: %v", err)
+	}
+	if !ev.Degraded {
+		t.Error("evaluation not degraded under WithDegradation")
+	}
+}
+
+func TestCallerDeadlineStaysHard(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degradation rescues only the request's own TimeoutMillis; an
+	// expired caller context fails even with AllowDegraded.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = e.Evaluate(ctx, degradedRequest())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatchDegradesPerRequest(t *testing.T) {
+	e, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight := degradedRequest()
+	strict := degradedRequest()
+	strict.AllowDegraded = false
+	relaxed := Request{Model: "mobilenetv1", Mode: ModeCrossLayer}
+	out, err := e.EvaluateBatch(context.Background(), []Request{tight, strict, relaxed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Err != nil || out[0].Evaluation == nil || !out[0].Evaluation.Degraded {
+		t.Errorf("degradable item: ev %+v, err %v; want degraded evaluation", out[0].Evaluation, out[0].Err)
+	}
+	if !errors.Is(out[1].Err, context.DeadlineExceeded) {
+		t.Errorf("strict item err = %v, want DeadlineExceeded", out[1].Err)
+	}
+	if out[2].Err != nil || out[2].Evaluation == nil || out[2].Evaluation.Degraded {
+		t.Errorf("relaxed item: ev %+v, err %v; want full evaluation", out[2].Evaluation, out[2].Err)
+	}
+}
+
+func TestVirtualizedCompilationRefusesDegradation(t *testing.T) {
+	e, err := New(WithVirtualization(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force F below PEmin (238 for mobilenetv1, largest layer 37) so
+	// the compilation virtualizes; the coarse path cannot model
+	// reloads, so the deadline stays fatal.
+	req := Request{
+		Model: "mobilenetv1", Mode: ModeLayerByLayer,
+		TotalPEs: 64, TimeoutMillis: 1, AllowDegraded: true,
+	}
+	_, err = e.Evaluate(context.Background(), req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded (no degraded result for virtualized)", err)
+	}
+}

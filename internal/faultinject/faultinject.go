@@ -1,0 +1,246 @@
+// Package faultinject is a deterministic, seeded fault-injection layer
+// for the serving stack: an http middleware that, with configured
+// probabilities, delays requests, answers them with injected 503s,
+// panics inside the handler chain, or aborts the connection without a
+// response. It exists to exercise the resilience machinery — panic
+// recovery, load shedding, the retrying client — under hostile
+// conditions that are reproducible: the fault decision sequence is
+// drawn from one seeded splitmix64 generator, so a given seed produces
+// the same sequence of fault draws on every run (the mapping of draws
+// to requests follows arrival order).
+//
+// It is used two ways: wrapped around a handler directly in tests
+// (Config.Middleware), and flag-gated in cmd/clsaserved (-faults), so
+// chaos runs can drive a real daemon over a real socket.
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config describes the fault mix. All rates are probabilities in
+// [0, 1] and independent: each request first draws for latency, then
+// for a connection drop, then for a panic, then for an injected error.
+// The zero Config injects nothing.
+type Config struct {
+	// Seed drives the deterministic fault sequence (0 is a valid seed).
+	Seed uint64
+	// LatencyRate delays a request by a uniform duration in
+	// [LatencyMin, LatencyMax] before it reaches the handler.
+	LatencyRate            float64
+	LatencyMin, LatencyMax time.Duration
+	// ErrorRate answers the request with an injected 503 (JSON
+	// envelope, code "injected", Retry-After: 1) without invoking the
+	// handler — a transient infrastructure failure as seen by clients.
+	ErrorRate float64
+	// PanicRate panics inside the handler chain. Under the serve
+	// package's recovery middleware this becomes a 500 (code
+	// "internal") and the daemon survives.
+	PanicRate float64
+	// DropRate aborts the connection without writing a response
+	// (panic(http.ErrAbortHandler), which recovery middleware must pass
+	// through) — the client sees a connection reset / unexpected EOF.
+	DropRate float64
+}
+
+// Enabled reports whether any fault can fire.
+func (c Config) Enabled() bool {
+	return c.LatencyRate > 0 || c.ErrorRate > 0 || c.PanicRate > 0 || c.DropRate > 0
+}
+
+// Validate rejects rates outside [0, 1] and inverted latency bounds.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"latency", c.LatencyRate},
+		{"error", c.ErrorRate},
+		{"panic", c.PanicRate},
+		{"drop", c.DropRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultinject: %s rate %g outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.LatencyMin < 0 || c.LatencyMax < c.LatencyMin {
+		return fmt.Errorf("faultinject: invalid latency range [%v, %v]", c.LatencyMin, c.LatencyMax)
+	}
+	return nil
+}
+
+// Parse reads a compact flag spec: comma-separated key=value pairs
+//
+//	seed=7,error=0.1,panic=0.02,drop=0.05,latency=0.3:1ms:20ms
+//
+// where latency takes rate:min:max. Unknown keys are errors; an empty
+// spec is the zero Config.
+func Parse(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "error":
+			c.ErrorRate, err = strconv.ParseFloat(val, 64)
+		case "panic":
+			c.PanicRate, err = strconv.ParseFloat(val, 64)
+		case "drop":
+			c.DropRate, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			parts := strings.Split(val, ":")
+			if len(parts) != 3 {
+				return Config{}, fmt.Errorf("faultinject: latency wants rate:min:max, have %q", val)
+			}
+			if c.LatencyRate, err = strconv.ParseFloat(parts[0], 64); err != nil {
+				break
+			}
+			if c.LatencyMin, err = time.ParseDuration(parts[1]); err != nil {
+				break
+			}
+			c.LatencyMax, err = time.ParseDuration(parts[2])
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("faultinject: parsing %q: %w", kv, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// Injector is the stateful fault source: one seeded generator shared by
+// every request through the middleware. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	state uint64
+
+	// Counters report what actually fired, for test assertions and the
+	// daemon's shutdown log.
+	delays, errors, panics, drops int64
+}
+
+// NewInjector builds an Injector for cfg.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, state: cfg.Seed}, nil
+}
+
+// Counts returns how many faults of each kind have fired.
+func (in *Injector) Counts() (delays, errors, panics, drops int64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.delays, in.errors, in.panics, in.drops
+}
+
+// splitmix64: tiny, well-distributed, and dependency-free — the same
+// generator internal/stream uses for arrival processes.
+func (in *Injector) next() uint64 {
+	in.state += 0x9e3779b97f4a7c15
+	z := in.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (in *Injector) unit() float64 {
+	return float64(in.next()>>11) / (1 << 53)
+}
+
+// plan is one request's fault decision, drawn atomically so the
+// sequence stays deterministic under concurrent requests.
+type plan struct {
+	delay               time.Duration
+	err, panicF, dropsF bool
+}
+
+func (in *Injector) draw() plan {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var p plan
+	c := in.cfg
+	if c.LatencyRate > 0 && in.unit() < c.LatencyRate {
+		span := c.LatencyMax - c.LatencyMin
+		p.delay = c.LatencyMin + time.Duration(in.unit()*float64(span))
+		in.delays++
+	}
+	if c.DropRate > 0 && in.unit() < c.DropRate {
+		p.dropsF = true
+		in.drops++
+		return p
+	}
+	if c.PanicRate > 0 && in.unit() < c.PanicRate {
+		p.panicF = true
+		in.panics++
+		return p
+	}
+	if c.ErrorRate > 0 && in.unit() < c.ErrorRate {
+		p.err = true
+		in.errors++
+	}
+	return p
+}
+
+// Middleware wraps next with the injector's fault plan. Health probes
+// (/healthz) are exempt so liveness checks stay reliable while every
+// serving endpoint is under fire.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !in.cfg.Enabled() || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		p := in.draw()
+		if p.delay > 0 {
+			select {
+			case <-time.After(p.delay):
+			case <-r.Context().Done():
+			}
+		}
+		switch {
+		case p.dropsF:
+			// net/http aborts the connection on ErrAbortHandler without
+			// logging a stack trace; recovery middleware re-panics it.
+			panic(http.ErrAbortHandler)
+		case p.panicF:
+			panic("faultinject: injected panic")
+		case p.err:
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error": "faultinject: injected unavailability", "code": "injected"}`)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// Middleware is the one-shot convenience for tests: a fresh Injector
+// around next. It panics on an invalid config (test wiring is static).
+func Middleware(cfg Config, next http.Handler) http.Handler {
+	in, err := NewInjector(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in.Middleware(next)
+}

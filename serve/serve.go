@@ -17,9 +17,19 @@
 //
 // Errors are returned as ErrorResponse JSON: 400 for malformed or
 // invalid requests, 404 for unknown models (clsacim.ErrUnknownModel),
-// 405 for wrong methods, 413 for oversized batches, and 504 when a
-// request deadline expires. The typed Go client in package client wraps
-// these endpoints.
+// 405 for wrong methods, 413 for oversized batches, 429/503 when an
+// admission gate sheds the request (with Retry-After), 500 (code
+// "internal") for recovered handler panics, and 504 when a request
+// deadline expires. Every response carries X-Request-ID (generated or
+// echoed) and every error envelope repeats it in request_id. The typed
+// Go client in package client wraps these endpoints and retries the
+// temporary subset.
+//
+// Resilience: requests pass through a middleware chain (accounting,
+// request-ID propagation, panic recovery, optional fault injection,
+// per-class admission gates — see middleware.go) before reaching the
+// handlers, so one panicking handler or one overload burst cannot take
+// the daemon down or hang clients.
 package serve
 
 import (
@@ -48,16 +58,23 @@ const (
 type Server struct {
 	eng          *clsacim.Engine
 	mux          *http.ServeMux
+	chain        http.Handler // the middleware chain ending in mux
+	inner        func(http.Handler) http.Handler
+	gates        map[string]*gate
 	timeout      time.Duration
 	maxBatch     int
 	maxBodyBytes int64
 	logf         func(format string, args ...any)
 	start        time.Time
+	reqSeq       atomic.Uint64
 
 	requests   atomic.Int64
 	errors     atomic.Int64
 	batchItems atomic.Int64
 	inFlight   atomic.Int64
+	panics     atomic.Int64
+	totalShed  atomic.Int64
+	degraded   atomic.Int64
 
 	streamEvals atomic.Int64
 	streamInfs  atomic.Int64
@@ -133,6 +150,7 @@ func New(eng *clsacim.Engine, opts ...Option) (*Server, error) {
 	}
 	s := &Server{
 		eng:          eng,
+		gates:        make(map[string]*gate),
 		maxBatch:     DefaultMaxBatch,
 		maxBodyBytes: DefaultMaxBodyBytes,
 		logf:         log.Printf,
@@ -144,18 +162,29 @@ func New(eng *clsacim.Engine, opts ...Option) (*Server, error) {
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/evaluate", s.method(http.MethodPost, s.handleEvaluate))
-	s.mux.HandleFunc("/v1/evaluate/batch", s.method(http.MethodPost, s.handleBatch))
-	s.mux.HandleFunc("/v1/stream", s.method(http.MethodPost, s.handleStream))
+	s.mux.HandleFunc("/v1/evaluate", s.method(http.MethodPost, s.admit(ClassEvaluate, s.handleEvaluate)))
+	s.mux.HandleFunc("/v1/evaluate/batch", s.method(http.MethodPost, s.admit(ClassBatch, s.handleBatch)))
+	s.mux.HandleFunc("/v1/stream", s.method(http.MethodPost, s.admit(ClassStream, s.handleStream)))
 	s.mux.HandleFunc("/v1/models", s.method(http.MethodGet, s.handleModels))
 	s.mux.HandleFunc("/v1/stats", s.method(http.MethodGet, s.handleStats))
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealth))
 	// Unknown paths answer in the same JSON envelope as everything
 	// else, so clients never have to parse ServeMux's plain-text 404.
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		s.writeError(w, http.StatusNotFound,
+		s.writeError(w, r, http.StatusNotFound,
 			fmt.Errorf("serve: no such endpoint %s %s", r.Method, r.URL.Path))
 	})
+	// The chain wraps outermost-first: request-ID tagging surrounds
+	// recovery so panic envelopes carry the ID; injected faults (tests,
+	// -faults) fire inside recovery so an injected panic exercises the
+	// exact path a real handler panic takes; admission gating sits on
+	// the individual endpoints, after routing, so 404/405 never consume
+	// an execution slot.
+	var h http.Handler = s.mux
+	if s.inner != nil {
+		h = s.inner(h)
+	}
+	s.chain = s.requestID(s.recoverPanics(h))
 	return s, nil
 }
 
@@ -167,7 +196,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if s.maxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.maxBodyBytes)
 	}
-	s.mux.ServeHTTP(w, r)
+	s.chain.ServeHTTP(w, r)
 }
 
 // method gates a handler on one HTTP method.
@@ -175,7 +204,7 @@ func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != want {
 			w.Header().Set("Allow", want)
-			s.writeError(w, http.StatusMethodNotAllowed,
+			s.writeError(w, r, http.StatusMethodNotAllowed,
 				fmt.Errorf("serve: %s %s: method not allowed (want %s)", r.Method, r.URL.Path, want))
 			return
 		}
@@ -194,19 +223,22 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req clsacim.Request
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, decodeStatus(err), err)
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		s.writeError(w, validateStatus(err), err)
+		s.writeError(w, r, validateStatus(err), err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	ev, err := s.eng.Evaluate(ctx, req)
 	if err != nil {
-		s.writeError(w, statusOf(err), err)
+		s.writeError(w, r, statusOf(err), err)
 		return
+	}
+	if ev.Degraded {
+		s.degraded.Add(1)
 	}
 	s.writeJSON(w, http.StatusOK, wireEvaluation(ev))
 }
@@ -214,11 +246,11 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, decodeStatus(err), err)
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	if len(req.Requests) > s.maxBatch {
-		s.writeError(w, http.StatusRequestEntityTooLarge,
+		s.writeError(w, r, http.StatusRequestEntityTooLarge,
 			fmt.Errorf("serve: batch of %d exceeds limit %d", len(req.Requests), s.maxBatch))
 		return
 	}
@@ -249,6 +281,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if br.Err != nil {
 			resp.Results[i].Error = br.Err.Error()
 		} else {
+			if br.Evaluation.Degraded {
+				s.degraded.Add(1)
+			}
 			resp.Results[i].Evaluation = wireEvaluation(br.Evaluation)
 		}
 	}
@@ -258,18 +293,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	var req clsacim.StreamRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeError(w, decodeStatus(err), err)
+		s.writeError(w, r, decodeStatus(err), err)
 		return
 	}
 	if err := req.Validate(); err != nil {
-		s.writeError(w, validateStatus(err), err)
+		s.writeError(w, r, validateStatus(err), err)
 		return
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	res, err := s.eng.EvaluateStream(ctx, req)
 	if err != nil {
-		s.writeError(w, statusOf(err), err)
+		s.writeError(w, r, statusOf(err), err)
 		return
 	}
 	s.streamEvals.Add(1)
@@ -298,7 +333,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Errors:        s.errors.Load(),
 			BatchItems:    s.batchItems.Load(),
 			InFlight:      s.inFlight.Load(),
+			Panics:        s.panics.Load(),
+			Shed:          s.totalShed.Load(),
+			Degraded:      s.degraded.Load(),
 			UptimeSeconds: time.Since(s.start).Seconds(),
+			Admission:     s.admissionStats(),
 		},
 	}
 	if sum := s.lastStream.Load(); sum != nil {
@@ -403,14 +442,25 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	s.errors.Add(1)
+	id := RequestID(r.Context())
 	if status >= 500 {
-		s.logf("serve: %d: %v", status, err)
+		s.logf("serve: %d [%s]: %v", status, id, err)
 	}
 	// The code comes from the same table as statusOf, so a 404 for an
 	// unknown *model* carries unknown_model while a 404 for an unknown
-	// *endpoint* (which never matches a sentinel) carries none.
+	// *endpoint* (which never matches a sentinel) carries none. Shed
+	// and panic responses get their dedicated codes so the retrying
+	// client can classify without string matching.
 	_, code := classify(err)
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
+	if code == "" {
+		switch status {
+		case http.StatusInternalServerError:
+			code = CodeInternal
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			code = CodeOverloaded
+		}
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code, RequestID: id})
 }

@@ -48,6 +48,11 @@ type Evaluation struct {
 	UtilizationGain float64 `json:"utilization_gain"`
 	// Eq3Speedup is the paper's Eq. 3 estimate from the utilizations.
 	Eq3Speedup float64 `json:"eq3_speedup"`
+	// Degraded marks an evaluation served by the coarse fast path
+	// because the request's deadline was too tight for the full
+	// pipeline and it opted in with allow_degraded. Scalar metrics are
+	// exact; timeline-derived extras (energy, schedule JSON) are absent.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/evaluate/batch.
@@ -143,14 +148,17 @@ type EngineStats struct {
 	// the requested mode's timeline was not cached yet (the incremental
 	// re-simulation path); CacheHits - PartialHits served everything
 	// from cache.
-	PartialHits       int64 `json:"partial_hits"`
-	CacheMisses       int64 `json:"cache_misses"`
-	Evictions         int64 `json:"cache_evictions"`
-	Evaluations       int64 `json:"evaluations"`
-	StreamEvaluations int64 `json:"stream_evaluations"`
-	StreamInferences  int64 `json:"stream_inferences"`
-	CachedEntries     int   `json:"cached_entries"`
-	CacheLimit        int   `json:"cache_limit"`
+	PartialHits int64 `json:"partial_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+	Evictions   int64 `json:"cache_evictions"`
+	Evaluations int64 `json:"evaluations"`
+	// DegradedEvaluations counts evaluations served by the coarse fast
+	// path after their deadline expired (graceful degradation).
+	DegradedEvaluations int64 `json:"degraded_evaluations"`
+	StreamEvaluations   int64 `json:"stream_evaluations"`
+	StreamInferences    int64 `json:"stream_inferences"`
+	CachedEntries       int   `json:"cached_entries"`
+	CacheLimit          int   `json:"cache_limit"`
 }
 
 // ServerStats counts HTTP-level activity since the server started.
@@ -164,8 +172,38 @@ type ServerStats struct {
 	BatchItems int64 `json:"batch_items"`
 	// InFlight is the number of requests currently being handled.
 	InFlight int64 `json:"in_flight"`
+	// Panics counts handler panics converted into 500 responses by the
+	// recovery middleware. Nonzero means a bug (or injected fault) —
+	// the daemon survived it, but it should be investigated.
+	Panics int64 `json:"panics"`
+	// Shed counts requests rejected by admission gates (429/503 with
+	// Retry-After), summed across classes; the per-class split is in
+	// Admission.
+	Shed int64 `json:"shed"`
+	// Degraded counts evaluations served degraded (coarse fast path)
+	// over HTTP, single and batch items combined.
+	Degraded int64 `json:"degraded"`
 	// UptimeSeconds is the time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Admission reports each configured admission gate; absent when no
+	// gates are configured.
+	Admission []AdmissionClassStats `json:"admission,omitempty"`
+}
+
+// AdmissionClassStats is one endpoint class's admission accounting.
+type AdmissionClassStats struct {
+	// Class is "evaluate", "batch", or "stream".
+	Class string `json:"class"`
+	// MaxConcurrent and MaxQueue echo the configured bounds.
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// InFlight and Queued are the current occupancy of the gate.
+	InFlight int64 `json:"in_flight"`
+	Queued   int64 `json:"queued"`
+	// Admitted counts requests that got an execution slot; Shed counts
+	// requests rejected with 429 (queue full) or 503 (wait expired).
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
 }
 
 // StreamStats summarizes streamed evaluations served by this daemon.
@@ -203,14 +241,24 @@ const (
 	CodeUnknownModel     = "unknown_model"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeCanceled         = "canceled"
+	// CodeInternal marks 500s from recovered handler panics and other
+	// unclassified server-side failures. The request itself may well
+	// succeed on retry — the client treats it as temporary.
+	CodeInternal = "internal"
+	// CodeOverloaded marks 429/503 shed responses from the admission
+	// gates; Retry-After on the response says when to come back.
+	CodeOverloaded = "overloaded"
 )
 
 // ErrorResponse is the body of every non-2xx response. Code is set for
 // the conditions a caller is expected to branch on (see the Code*
-// constants); other failures carry only the message.
+// constants); other failures carry only the message. RequestID repeats
+// the response's X-Request-ID header so the envelope alone suffices to
+// correlate a failure with the daemon's logs.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // wireReport converts an in-process report.
@@ -237,22 +285,24 @@ func wireEvaluation(ev *clsacim.Evaluation) *Evaluation {
 		Speedup:         ev.Speedup,
 		UtilizationGain: ev.UtilizationGain,
 		Eq3Speedup:      ev.Eq3Speedup,
+		Degraded:        ev.Degraded,
 	}
 }
 
 // wireStats converts an engine stats snapshot.
 func wireStats(s clsacim.Stats) EngineStats {
 	return EngineStats{
-		Compiles:          s.Compiles,
-		CacheHits:         s.CacheHits,
-		PartialHits:       s.PartialHits,
-		CacheMisses:       s.CacheMisses,
-		Evictions:         s.Evictions,
-		Evaluations:       s.Evaluations,
-		StreamEvaluations: s.StreamEvaluations,
-		StreamInferences:  s.StreamInferences,
-		CachedEntries:     s.CachedEntries,
-		CacheLimit:        s.CacheLimit,
+		Compiles:            s.Compiles,
+		CacheHits:           s.CacheHits,
+		PartialHits:         s.PartialHits,
+		CacheMisses:         s.CacheMisses,
+		Evictions:           s.Evictions,
+		Evaluations:         s.Evaluations,
+		DegradedEvaluations: s.DegradedEvaluations,
+		StreamEvaluations:   s.StreamEvaluations,
+		StreamInferences:    s.StreamInferences,
+		CachedEntries:       s.CachedEntries,
+		CacheLimit:          s.CacheLimit,
 	}
 }
 
