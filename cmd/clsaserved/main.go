@@ -12,6 +12,7 @@
 //	clsaserved -admit "evaluate=32:64:500ms,batch=4"  # load shedding
 //	clsaserved -degrade                          # deadline → coarse fallback
 //	clsaserved -faults "seed=7,error=0.05"       # chaos testing only
+//	clsaserved -import net.onnx -import other.json   # serve imported models
 //
 // Endpoints: POST /v1/evaluate, POST /v1/evaluate/batch,
 // POST /v1/stream, GET /v1/models, GET /v1/stats, GET /healthz. See
@@ -37,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +60,17 @@ type options struct {
 	configPath string
 	admitSpec  string
 	faultsSpec string
+	imports    importFlags
+}
+
+// importFlags collects a repeatable -import flag.
+type importFlags []string
+
+func (f *importFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *importFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
 }
 
 func main() {
@@ -74,6 +87,7 @@ func main() {
 	flag.StringVar(&o.admitSpec, "admit", "", `admission gates per endpoint class, e.g. "evaluate=32:64:500ms,batch=4:8:1s,stream=2" (class=concurrency[:queue[:wait]])`)
 	flag.StringVar(&o.faultsSpec, "faults", os.Getenv("CLSA_FAULTS"),
 		`CHAOS TESTING: fault-injection spec, e.g. "seed=7,error=0.05,panic=0.01,drop=0.01,latency=0.2:1ms:50ms" (default $CLSA_FAULTS)`)
+	flag.Var(&o.imports, "import", "graph file (clsacim-graph/v1 JSON or .onnx) to register at startup; repeatable")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -83,6 +97,16 @@ func main() {
 }
 
 func run(o options) error {
+	for _, path := range o.imports {
+		m, err := clsacim.ImportModel(path, clsacim.ModelOptions{})
+		if err != nil {
+			return err
+		}
+		if err := clsacim.RegisterModel(m.Name, m); err != nil {
+			return err
+		}
+		log.Printf("clsaserved: imported model %q from %s", m.Name, path)
+	}
 	opts := []clsacim.Option{clsacim.WithCacheLimit(o.cacheLimit)}
 	if o.configPath != "" {
 		b, err := os.ReadFile(o.configPath)

@@ -9,6 +9,7 @@
 //	clsasim -model resnet50 -x 4 -wdup -sched xinf -noc 1.5
 //	clsasim -model vgg16 -sched lbl -sets 26
 //	clsasim -model tinyyolov4 -x 32 -wdup -sched x4   # at most 4 layers active
+//	clsasim -import net.onnx -x 16 -wdup              # imported graph file
 package main
 
 import (
@@ -32,7 +33,22 @@ func main() {
 	gpeu := flag.Float64("gpeu", 0, "GPEU cycles per 1024 transferred elements")
 	simulate := flag.Bool("sim", false, "also run the event-driven simulator and report buffer pressure")
 	critical := flag.Bool("critical", false, "print the critical path aggregated per layer")
+	importPath := flag.String("import", "", "graph file to import (clsacim-graph/v1 JSON or .onnx); becomes the default -model")
 	flag.Parse()
+
+	if *importPath != "" {
+		m, err := clsacim.ImportModel(*importPath, clsacim.ModelOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := clsacim.RegisterModel(m.Name, m); err != nil {
+			fatal(err)
+		}
+		// Unless -model was given explicitly, evaluate the import.
+		if !flagSet("model") {
+			*model = m.Name
+		}
+	}
 
 	mode, err := clsacim.ParseMode(*sched)
 	if err != nil {
@@ -100,6 +116,17 @@ func main() {
 			fmt.Printf("  %-16s %8d cycles over %d sets\n", l.Layer, l.Cycles, l.Set)
 		}
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func nonTrivial(d []int) int {

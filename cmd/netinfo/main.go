@@ -7,6 +7,7 @@
 //	netinfo -model tinyyolov4          # Table I style layer listing
 //	netinfo -table2                    # Table II benchmark overview
 //	netinfo -model vgg16 -pe 128       # retargeted crossbar size
+//	netinfo -import net.json           # layer listing of an imported graph
 package main
 
 import (
@@ -24,7 +25,21 @@ func main() {
 	pe := flag.Int("pe", 256, "crossbar dimension (PE rows = cols)")
 	table2 := flag.Bool("table2", false, "print the paper Table II benchmark overview")
 	list := flag.Bool("list", false, "list available models")
+	importPath := flag.String("import", "", "graph file to import (clsacim-graph/v1 JSON or .onnx); becomes the default -model")
 	flag.Parse()
+
+	if *importPath != "" {
+		m, err := clsacim.ImportModel(*importPath, clsacim.ModelOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := clsacim.RegisterModel(m.Name, m); err != nil {
+			fatal(err)
+		}
+		if !flagSet("model") {
+			*model = m.Name
+		}
+	}
 
 	if *list {
 		for _, name := range clsacim.AllModels() {
@@ -56,6 +71,17 @@ func main() {
 		fmt.Printf("%-14s (%4d,%4d,%4d) (%4d,%4d,%4d) %6d %10d\n",
 			r.Name, r.IFM[0], r.IFM[1], r.IFM[2], r.OFM[0], r.OFM[1], r.OFM[2], r.PEs, r.Cycles)
 	}
+}
+
+// flagSet reports whether the named flag was given on the command line.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func fatal(err error) {

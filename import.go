@@ -1,0 +1,91 @@
+package clsacim
+
+import (
+	"fmt"
+	"io"
+
+	"clsacim/internal/importer"
+	"clsacim/internal/nn"
+)
+
+// Typed import error classes, re-exported from the importer so callers
+// can branch with errors.Is without importing internal packages. Every
+// ImportModel failure caused by the file's content wraps exactly one of
+// them and carries the path of the offending element.
+var (
+	// ErrBadGraph reports a structurally broken graph file.
+	ErrBadGraph = importer.ErrBadGraph
+	// ErrUnsupportedOp reports an operator outside the modeled subset.
+	ErrUnsupportedOp = importer.ErrUnsupportedOp
+	// ErrShapeMismatch reports shape or parameter-length inconsistencies.
+	ErrShapeMismatch = importer.ErrShapeMismatch
+)
+
+// ImportModel parses an external graph file into a Model ready for
+// Compile or RegisterModel. Two formats are accepted, chosen by file
+// extension: ".onnx" selects the ONNX-subset reader, anything else the
+// clsacim-graph/v1 JSON schema (see docs/importing.md for both).
+//
+// The model is named by the file's declared name, falling back to the
+// base filename. Weights travel in the file itself, so
+// ModelOptions.WithWeights and Seed are ignored; InputSize is rejected
+// because the file fixes the input shape.
+func ImportModel(path string, opt ModelOptions) (*Model, error) {
+	if err := checkImportOptions(opt); err != nil {
+		return nil, err
+	}
+	res, err := importer.ImportFile(path, importer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return importedModel(res.Graph, res.Name)
+}
+
+// ImportModelReader parses a graph description from r (format sniffed:
+// JSON documents start with '{', anything else is read as ONNX). A
+// non-empty name overrides the name declared in the file.
+func ImportModelReader(name string, r io.Reader, opt ModelOptions) (*Model, error) {
+	if err := checkImportOptions(opt); err != nil {
+		return nil, err
+	}
+	res, err := importer.Import(r, importer.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = res.Name
+	}
+	return importedModel(res.Graph, name)
+}
+
+// checkImportOptions rejects options that cannot apply to imports.
+func checkImportOptions(opt ModelOptions) error {
+	if opt.InputSize != 0 {
+		return fmt.Errorf("clsacim: ModelOptions.InputSize does not apply to imported models (the file fixes the input shape)")
+	}
+	return nil
+}
+
+// importedModel wraps a parsed graph as a Model. Compilation mutates
+// its working graph, so each build hands out a fresh clone.
+func importedModel(src *nn.Graph, name string) (*Model, error) {
+	if name == "" {
+		return nil, fmt.Errorf("clsacim: imported model needs a name (declare one in the file or pass it to ImportModelReader)")
+	}
+	return &Model{
+		Name:  name,
+		build: func() (*nn.Graph, error) { return src.Clone(), nil },
+	}, nil
+}
+
+// ExportModel writes m's graph as a clsacim-graph/v1 JSON document, the
+// inverse of ImportModel: importing the output reconstructs an
+// equivalent model. Builtin, Builder-made, and imported models all
+// export.
+func ExportModel(m *Model, w io.Writer) error {
+	g, err := m.graph()
+	if err != nil {
+		return err
+	}
+	return importer.ExportJSON(g, m.Name, w)
+}

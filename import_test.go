@@ -1,0 +1,186 @@
+package clsacim
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyYOLOExportPath is the checked-in export of the builtin
+// tinyyolov4 network — the reference imported model of the test suite.
+const tinyYOLOExportPath = "internal/importer/testdata/tinyyolov4.json"
+
+// TestImportedTinyYOLODifferential is the builtin-vs-imported
+// differential: the builtin tinyyolov4 round-tripped through
+// ExportModel + ImportModelReader must compile to an identical CSR
+// dependency graph and produce byte-identical timelines and makespans
+// under all three canonical policies. The exported file is also pinned
+// under internal/importer/testdata (regenerate with -update).
+func TestImportedTinyYOLODifferential(t *testing.T) {
+	builtin := load(t, "tinyyolov4")
+	var buf bytes.Buffer
+	if err := ExportModel(builtin, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(tinyYOLOExportPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(tinyYOLOExportPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	onDisk, err := os.ReadFile(tinyYOLOExportPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Errorf("%s is stale (live export differs at line %d); regenerate with -update",
+			tinyYOLOExportPath, firstDiffLine(onDisk, buf.Bytes()))
+	}
+
+	imported, err := ImportModelReader("tinyyolov4-imported", bytes.NewReader(onDisk), ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{TargetSets: 26}
+	cb, err := Compile(builtin, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := Compile(imported, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cb.depGraph.CSR.Equal(ci.depGraph.CSR) {
+		t.Fatal("imported tinyyolov4 compiles to a different CSR dependency graph")
+	}
+	for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeWindow(4), ModeCrossLayer} {
+		rb, err := cb.Schedule(mode)
+		if err != nil {
+			t.Fatalf("%s builtin: %v", mode, err)
+		}
+		ri, err := ci.Schedule(mode)
+		if err != nil {
+			t.Fatalf("%s imported: %v", mode, err)
+		}
+		if rb.MakespanCycles != ri.MakespanCycles {
+			t.Errorf("%s: makespan %d (imported) != %d (builtin)", mode, ri.MakespanCycles, rb.MakespanCycles)
+		}
+		var tb, ti bytes.Buffer
+		if err := rb.WriteScheduleJSON(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := ri.WriteScheduleJSON(&ti); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(tb.Bytes(), ti.Bytes()) {
+			t.Errorf("%s: imported timeline differs from builtin at line %d",
+				mode, firstDiffLine(tb.Bytes(), ti.Bytes()))
+		}
+	}
+}
+
+// TestGoldenImportedTimelines pins the timelines of the checked-in
+// imported small CNN, extending the golden-fixture net to the import
+// path end to end: file -> importer -> canonicalize -> compile ->
+// schedule. Regenerate with
+//
+//	go test -run TestGoldenImportedTimelines -update .
+func TestGoldenImportedTimelines(t *testing.T) {
+	m, err := ImportModel(filepath.Join("internal", "importer", "testdata", "smallcnn.json"), ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(m, Config{TargetSets: 26})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeWindow(4), ModeCrossLayer} {
+		rep, err := c.Schedule(mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var got bytes.Buffer
+		if err := rep.WriteScheduleJSON(&got); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		path := filepath.Join("testdata", "golden", fmt.Sprintf("imported_smallcnn_%s.json", mode.Name()))
+		if *update {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run 'go test -run TestGoldenImportedTimelines -update .' to create fixtures)", mode, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Errorf("%s: imported timeline drifted from %s; diff line %d.\n"+
+				"If the change is intentional, regenerate with -update and review the fixture diff.",
+				mode, path, firstDiffLine(got.Bytes(), want))
+		}
+	}
+}
+
+// TestImportedModelSchedulesUnderValidation runs an imported model
+// through a WithValidation engine: the schedule must pass the full
+// check.Timeline invariant set on every policy.
+func TestImportedModelSchedulesUnderValidation(t *testing.T) {
+	m, err := ImportModel(filepath.Join("internal", "importer", "testdata", "smallcnn.onnx"), ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterModel("smallcnn-validated", m); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(WithValidation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ScheduleMode{ModeLayerByLayer, ModeWindow(4), ModeCrossLayer} {
+		ev, err := eng.Evaluate(context.Background(), Request{Model: "smallcnn-validated", Mode: mode})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if ev.Result.MakespanCycles <= 0 {
+			t.Errorf("%s: makespan %d", mode, ev.Result.MakespanCycles)
+		}
+	}
+}
+
+func TestImportModelTypedErrors(t *testing.T) {
+	// The root package re-exports the importer's error classes; a bad
+	// graph surfaces through ImportModelReader with errors.Is intact.
+	_, err := ImportModelReader("x", strings.NewReader(`{"schema": "clsacim-graph/v1"}`), ModelOptions{})
+	if !errors.Is(err, ErrBadGraph) {
+		t.Errorf("error %v, want ErrBadGraph", err)
+	}
+	_, err = ImportModelReader("x", strings.NewReader(
+		`{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [4, 4, 1]}, `+
+			`"nodes": [{"name": "s", "op": "Softmax", "inputs": ["in"]}], "outputs": ["s"]}`), ModelOptions{})
+	if !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("error %v, want ErrUnsupportedOp", err)
+	}
+	// InputSize cannot apply: the file fixes the input shape.
+	_, err = ImportModel(tinyYOLOExportPath, ModelOptions{InputSize: 128})
+	if err == nil || !strings.Contains(err.Error(), "InputSize") {
+		t.Errorf("error %v, want InputSize rejection", err)
+	}
+	// A nameless reader import must fail rather than register as "".
+	_, err = ImportModelReader("", strings.NewReader(
+		`{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [4, 4, 1]}, `+
+			`"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["f"]}`), ModelOptions{})
+	if err == nil || !strings.Contains(err.Error(), "needs a name") {
+		t.Errorf("error %v, want needs-a-name", err)
+	}
+}

@@ -1,0 +1,152 @@
+package importer
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clsacim/internal/nn"
+)
+
+// ExportJSON writes g as a clsacim-graph/v1 document: the inverse of
+// the JSON reader, covering every nn operator kind (weights, biases,
+// and BN parameters included), so Import(ExportJSON(g)) reconstructs
+// an equivalent graph. The layout is deterministic — a fixed header,
+// then one compact node object per line — which keeps checked-in graph
+// files diffable node by node.
+//
+// The graph input is exported as the document's "input" declaration;
+// an exported graph must therefore have its input node set.
+func ExportJSON(g *nn.Graph, name string, w io.Writer) error {
+	if g.Input == nil {
+		return errf(ErrBadGraph, graphPath, "graph has no input node")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\n  \"schema\": %q,\n", SchemaV1)
+	if name != "" {
+		fmt.Fprintf(bw, "  \"name\": %q,\n", name)
+	}
+	in, err := json.Marshal(jsonInput{
+		Name:  g.Input.Name,
+		Shape: []int{g.Input.OutShape.H, g.Input.OutShape.W, g.Input.OutShape.C},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "  \"input\": %s,\n  \"nodes\": [\n", in)
+	first := true
+	for _, n := range g.Nodes {
+		if n == g.Input {
+			continue
+		}
+		jn, err := exportNode(n)
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(jn)
+		if err != nil {
+			return err
+		}
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString("    ")
+		bw.Write(b)
+	}
+	outs := make([]string, len(g.Outputs))
+	for i, o := range g.Outputs {
+		outs[i] = o.Name
+	}
+	ob, err := json.Marshal(outs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "\n  ],\n  \"outputs\": %s\n}\n", ob)
+	return bw.Flush()
+}
+
+// exportNode renders one graph node as its schema object.
+func exportNode(n *nn.Node) (*jsonNode, error) {
+	jn := &jsonNode{
+		Name:   n.Name,
+		Inputs: make([]string, len(n.Inputs)),
+		Shape:  []int{n.OutShape.H, n.OutShape.W, n.OutShape.C},
+	}
+	for i, in := range n.Inputs {
+		jn.Inputs[i] = in.Name
+	}
+	switch op := n.Op.(type) {
+	case *nn.Conv2D:
+		jn.Op = "Conv2D"
+		jn.Attrs = &jsonAttrs{KH: op.KH, KW: op.KW, SH: op.SH, SW: op.SW,
+			Pad: exportPad(op.Pad), KI: op.KI, KO: op.KO}
+		if op.W != nil {
+			jn.Weights = op.W.Data
+		}
+		jn.Bias = op.Bias
+	case *nn.DepthwiseConv2D:
+		jn.Op = "DepthwiseConv2D"
+		jn.Attrs = &jsonAttrs{KH: op.KH, KW: op.KW, SH: op.SH, SW: op.SW,
+			Pad: exportPad(op.Pad), C: op.C}
+		if op.W != nil {
+			jn.Weights = op.W.Data
+		}
+		jn.Bias = op.Bias
+	case *nn.Dense:
+		jn.Op = "Dense"
+		jn.Attrs = &jsonAttrs{KI: op.KI, KO: op.KO}
+		if op.W != nil {
+			jn.Weights = op.W.Data
+		}
+		jn.Bias = op.Bias
+	case *nn.BatchNorm:
+		jn.Op = "BatchNorm"
+		jn.Attrs = &jsonAttrs{Eps: op.Eps}
+		jn.Gamma, jn.Beta, jn.Mean, jn.Variance = op.Gamma, op.Beta, op.Mean, op.Var
+	case *nn.BiasAdd:
+		jn.Op = "BiasAdd"
+		jn.Bias = op.B
+	case *nn.Activation:
+		jn.Op = "Activation"
+		jn.Attrs = &jsonAttrs{Act: op.Func.String(), Alpha: op.Alpha}
+	case *nn.MaxPool:
+		jn.Op = "MaxPool"
+		jn.Attrs = &jsonAttrs{KH: op.KH, KW: op.KW, SH: op.SH, SW: op.SW, Pad: exportPad(op.Pad)}
+	case *nn.AvgPool:
+		jn.Op = "AvgPool"
+		if op.Global {
+			jn.Attrs = &jsonAttrs{Global: true}
+		} else {
+			jn.Attrs = &jsonAttrs{KH: op.KH, KW: op.KW, SH: op.SH, SW: op.SW}
+		}
+	case *nn.Pad:
+		jn.Op = "Pad"
+		jn.Attrs = &jsonAttrs{Pad: []int{op.Pad.Top, op.Pad.Bottom, op.Pad.Left, op.Pad.Right}, Value: op.Value}
+	case *nn.Concat:
+		jn.Op = "Concat"
+		jn.Attrs = &jsonAttrs{Axis: op.Axis.String()}
+	case *nn.Add:
+		jn.Op = "Add"
+	case *nn.UpSample:
+		jn.Op = "UpSample"
+		jn.Attrs = &jsonAttrs{Factor: op.Factor}
+	case *nn.Slice:
+		jn.Op = "Slice"
+		jn.Attrs = &jsonAttrs{Box: []int{op.Box.H0, op.Box.H1, op.Box.W0, op.Box.W1, op.Box.C0, op.Box.C1}}
+	case *nn.Flatten:
+		jn.Op = "Flatten"
+	default:
+		return nil, errf(ErrUnsupportedOp, fmt.Sprintf("node %q", n.Name), "cannot export op %T", n.Op)
+	}
+	return jn, nil
+}
+
+// exportPad renders padding as its attribute form (nil when zero).
+func exportPad(p nn.Padding) []int {
+	if !p.Any() {
+		return nil
+	}
+	return []int{p.Top, p.Bottom, p.Left, p.Right}
+}

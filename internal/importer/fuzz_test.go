@@ -1,0 +1,49 @@
+package importer
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// checkFuzzResult asserts the importer's fuzz contract: on arbitrary
+// input it either succeeds or fails with exactly one typed error class
+// — never a panic, never an untyped error.
+func checkFuzzResult(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	if errors.Is(err, ErrBadGraph) || errors.Is(err, ErrUnsupportedOp) || errors.Is(err, ErrShapeMismatch) {
+		return
+	}
+	t.Fatalf("untyped import error: %v", err)
+}
+
+func FuzzImportJSON(f *testing.F) {
+	f.Add([]byte(`{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [4, 4, 1]}, ` +
+		`"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["f"]}`))
+	f.Add([]byte(`{"schema": "clsacim-graph/v1"}`))
+	f.Add([]byte(`{`))
+	var buf bytes.Buffer
+	if err := ExportJSON(smallCNNGraph(f), "smallcnn", &buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, err := Import(bytes.NewReader(data), Options{Format: FormatJSON, MaxBytes: 1 << 20})
+		checkFuzzResult(t, err)
+	})
+}
+
+func FuzzImportONNX(f *testing.F) {
+	f.Add(smallCNNONNX(f))
+	f.Add(onnxOneNode(encNode("Relu", "r", []string{"input"}, []string{"out"}),
+		nil, []int64{1, 3, 4, 4}, "out"))
+	f.Add([]byte{0x3a, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, err := Import(bytes.NewReader(data), Options{Format: FormatONNX, MaxBytes: 1 << 20})
+		checkFuzzResult(t, err)
+	})
+}

@@ -1,0 +1,215 @@
+// Package importer lowers external graph descriptions into the nn IR,
+// opening the model frontend beyond the hand-coded builtin table: a
+// versioned JSON graph schema ("clsacim-graph/v1", the package's native
+// interchange format, see json.go) and a reader for the subset of ONNX
+// that maps onto the operators the compiler models (see onnx.go).
+//
+// Both readers produce a validated *nn.Graph — shapes inferred node by
+// node, operator attributes checked — ready for the existing
+// frontend.Canonicalize -> mapping -> scheduling pipeline. Failures are
+// typed: every error matches exactly one of ErrBadGraph,
+// ErrUnsupportedOp, or ErrShapeMismatch under errors.Is, and carries
+// the path of the offending element (e.g. `nodes[3] ("conv2d_1")`), so
+// callers can both branch on the class and show users where the file
+// is broken.
+//
+// The readers are fuzzed (FuzzImportJSON, FuzzImportONNX): on
+// arbitrary input they must return a typed error, never panic, and
+// never allocate unboundedly.
+package importer
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"clsacim/internal/nn"
+)
+
+// Typed import failure classes, matchable with errors.Is. Every error
+// returned by Import wraps exactly one of them.
+var (
+	// ErrBadGraph reports a structurally broken file: unparseable
+	// encoding, missing or duplicate nodes, dangling edges, absent
+	// initializers, or attribute values outside the representable range.
+	ErrBadGraph = errors.New("bad graph")
+	// ErrUnsupportedOp reports an operator (or operator attribute
+	// combination) outside the subset the compiler models.
+	ErrUnsupportedOp = errors.New("unsupported op")
+	// ErrShapeMismatch reports shape-inference or declared-shape
+	// validation failures: operator input shapes that do not compose, or
+	// weight/parameter lengths inconsistent with the declared dims.
+	ErrShapeMismatch = errors.New("shape mismatch")
+)
+
+// Error is a typed import failure. Kind is one of the package
+// sentinels (ErrBadGraph, ErrUnsupportedOp, ErrShapeMismatch); Path
+// locates the offending element in the source file.
+type Error struct {
+	Kind   error  // the sentinel class
+	Path   string // e.g. `nodes[3] ("conv2d_1")` or `graph`
+	Detail string
+}
+
+// Error renders "importer: <path>: <kind>: <detail>".
+func (e *Error) Error() string {
+	return fmt.Sprintf("importer: %s: %s: %s", e.Path, e.Kind, e.Detail)
+}
+
+// Unwrap exposes the sentinel class to errors.Is.
+func (e *Error) Unwrap() error { return e.Kind }
+
+// errf builds a typed *Error with a formatted detail.
+func errf(kind error, path, format string, args ...any) error {
+	return &Error{Kind: kind, Path: path, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Format identifies a supported container format.
+type Format int
+
+// Supported formats. FormatAuto sniffs: files are dispatched on
+// extension (".onnx" vs anything else), readers on the first byte (an
+// ONNX protobuf never starts with '{' or whitespace-then-'{').
+const (
+	FormatAuto Format = iota
+	FormatJSON
+	FormatONNX
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatONNX:
+		return "onnx"
+	default:
+		return "auto"
+	}
+}
+
+// Options configures an import.
+type Options struct {
+	// Format forces the container format (default: sniff).
+	Format Format
+	// MaxBytes bounds how much input is read (default 256 MiB). Inputs
+	// beyond the bound fail with ErrBadGraph instead of exhausting
+	// memory.
+	MaxBytes int64
+}
+
+// DefaultMaxBytes is the input size bound when Options.MaxBytes is 0.
+const DefaultMaxBytes = 256 << 20
+
+// Result is a successful import: the lowered graph plus the metadata
+// the container carried.
+type Result struct {
+	Graph *nn.Graph
+	// Name is the model name declared in the file ("" if none).
+	Name string
+	// Format is the container format actually parsed.
+	Format Format
+}
+
+// ImportFile parses the graph file at path. The format is taken from
+// opt.Format, falling back to the file extension (".onnx" selects the
+// ONNX reader, everything else the JSON reader). When the file
+// declares no model name, the base filename (without extension) is
+// used.
+func ImportFile(path string, opt Options) (*Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if opt.Format == FormatAuto {
+		if strings.EqualFold(filepath.Ext(path), ".onnx") {
+			opt.Format = FormatONNX
+		} else {
+			opt.Format = FormatJSON
+		}
+	}
+	res, err := Import(f, opt)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if res.Name == "" {
+		res.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return res, nil
+}
+
+// Import parses a graph description from r. With FormatAuto the format
+// is sniffed from the first non-space byte: '{' selects the JSON
+// reader, anything else the ONNX reader.
+func Import(r io.Reader, opt Options) (*Result, error) {
+	maxBytes := opt.MaxBytes
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	br := bufio.NewReader(io.LimitReader(r, maxBytes+1))
+	format := opt.Format
+	if format == FormatAuto {
+		format = sniffFormat(br)
+	}
+	switch format {
+	case FormatJSON:
+		g, name, err := importJSON(br, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: g, Name: name, Format: FormatJSON}, nil
+	case FormatONNX:
+		data, err := readAll(br, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		g, name, err := importONNX(data)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Graph: g, Name: name, Format: FormatONNX}, nil
+	default:
+		return nil, errf(ErrBadGraph, "input", "unknown format %d", int(format))
+	}
+}
+
+// sniffFormat peeks at the first non-space byte: JSON documents start
+// with '{', ONNX protobufs with a field tag (never '{' = 0x7b, which
+// would be field 15 wire type 3, a group — not used by ONNX).
+func sniffFormat(br *bufio.Reader) Format {
+	for skip := 0; ; skip++ {
+		b, err := br.Peek(skip + 1)
+		if err != nil || len(b) <= skip {
+			return FormatJSON // empty input; let the JSON reader report it
+		}
+		switch b[skip] {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '{':
+			return FormatJSON
+		default:
+			return FormatONNX
+		}
+	}
+}
+
+// readAll slurps at most maxBytes from r, failing with ErrBadGraph on
+// larger inputs.
+func readAll(r io.Reader, maxBytes int64) ([]byte, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, errf(ErrBadGraph, "input", "reading: %v", err)
+	}
+	if int64(len(data)) > maxBytes {
+		return nil, errf(ErrBadGraph, "input", "input exceeds %d bytes", maxBytes)
+	}
+	return data, nil
+}
+
+// graphPath is the Error.Path used for whole-graph failures.
+const graphPath = "graph"

@@ -1,0 +1,363 @@
+package importer
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/tensor"
+)
+
+var update = flag.Bool("update", false, "rewrite the checked-in graph files under testdata")
+
+// smallCNNGraph builds the reference small CNN used by the checked-in
+// testdata files (smallcnn.json / smallcnn.onnx): conv-BN-relu-pool,
+// a valid conv, then flatten into a dense head. Weights are the
+// deterministic testWeights stream, so the JSON and ONNX encodings of
+// the same network can be compared initializer by initializer.
+func smallCNNGraph(t testing.TB) *nn.Graph {
+	t.Helper()
+	g := nn.NewGraph()
+	in := g.AddInput("input", tensor.NewShape(8, 8, 3))
+	mustAdd := func(name string, op nn.Op, ins ...*nn.Node) *nn.Node {
+		t.Helper()
+		n, err := g.TryAdd(name, op, ins...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	conv1 := mustAdd("conv1", &nn.Conv2D{
+		KH: 3, KW: 3, SH: 1, SW: 1,
+		Pad: nn.Padding{Top: 1, Bottom: 1, Left: 1, Right: 1},
+		KI:  3, KO: 8,
+		W:    &nn.ConvWeights{KH: 3, KW: 3, KI: 3, KO: 8, Data: testWeights(3*3*3*8, 0.25)},
+		Bias: testWeights(8, 1.5),
+	}, in)
+	bn := mustAdd("bn1", &nn.BatchNorm{
+		Gamma: testWeights(8, 2), Beta: testWeights(8, 3),
+		Mean: testWeights(8, 4), Var: testWeights(8, 5),
+		Eps: 1e-5,
+	}, conv1)
+	relu1 := mustAdd("relu1", &nn.Activation{Func: nn.ActReLU}, bn)
+	pool := mustAdd("pool1", &nn.MaxPool{KH: 2, KW: 2, SH: 2, SW: 2}, relu1)
+	conv2 := mustAdd("conv2", &nn.Conv2D{
+		KH: 3, KW: 3, SH: 1, SW: 1, KI: 8, KO: 16,
+		W: &nn.ConvWeights{KH: 3, KW: 3, KI: 8, KO: 16, Data: testWeights(3*3*8*16, 0.75)},
+	}, pool)
+	relu2 := mustAdd("relu2", &nn.Activation{Func: nn.ActReLU}, conv2)
+	flat := mustAdd("flatten", &nn.Flatten{}, relu2)
+	dense := mustAdd("head", &nn.Dense{
+		KI: 64, KO: 10,
+		W:    &nn.ConvWeights{KH: 1, KW: 1, KI: 64, KO: 10, Data: testWeights(64*10, 0.5)},
+		Bias: testWeights(10, 6),
+	}, flat)
+	g.MarkOutput(dense)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testWeights yields a deterministic float stream that survives a JSON
+// round trip exactly (small dyadic rationals).
+func testWeights(n int, phase float32) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i%13)/8 - phase
+	}
+	return out
+}
+
+// importError asserts err is a typed *Error of the wanted class and
+// returns it.
+func importError(t *testing.T, err, kind error) *Error {
+	t.Helper()
+	if err == nil {
+		t.Fatal("import succeeded, want error")
+	}
+	if !errors.Is(err, kind) {
+		t.Fatalf("error %v is not %v", err, kind)
+	}
+	var ie *Error
+	if !errors.As(err, &ie) {
+		t.Fatalf("error %v is not an importer.Error", err)
+	}
+	return ie
+}
+
+func TestJSONRoundTripSmallCNN(t *testing.T) {
+	src := smallCNNGraph(t)
+	var buf bytes.Buffer
+	if err := ExportJSON(src, "smallcnn", &buf); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Import(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "smallcnn" {
+		t.Errorf("imported name %q, want smallcnn", res.Name)
+	}
+	if res.Format != FormatJSON {
+		t.Errorf("format %v, want json", res.Format)
+	}
+	assertGraphsEqual(t, src, res.Graph)
+}
+
+// assertGraphsEqual compares two graphs structurally: same node names
+// in the same order, same op kinds, same inferred shapes, same wiring,
+// and identical weight/parameter payloads.
+func assertGraphsEqual(t *testing.T, want, got *nn.Graph) {
+	t.Helper()
+	if len(want.Nodes) != len(got.Nodes) {
+		t.Fatalf("node count %d, want %d", len(got.Nodes), len(want.Nodes))
+	}
+	for i, wn := range want.Nodes {
+		gn := got.Nodes[i]
+		if wn.Name != gn.Name {
+			t.Fatalf("node %d named %q, want %q", i, gn.Name, wn.Name)
+		}
+		if wn.Op == nil || gn.Op == nil {
+			if (wn.Op == nil) != (gn.Op == nil) {
+				t.Fatalf("node %q op nil-ness differs", wn.Name)
+			}
+			continue
+		}
+		if wk, gk := wn.Op.Kind(), gn.Op.Kind(); wk != gk {
+			t.Fatalf("node %q kind %v, want %v", wn.Name, gk, wk)
+		}
+		if !wn.OutShape.Equal(gn.OutShape) {
+			t.Fatalf("node %q shape %v, want %v", wn.Name, gn.OutShape, wn.OutShape)
+		}
+		if len(wn.Inputs) != len(gn.Inputs) {
+			t.Fatalf("node %q has %d inputs, want %d", wn.Name, len(gn.Inputs), len(wn.Inputs))
+		}
+		for j := range wn.Inputs {
+			if wn.Inputs[j].Name != gn.Inputs[j].Name {
+				t.Fatalf("node %q input %d is %q, want %q", wn.Name, j, gn.Inputs[j].Name, wn.Inputs[j].Name)
+			}
+		}
+		if d := describeParams(wn.Op); d != describeParams(gn.Op) {
+			t.Fatalf("node %q params\n got %s\nwant %s", wn.Name, describeParams(gn.Op), d)
+		}
+	}
+	if len(want.Outputs) != len(got.Outputs) {
+		t.Fatalf("output count %d, want %d", len(got.Outputs), len(want.Outputs))
+	}
+	for i := range want.Outputs {
+		if want.Outputs[i].Name != got.Outputs[i].Name {
+			t.Fatalf("output %d is %q, want %q", i, got.Outputs[i].Name, want.Outputs[i].Name)
+		}
+	}
+}
+
+// describeParams renders an op's attributes and payloads for equality
+// comparison, reusing the exporter's schema mapping.
+func describeParams(op nn.Op) string {
+	jn, err := exportNode(&nn.Node{Op: op, Name: "x"})
+	if err != nil {
+		return err.Error()
+	}
+	b, err := json.Marshal(jn)
+	if err != nil {
+		return err.Error()
+	}
+	return string(b)
+}
+
+// TestJSONErrorPaths drives every typed importer error through the JSON
+// reader and pins the exact node-path messages.
+func TestJSONErrorPaths(t *testing.T) {
+	const header = `{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [8, 8, 3]}, `
+	cases := []struct {
+		name string
+		doc  string
+		kind error
+		msg  string
+	}{
+		{
+			name: "malformed json",
+			doc:  `{"schema": `,
+			kind: ErrBadGraph,
+			msg:  `importer: graph: bad graph: decoding JSON: unexpected EOF`,
+		},
+		{
+			name: "unknown field",
+			doc:  `{"schema": "clsacim-graph/v1", "bogus": 1}`,
+			kind: ErrBadGraph,
+			msg:  `importer: graph: bad graph: decoding JSON: json: unknown field "bogus"`,
+		},
+		{
+			name: "wrong schema",
+			doc:  `{"schema": "clsacim-graph/v2"}`,
+			kind: ErrBadGraph,
+			msg:  `importer: graph: bad graph: schema "clsacim-graph/v2", want "clsacim-graph/v1"`,
+		},
+		{
+			name: "missing input",
+			doc:  `{"schema": "clsacim-graph/v1"}`,
+			kind: ErrBadGraph,
+			msg:  `importer: graph: bad graph: missing input declaration`,
+		},
+		{
+			name: "bad input shape",
+			doc:  `{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [8, 8]}}`,
+			kind: ErrBadGraph,
+			msg:  `importer: input: bad graph: shape needs 3 dims (H, W, C), got 2`,
+		},
+		{
+			name: "unnamed node",
+			doc:  header + `"nodes": [{"op": "Flatten", "inputs": ["in"]}], "outputs": ["x"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[0] (""): bad graph: node needs a name`,
+		},
+		{
+			name: "duplicate node",
+			doc: header + `"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]},
+				{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["f"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[1] ("f"): bad graph: duplicate node name "f"`,
+		},
+		{
+			name: "unknown input ref",
+			doc:  header + `"nodes": [{"name": "f", "op": "Flatten", "inputs": ["ghost"]}], "outputs": ["f"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[0] ("f"): bad graph: unknown input "ghost" (nodes must be listed producers-first)`,
+		},
+		{
+			name: "unsupported op",
+			doc:  header + `"nodes": [{"name": "s", "op": "Softmax", "inputs": ["in"]}], "outputs": ["s"]}`,
+			kind: ErrUnsupportedOp,
+			msg:  `importer: nodes[0] ("s"): unsupported op: op "Softmax"`,
+		},
+		{
+			name: "unsupported activation",
+			doc: header + `"nodes": [{"name": "a", "op": "Activation", "inputs": ["in"],
+				"attrs": {"act": "gelu"}}], "outputs": ["a"]}`,
+			kind: ErrUnsupportedOp,
+			msg:  `importer: nodes[0] ("a"): unsupported op: activation "gelu" (want linear, relu, or leaky)`,
+		},
+		{
+			name: "missing attrs",
+			doc:  header + `"nodes": [{"name": "c", "op": "Conv2D", "inputs": ["in"]}], "outputs": ["c"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[0] ("c"): bad graph: op Conv2D requires attrs`,
+		},
+		{
+			name: "bad window",
+			doc: header + `"nodes": [{"name": "c", "op": "Conv2D", "inputs": ["in"],
+				"attrs": {"kh": 3, "kw": 3, "sh": 0, "sw": 1, "ki": 3, "ko": 4}}], "outputs": ["c"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[0] ("c"): bad graph: window attrs (kh, kw, sh, sw) = (3, 3, 0, 1) must be in [1, 1048576]`,
+		},
+		{
+			name: "weights length",
+			doc: header + `"nodes": [{"name": "c", "op": "Conv2D", "inputs": ["in"],
+				"attrs": {"kh": 1, "kw": 1, "sh": 1, "sw": 1, "ki": 3, "ko": 2},
+				"weights": [1, 2, 3]}], "outputs": ["c"]}`,
+			kind: ErrShapeMismatch,
+			msg:  `importer: nodes[0] ("c"): shape mismatch: weights length 3 != kh*kw*ki*ko = 6`,
+		},
+		{
+			name: "shape inference failure",
+			doc: header + `"nodes": [{"name": "d", "op": "Dense", "inputs": ["in"],
+				"attrs": {"ki": 3, "ko": 4}}], "outputs": ["d"]}`,
+			kind: ErrShapeMismatch,
+			msg:  `importer: nodes[0] ("d"): shape mismatch: nn: node "d": nn: Dense requires (1,1,C) input, got (8, 8, 3) (flatten first)`,
+		},
+		{
+			name: "declared shape mismatch",
+			doc: header + `"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"],
+				"shape": [1, 1, 64]}], "outputs": ["f"]}`,
+			kind: ErrShapeMismatch,
+			msg:  `importer: nodes[0] ("f"): shape mismatch: declared shape (1, 1, 64) != inferred (1, 1, 192)`,
+		},
+		{
+			name: "bad concat axis",
+			doc: header + `"nodes": [{"name": "c", "op": "Concat", "inputs": ["in", "in"],
+				"attrs": {"axis": "N"}}], "outputs": ["c"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: nodes[0] ("c"): bad graph: concat axis "N" (want H, W, or C)`,
+		},
+		{
+			name: "no outputs",
+			doc:  header + `"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": []}`,
+			kind: ErrBadGraph,
+			msg:  `importer: graph: bad graph: no outputs declared`,
+		},
+		{
+			name: "unknown output",
+			doc:  header + `"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["ghost"]}`,
+			kind: ErrBadGraph,
+			msg:  `importer: outputs: bad graph: unknown output "ghost"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Import(strings.NewReader(tc.doc), Options{})
+			ie := importError(t, err, tc.kind)
+			if ie.Error() != tc.msg {
+				t.Errorf("message\n got %q\nwant %q", ie.Error(), tc.msg)
+			}
+		})
+	}
+}
+
+func TestImportRejectsOversizedInput(t *testing.T) {
+	doc := `{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [4, 4, 1]},` +
+		` "nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["f"]}`
+	if _, err := Import(strings.NewReader(doc), Options{MaxBytes: 16}); err == nil {
+		t.Fatal("oversized JSON import succeeded")
+	} else if !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("oversized JSON error %v, want ErrBadGraph", err)
+	}
+	// ONNX path reports the bound explicitly.
+	_, err := Import(bytes.NewReader(bytes.Repeat([]byte{0x08, 0x01}, 64)), Options{Format: FormatONNX, MaxBytes: 16})
+	ie := importError(t, err, ErrBadGraph)
+	if want := "importer: input: bad graph: input exceeds 16 bytes"; ie.Error() != want {
+		t.Errorf("message %q, want %q", ie.Error(), want)
+	}
+}
+
+func TestImportFileDispatchAndNaming(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := ExportJSON(smallCNNGraph(t), "", &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/mynet.json"
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ImportFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No declared name in the file: the base filename wins.
+	if res.Name != "mynet" {
+		t.Errorf("name %q, want mynet", res.Name)
+	}
+	if _, err := ImportFile(dir+"/missing.json", Options{}); err == nil {
+		t.Error("importing a missing file succeeded")
+	}
+}
+
+func TestSniffFormat(t *testing.T) {
+	// Leading whitespace then '{' is JSON; anything else is ONNX.
+	if res, err := Import(strings.NewReader("\n\t {\"schema\": \"clsacim-graph/v1\"}"), Options{}); err == nil {
+		t.Errorf("schema-only JSON import succeeded: %+v", res)
+	} else if !errors.Is(err, ErrBadGraph) {
+		t.Errorf("sniffed JSON error %v, want ErrBadGraph (missing input)", err)
+	}
+	_, err := Import(bytes.NewReader([]byte{0x08, 0x07}), Options{})
+	ie := importError(t, err, ErrBadGraph)
+	if !strings.Contains(ie.Error(), "model has no graph") {
+		t.Errorf("sniffed ONNX error %q, want model-has-no-graph", ie.Error())
+	}
+}

@@ -1,0 +1,476 @@
+package importer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clsacim/internal/nn"
+	"clsacim/internal/region"
+	"clsacim/internal/tensor"
+)
+
+// SchemaV1 is the versioned identifier a clsacim graph document must
+// declare in its "schema" field.
+const SchemaV1 = "clsacim-graph/v1"
+
+// maxDim bounds every tensor dimension and windowing attribute. It
+// keeps hostile inputs from overflowing shape arithmetic: with every
+// extent below 2^20, any H*W*C product stays far inside int64.
+const maxDim = 1 << 20
+
+// jsonGraph is the clsacim-graph/v1 document. Nodes must be listed
+// producers-first (a node may only reference earlier nodes or the
+// input), which also guarantees acyclicity. The ONNX reader lowers
+// onto this same structure before building, so both frontends share
+// one validation and graph-construction path.
+type jsonGraph struct {
+	Schema  string     `json:"schema"`
+	Name    string     `json:"name,omitempty"`
+	Input   *jsonInput `json:"input"`
+	Nodes   []jsonNode `json:"nodes"`
+	Outputs []string   `json:"outputs"`
+}
+
+// jsonInput declares the single graph input.
+type jsonInput struct {
+	Name string `json:"name"`
+	// Shape is (H, W, C).
+	Shape []int `json:"shape"`
+}
+
+// jsonNode is one operator instance. Weights and per-channel parameter
+// vectors ride directly on the node ("initializers"); the flat weights
+// layout is row-major (KH, KW, KI, KO), matching nn.ConvWeights.
+type jsonNode struct {
+	Name   string     `json:"name"`
+	Op     string     `json:"op"`
+	Inputs []string   `json:"inputs,omitempty"`
+	Attrs  *jsonAttrs `json:"attrs,omitempty"`
+	// Shape optionally declares the node's output (H, W, C); when
+	// present it is validated against the inferred shape.
+	Shape    []int     `json:"shape,omitempty"`
+	Weights  []float32 `json:"weights,omitempty"`
+	Bias     []float32 `json:"bias,omitempty"`
+	Gamma    []float32 `json:"gamma,omitempty"`
+	Beta     []float32 `json:"beta,omitempty"`
+	Mean     []float32 `json:"mean,omitempty"`
+	Variance []float32 `json:"variance,omitempty"`
+}
+
+// jsonAttrs carries the per-op attributes; which fields apply depends
+// on the op kind (see docs/importing.md for the table).
+type jsonAttrs struct {
+	KH     int     `json:"kh,omitempty"`
+	KW     int     `json:"kw,omitempty"`
+	SH     int     `json:"sh,omitempty"`
+	SW     int     `json:"sw,omitempty"`
+	Pad    []int   `json:"pad,omitempty"` // top, bottom, left, right
+	KI     int     `json:"ki,omitempty"`
+	KO     int     `json:"ko,omitempty"`
+	C      int     `json:"c,omitempty"`
+	Eps    float32 `json:"eps,omitempty"`
+	Act    string  `json:"act,omitempty"`
+	Alpha  float32 `json:"alpha,omitempty"`
+	Global bool    `json:"global,omitempty"`
+	Axis   string  `json:"axis,omitempty"`
+	Factor int     `json:"factor,omitempty"`
+	Box    []int   `json:"box,omitempty"` // h0, h1, w0, w1, c0, c1
+	Value  float32 `json:"value,omitempty"`
+}
+
+// importJSON decodes and builds a clsacim-graph/v1 document.
+func importJSON(r io.Reader, maxBytes int64) (*nn.Graph, string, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxBytes))
+	dec.DisallowUnknownFields()
+	var doc jsonGraph
+	if err := dec.Decode(&doc); err != nil {
+		return nil, "", errf(ErrBadGraph, graphPath, "decoding JSON: %v", err)
+	}
+	g, err := buildGraph(&doc)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, doc.Name, nil
+}
+
+// nodePath renders the canonical Error.Path of the i-th node.
+func nodePath(i int, name string) string {
+	return fmt.Sprintf("nodes[%d] (%q)", i, name)
+}
+
+// buildGraph lowers a decoded document into a validated *nn.Graph.
+func buildGraph(doc *jsonGraph) (*nn.Graph, error) {
+	if doc.Schema != SchemaV1 {
+		return nil, errf(ErrBadGraph, graphPath, "schema %q, want %q", doc.Schema, SchemaV1)
+	}
+	if doc.Input == nil {
+		return nil, errf(ErrBadGraph, graphPath, "missing input declaration")
+	}
+	if doc.Input.Name == "" {
+		return nil, errf(ErrBadGraph, "input", "input needs a name")
+	}
+	shape, err := shapeOf(doc.Input.Shape, "input")
+	if err != nil {
+		return nil, err
+	}
+	g := nn.NewGraph()
+	byName := map[string]*nn.Node{doc.Input.Name: g.AddInput(doc.Input.Name, shape)}
+
+	for i := range doc.Nodes {
+		n := &doc.Nodes[i]
+		path := nodePath(i, n.Name)
+		if n.Name == "" {
+			return nil, errf(ErrBadGraph, nodePath(i, ""), "node needs a name")
+		}
+		if _, dup := byName[n.Name]; dup {
+			return nil, errf(ErrBadGraph, path, "duplicate node name %q", n.Name)
+		}
+		op, err := opOf(n, path)
+		if err != nil {
+			return nil, err
+		}
+		ins := make([]*nn.Node, len(n.Inputs))
+		for j, ref := range n.Inputs {
+			src, ok := byName[ref]
+			if !ok {
+				return nil, errf(ErrBadGraph, path, "unknown input %q (nodes must be listed producers-first)", ref)
+			}
+			ins[j] = src
+		}
+		node, err := g.TryAdd(n.Name, op, ins...)
+		if err != nil {
+			return nil, errf(ErrShapeMismatch, path, "%v", err)
+		}
+		if err := checkShape(node.OutShape, n.Shape, path); err != nil {
+			return nil, err
+		}
+		byName[n.Name] = node
+	}
+
+	if len(doc.Outputs) == 0 {
+		return nil, errf(ErrBadGraph, graphPath, "no outputs declared")
+	}
+	for _, ref := range doc.Outputs {
+		out, ok := byName[ref]
+		if !ok {
+			return nil, errf(ErrBadGraph, "outputs", "unknown output %q", ref)
+		}
+		g.MarkOutput(out)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, errf(ErrBadGraph, graphPath, "%v", err)
+	}
+	return g, nil
+}
+
+// shapeOf validates a declared (H, W, C) triple.
+func shapeOf(dims []int, path string) (tensor.Shape, error) {
+	if len(dims) != 3 {
+		return tensor.Shape{}, errf(ErrBadGraph, path, "shape needs 3 dims (H, W, C), got %d", len(dims))
+	}
+	for _, d := range dims {
+		if d < 1 || d > maxDim {
+			return tensor.Shape{}, errf(ErrBadGraph, path, "shape dim %d outside [1, %d]", d, maxDim)
+		}
+	}
+	return tensor.NewShape(dims[0], dims[1], dims[2]), nil
+}
+
+// checkShape compares the inferred output shape against the node's
+// optional declared shape, and bounds every extent (so hostile
+// upsample/flatten chains cannot overflow downstream arithmetic).
+func checkShape(got tensor.Shape, declared []int, path string) error {
+	if got.H < 1 || got.H > maxDim || got.W < 1 || got.W > maxDim || got.C < 1 || got.C > maxDim {
+		return errf(ErrShapeMismatch, path, "inferred shape %v outside [1, %d] per dim", got, maxDim)
+	}
+	if declared == nil {
+		return nil
+	}
+	if len(declared) != 3 {
+		return errf(ErrShapeMismatch, path, "declared shape needs 3 dims (H, W, C), got %d", len(declared))
+	}
+	want := tensor.NewShape(declared[0], declared[1], declared[2])
+	if !got.Equal(want) {
+		return errf(ErrShapeMismatch, path, "declared shape %v != inferred %v", want, got)
+	}
+	return nil
+}
+
+// padOf validates a [top, bottom, left, right] padding attribute.
+func padOf(p []int, path string) (nn.Padding, error) {
+	if p == nil {
+		return nn.Padding{}, nil
+	}
+	if len(p) != 4 {
+		return nn.Padding{}, errf(ErrBadGraph, path, "pad needs 4 values (top, bottom, left, right), got %d", len(p))
+	}
+	for _, v := range p {
+		if v < 0 || v > maxDim {
+			return nn.Padding{}, errf(ErrBadGraph, path, "pad value %d outside [0, %d]", v, maxDim)
+		}
+	}
+	return nn.Padding{Top: p[0], Bottom: p[1], Left: p[2], Right: p[3]}, nil
+}
+
+// window validates the kernel/stride attributes of a windowed op.
+func window(a *jsonAttrs, path string) (kh, kw, sh, sw int, err error) {
+	for _, v := range [...]int{a.KH, a.KW, a.SH, a.SW} {
+		if v < 1 || v > maxDim {
+			return 0, 0, 0, 0, errf(ErrBadGraph, path, "window attrs (kh, kw, sh, sw) = (%d, %d, %d, %d) must be in [1, %d]",
+				a.KH, a.KW, a.SH, a.SW, maxDim)
+		}
+	}
+	return a.KH, a.KW, a.SH, a.SW, nil
+}
+
+// channels validates a channel-count attribute.
+func channels(v int, field, path string) (int, error) {
+	if v < 1 || v > maxDim {
+		return 0, errf(ErrBadGraph, path, "%s = %d outside [1, %d]", field, v, maxDim)
+	}
+	return v, nil
+}
+
+// weightsOf wraps a flat weight slice as a kernel tensor after
+// validating its length (the dims are already bounded by maxDim, so
+// the int64 product cannot overflow).
+func weightsOf(data []float32, kh, kw, ki, ko int, path string) (*nn.ConvWeights, error) {
+	if len(data) == 0 {
+		return nil, nil // shape-only node
+	}
+	want := int64(kh) * int64(kw) * int64(ki) * int64(ko)
+	if int64(len(data)) != want {
+		return nil, errf(ErrShapeMismatch, path, "weights length %d != kh*kw*ki*ko = %d", len(data), want)
+	}
+	return &nn.ConvWeights{KH: kh, KW: kw, KI: ki, KO: ko, Data: data}, nil
+}
+
+// vecOf validates an optional per-channel vector length.
+func vecOf(data []float32, n int, field, path string) ([]float32, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	if len(data) != n {
+		return nil, errf(ErrShapeMismatch, path, "%s length %d != %d", field, len(data), n)
+	}
+	return data, nil
+}
+
+// needAttrs fails when an op that requires attributes has none.
+func needAttrs(n *jsonNode, path string) (*jsonAttrs, error) {
+	if n.Attrs == nil {
+		return nil, errf(ErrBadGraph, path, "op %s requires attrs", n.Op)
+	}
+	return n.Attrs, nil
+}
+
+// opOf constructs the nn operator for one node.
+func opOf(n *jsonNode, path string) (nn.Op, error) {
+	switch n.Op {
+	case "Conv2D":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		kh, kw, sh, sw, err := window(a, path)
+		if err != nil {
+			return nil, err
+		}
+		pad, err := padOf(a.Pad, path)
+		if err != nil {
+			return nil, err
+		}
+		ki, err := channels(a.KI, "ki", path)
+		if err != nil {
+			return nil, err
+		}
+		ko, err := channels(a.KO, "ko", path)
+		if err != nil {
+			return nil, err
+		}
+		w, err := weightsOf(n.Weights, kh, kw, ki, ko, path)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := vecOf(n.Bias, ko, "bias", path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.Conv2D{KH: kh, KW: kw, SH: sh, SW: sw, Pad: pad, KI: ki, KO: ko, W: w, Bias: bias}, nil
+
+	case "DepthwiseConv2D":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		kh, kw, sh, sw, err := window(a, path)
+		if err != nil {
+			return nil, err
+		}
+		pad, err := padOf(a.Pad, path)
+		if err != nil {
+			return nil, err
+		}
+		c, err := channels(a.C, "c", path)
+		if err != nil {
+			return nil, err
+		}
+		w, err := weightsOf(n.Weights, kh, kw, c, 1, path)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := vecOf(n.Bias, c, "bias", path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.DepthwiseConv2D{KH: kh, KW: kw, SH: sh, SW: sw, Pad: pad, C: c, W: w, Bias: bias}, nil
+
+	case "Dense":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		ki, err := channels(a.KI, "ki", path)
+		if err != nil {
+			return nil, err
+		}
+		ko, err := channels(a.KO, "ko", path)
+		if err != nil {
+			return nil, err
+		}
+		w, err := weightsOf(n.Weights, 1, 1, ki, ko, path)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := vecOf(n.Bias, ko, "bias", path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.Dense{KI: ki, KO: ko, W: w, Bias: bias}, nil
+
+	case "BatchNorm":
+		eps := float32(1e-3)
+		if n.Attrs != nil && n.Attrs.Eps != 0 {
+			eps = n.Attrs.Eps
+		}
+		// Parameter lengths are validated against the input channel
+		// count by shape inference.
+		return &nn.BatchNorm{Gamma: n.Gamma, Beta: n.Beta, Mean: n.Mean, Var: n.Variance, Eps: eps}, nil
+
+	case "BiasAdd":
+		return &nn.BiasAdd{B: n.Bias}, nil
+
+	case "Activation":
+		var fn nn.ActFunc
+		var alpha float32
+		act := ""
+		if n.Attrs != nil {
+			act = n.Attrs.Act
+			alpha = n.Attrs.Alpha
+		}
+		switch act {
+		case "", "linear":
+			fn = nn.ActLinear
+		case "relu":
+			fn = nn.ActReLU
+		case "leaky":
+			fn = nn.ActLeakyReLU
+		default:
+			return nil, errf(ErrUnsupportedOp, path, "activation %q (want linear, relu, or leaky)", act)
+		}
+		return &nn.Activation{Func: fn, Alpha: alpha}, nil
+
+	case "MaxPool":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		kh, kw, sh, sw, err := window(a, path)
+		if err != nil {
+			return nil, err
+		}
+		pad, err := padOf(a.Pad, path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.MaxPool{KH: kh, KW: kw, SH: sh, SW: sw, Pad: pad}, nil
+
+	case "AvgPool":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		if a.Global {
+			return &nn.AvgPool{Global: true}, nil
+		}
+		kh, kw, sh, sw, err := window(a, path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.AvgPool{KH: kh, KW: kw, SH: sh, SW: sw}, nil
+
+	case "Pad":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		pad, err := padOf(a.Pad, path)
+		if err != nil {
+			return nil, err
+		}
+		return &nn.Pad{Pad: pad, Value: a.Value}, nil
+
+	case "Concat":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		var axis nn.Axis
+		switch a.Axis {
+		case "H":
+			axis = nn.AxisH
+		case "W":
+			axis = nn.AxisW
+		case "C":
+			axis = nn.AxisC
+		default:
+			return nil, errf(ErrBadGraph, path, "concat axis %q (want H, W, or C)", a.Axis)
+		}
+		return &nn.Concat{Axis: axis}, nil
+
+	case "Add":
+		return &nn.Add{}, nil
+
+	case "UpSample":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		if a.Factor < 1 || a.Factor > maxDim {
+			return nil, errf(ErrBadGraph, path, "upsample factor %d outside [1, %d]", a.Factor, maxDim)
+		}
+		return &nn.UpSample{Factor: a.Factor}, nil
+
+	case "Slice":
+		a, err := needAttrs(n, path)
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Box) != 6 {
+			return nil, errf(ErrBadGraph, path, "slice box needs 6 values (h0, h1, w0, w1, c0, c1), got %d", len(a.Box))
+		}
+		for _, v := range a.Box {
+			if v < 0 || v > maxDim {
+				return nil, errf(ErrBadGraph, path, "slice box value %d outside [0, %d]", v, maxDim)
+			}
+		}
+		return &nn.Slice{Box: region.NewBox(a.Box[0], a.Box[1], a.Box[2], a.Box[3], a.Box[4], a.Box[5])}, nil
+
+	case "Flatten":
+		return &nn.Flatten{}, nil
+
+	default:
+		return nil, errf(ErrUnsupportedOp, path, "op %q", n.Op)
+	}
+}

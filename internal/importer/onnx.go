@@ -1,0 +1,641 @@
+package importer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file reads the subset of ONNX that maps onto the operators the
+// compiler models. ONNX is protobuf; the container does not vendor a
+// protobuf runtime, so the wire format (a handful of varint/bytes
+// framing rules) is decoded by hand below — only the fields the subset
+// needs are interpreted, everything else is skipped per standard proto
+// semantics.
+//
+// Supported ops (NCHW, lowered onto the clsacim-graph/v1 structures
+// and built through the same path as the JSON reader):
+//
+//	Conv (group 1, or depthwise group == channels; explicit or VALID
+//	padding, dilation 1), Gemm (alpha = beta = 1, transA = 0),
+//	MatMul, BatchNormalization, MaxPool (ceil_mode 0),
+//	Relu, LeakyRelu, Add (tensor+tensor, or tensor+vector as BiasAdd),
+//	Concat, Flatten (axis 1)
+//
+// Everything else fails with ErrUnsupportedOp naming the node.
+// Weights must arrive as graph initializers of type FLOAT; tensor
+// layouts are transposed from ONNX (KO, KI, KH, KW) to the internal
+// (KH, KW, KI, KO).
+
+// Protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// pbuf is a minimal protobuf wire-format reader over one message's
+// bytes. All methods return ErrBadGraph-typed errors on truncated or
+// malformed input; nothing panics.
+type pbuf struct {
+	b    []byte
+	pos  int
+	path string
+}
+
+func (p *pbuf) done() bool { return p.pos >= len(p.b) }
+
+func (p *pbuf) fail(format string, args ...any) error {
+	return errf(ErrBadGraph, p.path, format, args...)
+}
+
+// varint reads one base-128 varint.
+func (p *pbuf) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if p.pos >= len(p.b) {
+			return 0, p.fail("truncated varint at byte %d", p.pos)
+		}
+		c := p.b[p.pos]
+		p.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, p.fail("varint longer than 10 bytes at byte %d", p.pos)
+}
+
+// tag reads the next field tag, returning the field number and wire type.
+func (p *pbuf) tag() (field int, wire int, err error) {
+	v, err := p.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if v>>3 == 0 || v>>3 > math.MaxInt32 {
+		return 0, 0, p.fail("invalid field number %d", v>>3)
+	}
+	return int(v >> 3), int(v & 7), nil
+}
+
+// bytes reads one length-delimited payload.
+func (p *pbuf) bytes() ([]byte, error) {
+	n, err := p.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(p.b)-p.pos) {
+		return nil, p.fail("length %d exceeds remaining %d bytes", n, len(p.b)-p.pos)
+	}
+	out := p.b[p.pos : p.pos+int(n)]
+	p.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field of the given wire type.
+func (p *pbuf) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := p.varint()
+		return err
+	case wireFixed64:
+		if len(p.b)-p.pos < 8 {
+			return p.fail("truncated fixed64")
+		}
+		p.pos += 8
+		return nil
+	case wireBytes:
+		_, err := p.bytes()
+		return err
+	case wireFixed32:
+		if len(p.b)-p.pos < 4 {
+			return p.fail("truncated fixed32")
+		}
+		p.pos += 4
+		return nil
+	default:
+		return p.fail("unsupported wire type %d", wire)
+	}
+}
+
+// fixed32 reads one 32-bit little-endian value.
+func (p *pbuf) fixed32() (uint32, error) {
+	if len(p.b)-p.pos < 4 {
+		return 0, p.fail("truncated fixed32")
+	}
+	v := binary.LittleEndian.Uint32(p.b[p.pos:])
+	p.pos += 4
+	return v, nil
+}
+
+// packedInt64 appends the int64s of a repeated field occurrence:
+// either one varint (unpacked) or a packed length-delimited run.
+func packedInt64(p *pbuf, wire int, dst []int64) ([]int64, error) {
+	switch wire {
+	case wireVarint:
+		v, err := p.varint()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, int64(v)), nil
+	case wireBytes:
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		sub := &pbuf{b: raw, path: p.path}
+		for !sub.done() {
+			v, err := sub.varint()
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, int64(v))
+		}
+		return dst, nil
+	default:
+		return nil, p.fail("int64 list with wire type %d", wire)
+	}
+}
+
+// packedFloat32 appends the float32s of a repeated field occurrence.
+func packedFloat32(p *pbuf, wire int, dst []float32) ([]float32, error) {
+	switch wire {
+	case wireFixed32:
+		v, err := p.fixed32()
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, math.Float32frombits(v)), nil
+	case wireBytes:
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(raw)%4 != 0 {
+			return nil, p.fail("packed float run of %d bytes", len(raw))
+		}
+		for i := 0; i+4 <= len(raw); i += 4 {
+			dst = append(dst, math.Float32frombits(binary.LittleEndian.Uint32(raw[i:])))
+		}
+		return dst, nil
+	default:
+		return nil, p.fail("float list with wire type %d", wire)
+	}
+}
+
+// onnxTensor is a parsed TensorProto (FLOAT payloads only).
+type onnxTensor struct {
+	name     string
+	dims     []int64
+	dataType int64
+	floats   []float32
+	rawData  []byte
+}
+
+// onnxAttr is a parsed AttributeProto.
+type onnxAttr struct {
+	name   string
+	f      float32
+	i      int64
+	s      string
+	ints   []int64
+	floats []float32
+	hasF   bool
+	hasI   bool
+}
+
+// onnxNode is a parsed NodeProto.
+type onnxNode struct {
+	opType  string
+	name    string
+	inputs  []string
+	outputs []string
+	attrs   map[string]*onnxAttr
+}
+
+// onnxValueInfo is a parsed ValueInfoProto: a tensor name plus its
+// declared dims (0 for symbolic/unknown dimensions).
+type onnxValueInfo struct {
+	name string
+	dims []int64
+}
+
+// onnxGraph is a parsed GraphProto.
+type onnxGraph struct {
+	name         string
+	nodes        []onnxNode
+	initializers map[string]*onnxTensor
+	inputs       []onnxValueInfo
+	outputs      []onnxValueInfo
+}
+
+// parseONNXModel decodes a ModelProto and returns its GraphProto.
+func parseONNXModel(data []byte) (*onnxGraph, error) {
+	p := &pbuf{b: data, path: "onnx"}
+	var graphRaw []byte
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if field == 7 && wire == wireBytes { // ModelProto.graph
+			if graphRaw, err = p.bytes(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.skip(wire); err != nil {
+			return nil, err
+		}
+	}
+	if graphRaw == nil {
+		return nil, errf(ErrBadGraph, "onnx", "model has no graph")
+	}
+	return parseONNXGraph(graphRaw)
+}
+
+// parseONNXGraph decodes a GraphProto.
+func parseONNXGraph(data []byte) (*onnxGraph, error) {
+	p := &pbuf{b: data, path: "onnx"}
+	g := &onnxGraph{initializers: make(map[string]*onnxTensor)}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wire != wireBytes {
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // node
+			n, err := parseONNXNode(raw, len(g.nodes))
+			if err != nil {
+				return nil, err
+			}
+			g.nodes = append(g.nodes, *n)
+		case 2: // name
+			g.name = string(raw)
+		case 5: // initializer
+			t, err := parseONNXTensor(raw)
+			if err != nil {
+				return nil, err
+			}
+			g.initializers[t.name] = t
+		case 11: // input
+			vi, err := parseONNXValueInfo(raw)
+			if err != nil {
+				return nil, err
+			}
+			g.inputs = append(g.inputs, *vi)
+		case 12: // output
+			vi, err := parseONNXValueInfo(raw)
+			if err != nil {
+				return nil, err
+			}
+			g.outputs = append(g.outputs, *vi)
+		}
+	}
+	return g, nil
+}
+
+// parseONNXNode decodes a NodeProto.
+func parseONNXNode(data []byte, idx int) (*onnxNode, error) {
+	p := &pbuf{b: data, path: fmt.Sprintf("node[%d]", idx)}
+	n := &onnxNode{attrs: make(map[string]*onnxAttr)}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wire != wireBytes {
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			n.inputs = append(n.inputs, string(raw))
+		case 2:
+			n.outputs = append(n.outputs, string(raw))
+		case 3:
+			n.name = string(raw)
+		case 4:
+			n.opType = string(raw)
+		case 5:
+			a, err := parseONNXAttr(raw, p.path)
+			if err != nil {
+				return nil, err
+			}
+			n.attrs[a.name] = a
+		}
+	}
+	return n, nil
+}
+
+// parseONNXAttr decodes an AttributeProto.
+func parseONNXAttr(data []byte, path string) (*onnxAttr, error) {
+	p := &pbuf{b: data, path: path}
+	a := &onnxAttr{}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // name
+			if wire != wireBytes {
+				return nil, p.fail("attribute name with wire type %d", wire)
+			}
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.name = string(raw)
+		case 2: // f
+			if wire != wireFixed32 {
+				return nil, p.fail("attribute f with wire type %d", wire)
+			}
+			v, err := p.fixed32()
+			if err != nil {
+				return nil, err
+			}
+			a.f, a.hasF = math.Float32frombits(v), true
+		case 3: // i
+			if wire != wireVarint {
+				return nil, p.fail("attribute i with wire type %d", wire)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			a.i, a.hasI = int64(v), true
+		case 4: // s
+			if wire != wireBytes {
+				return nil, p.fail("attribute s with wire type %d", wire)
+			}
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			a.s = string(raw)
+		case 7: // floats
+			if a.floats, err = packedFloat32(p, wire, a.floats); err != nil {
+				return nil, err
+			}
+		case 8: // ints
+			if a.ints, err = packedInt64(p, wire, a.ints); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return a, nil
+}
+
+// onnxFloat is TensorProto.DataType FLOAT.
+const onnxFloat = 1
+
+// maxTensorElems bounds initializer sizes (64 Mi elements = 256 MiB of
+// float32), so a malformed dims field cannot drive a huge allocation.
+const maxTensorElems = 64 << 20
+
+// parseONNXTensor decodes a TensorProto.
+func parseONNXTensor(data []byte) (*onnxTensor, error) {
+	p := &pbuf{b: data, path: "onnx tensor"}
+	t := &onnxTensor{}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1: // dims
+			if t.dims, err = packedInt64(p, wire, t.dims); err != nil {
+				return nil, err
+			}
+		case 2: // data_type
+			if wire != wireVarint {
+				return nil, p.fail("data_type with wire type %d", wire)
+			}
+			v, err := p.varint()
+			if err != nil {
+				return nil, err
+			}
+			t.dataType = int64(v)
+		case 4: // float_data
+			if t.floats, err = packedFloat32(p, wire, t.floats); err != nil {
+				return nil, err
+			}
+		case 8: // name
+			if wire != wireBytes {
+				return nil, p.fail("tensor name with wire type %d", wire)
+			}
+			raw, err := p.bytes()
+			if err != nil {
+				return nil, err
+			}
+			t.name = string(raw)
+		case 9: // raw_data
+			if wire != wireBytes {
+				return nil, p.fail("raw_data with wire type %d", wire)
+			}
+			if t.rawData, err = p.bytes(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// floatData returns the tensor's float payload, validated against its
+// declared dims.
+func (t *onnxTensor) floatData(path string) ([]float32, error) {
+	if t.dataType != onnxFloat {
+		return nil, errf(ErrUnsupportedOp, path, "initializer %q has data type %d, only FLOAT (1) is supported", t.name, t.dataType)
+	}
+	elems := int64(1)
+	for _, d := range t.dims {
+		if d < 0 || d > maxTensorElems {
+			return nil, errf(ErrBadGraph, path, "initializer %q dim %d out of range", t.name, d)
+		}
+		elems *= d
+		if elems > maxTensorElems {
+			return nil, errf(ErrBadGraph, path, "initializer %q exceeds %d elements", t.name, maxTensorElems)
+		}
+	}
+	data := t.floats
+	if data == nil && t.rawData != nil {
+		if len(t.rawData)%4 != 0 {
+			return nil, errf(ErrBadGraph, path, "initializer %q raw_data length %d not a multiple of 4", t.name, len(t.rawData))
+		}
+		data = make([]float32, len(t.rawData)/4)
+		for i := range data {
+			data[i] = math.Float32frombits(binary.LittleEndian.Uint32(t.rawData[i*4:]))
+		}
+	}
+	if int64(len(data)) != elems {
+		return nil, errf(ErrShapeMismatch, path, "initializer %q has %d values, dims %v need %d", t.name, len(data), t.dims, elems)
+	}
+	return data, nil
+}
+
+// parseONNXValueInfo decodes ValueInfoProto -> (name, tensor dims).
+// The nesting is ValueInfo.type(2) -> TypeProto.tensor_type(1) ->
+// Tensor.shape(2) -> TensorShapeProto.dim(1) -> Dimension.dim_value(1).
+func parseONNXValueInfo(data []byte) (*onnxValueInfo, error) {
+	p := &pbuf{b: data, path: "onnx value_info"}
+	vi := &onnxValueInfo{}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if wire != wireBytes {
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			vi.name = string(raw)
+		case 2: // TypeProto
+			dims, err := parseONNXTypeDims(raw, p.path)
+			if err != nil {
+				return nil, err
+			}
+			vi.dims = dims
+		}
+	}
+	return vi, nil
+}
+
+// parseONNXTypeDims walks TypeProto.tensor_type.shape.dim.
+func parseONNXTypeDims(data []byte, path string) ([]int64, error) {
+	tensorType, err := subMessage(data, 1, path) // TypeProto.tensor_type
+	if err != nil || tensorType == nil {
+		return nil, err
+	}
+	shape, err := subMessage(tensorType, 2, path) // Tensor.shape
+	if err != nil || shape == nil {
+		return nil, err
+	}
+	var dims []int64
+	p := &pbuf{b: shape, path: path}
+	for !p.done() {
+		field, wire, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if field != 1 || wire != wireBytes { // TensorShapeProto.dim
+			if err := p.skip(wire); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		raw, err := p.bytes()
+		if err != nil {
+			return nil, err
+		}
+		d := &pbuf{b: raw, path: path}
+		val := int64(0) // dim_param / absent -> 0 (symbolic)
+		for !d.done() {
+			f, w, err := d.tag()
+			if err != nil {
+				return nil, err
+			}
+			if f == 1 && w == wireVarint { // dim_value
+				v, err := d.varint()
+				if err != nil {
+					return nil, err
+				}
+				val = int64(v)
+				continue
+			}
+			if err := d.skip(w); err != nil {
+				return nil, err
+			}
+		}
+		dims = append(dims, val)
+	}
+	return dims, nil
+}
+
+// subMessage returns the last occurrence of a length-delimited field
+// inside data (nil if absent).
+func subMessage(data []byte, field int, path string) ([]byte, error) {
+	p := &pbuf{b: data, path: path}
+	var out []byte
+	for !p.done() {
+		f, w, err := p.tag()
+		if err != nil {
+			return nil, err
+		}
+		if f == field && w == wireBytes {
+			if out, err = p.bytes(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := p.skip(w); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// attrInt returns an integer attribute (def when absent).
+func (n *onnxNode) attrInt(name string, def int64) int64 {
+	if a, ok := n.attrs[name]; ok && a.hasI {
+		return a.i
+	}
+	return def
+}
+
+// attrFloat returns a float attribute (def when absent).
+func (n *onnxNode) attrFloat(name string, def float32) float32 {
+	if a, ok := n.attrs[name]; ok && a.hasF {
+		return a.f
+	}
+	return def
+}
+
+// attrString returns a string attribute (def when absent).
+func (n *onnxNode) attrString(name, def string) string {
+	if a, ok := n.attrs[name]; ok && a.s != "" {
+		return a.s
+	}
+	return def
+}
+
+// attrInts returns an integer-list attribute (nil when absent).
+func (n *onnxNode) attrInts(name string) []int64 {
+	if a, ok := n.attrs[name]; ok {
+		return a.ints
+	}
+	return nil
+}

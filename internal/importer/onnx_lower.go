@@ -1,0 +1,548 @@
+package importer
+
+import (
+	"fmt"
+	"strings"
+
+	"clsacim/internal/nn"
+)
+
+// importONNX parses an ONNX ModelProto and lowers its graph onto the
+// clsacim-graph/v1 structures, then builds through the same validation
+// and construction path as the JSON reader.
+func importONNX(data []byte) (*nn.Graph, string, error) {
+	og, err := parseONNXModel(data)
+	if err != nil {
+		return nil, "", err
+	}
+	doc, err := lowerONNX(og)
+	if err != nil {
+		return nil, "", err
+	}
+	g, err := buildGraph(doc)
+	if err != nil {
+		return nil, "", err
+	}
+	return g, doc.Name, nil
+}
+
+// onnxNodePath renders the Error.Path of the i-th ONNX node.
+func onnxNodePath(i int, n *onnxNode) string {
+	return fmt.Sprintf("node[%d] (%s %q)", i, n.opType, n.name)
+}
+
+// lowerONNX translates a parsed GraphProto into a clsacim-graph/v1
+// document: NCHW shapes and axes become HWC, ONNX weight layouts are
+// transposed to the internal (KH, KW, KI, KO) order, and each node
+// becomes exactly one schema node (same index), so build-time errors
+// still point at the right position in the source file.
+func lowerONNX(og *onnxGraph) (*jsonGraph, error) {
+	doc := &jsonGraph{Schema: SchemaV1, Name: og.name}
+
+	// The graph input is the one declared input that is not backed by an
+	// initializer (initializers may legally be re-declared as inputs).
+	var graphIn *onnxValueInfo
+	for i := range og.inputs {
+		vi := &og.inputs[i]
+		if _, isInit := og.initializers[vi.name]; isInit {
+			continue
+		}
+		if graphIn != nil {
+			return nil, errf(ErrUnsupportedOp, "onnx", "multiple graph inputs (%q, %q); only single-input graphs are supported", graphIn.name, vi.name)
+		}
+		graphIn = vi
+	}
+	if graphIn == nil {
+		return nil, errf(ErrBadGraph, "onnx", "graph declares no data input")
+	}
+	h, w, c, err := hwcOfDims(graphIn.dims, "onnx input "+graphIn.name)
+	if err != nil {
+		return nil, err
+	}
+	doc.Input = &jsonInput{Name: graphIn.name, Shape: []int{h, w, c}}
+
+	// tensors maps an ONNX tensor name to the schema node producing it.
+	tensors := map[string]string{graphIn.name: graphIn.name}
+
+	for i := range og.nodes {
+		n := &og.nodes[i]
+		path := onnxNodePath(i, n)
+		jn, err := lowerNode(og, n, tensors, path)
+		if err != nil {
+			return nil, err
+		}
+		jn.Name = n.name
+		if jn.Name == "" {
+			jn.Name = fmt.Sprintf("%s_%d", strings.ToLower(n.opType), i)
+		}
+		if len(n.outputs) == 0 {
+			return nil, errf(ErrBadGraph, path, "node has no outputs")
+		}
+		doc.Nodes = append(doc.Nodes, *jn)
+		tensors[n.outputs[0]] = jn.Name
+	}
+
+	if len(og.outputs) == 0 {
+		return nil, errf(ErrBadGraph, "onnx", "graph declares no outputs")
+	}
+	for _, vi := range og.outputs {
+		src, ok := tensors[vi.name]
+		if !ok {
+			return nil, errf(ErrBadGraph, "onnx", "graph output %q is not produced by any node", vi.name)
+		}
+		doc.Outputs = append(doc.Outputs, src)
+	}
+	return doc, nil
+}
+
+// hwcOfDims converts a declared NCHW (or NC) tensor shape to (H, W, C).
+// A batch dimension of 0 (symbolic) is accepted as 1.
+func hwcOfDims(dims []int64, path string) (h, w, c int, err error) {
+	intDim := func(d int64, what string) (int, error) {
+		if d < 1 || d > maxDim {
+			return 0, errf(ErrBadGraph, path, "%s dimension %d outside [1, %d]", what, d, maxDim)
+		}
+		return int(d), nil
+	}
+	switch len(dims) {
+	case 4: // N, C, H, W
+		if dims[0] > 1 {
+			return 0, 0, 0, errf(ErrUnsupportedOp, path, "batch dimension %d; only batch 1 is supported", dims[0])
+		}
+		if c, err = intDim(dims[1], "channel"); err != nil {
+			return 0, 0, 0, err
+		}
+		if h, err = intDim(dims[2], "height"); err != nil {
+			return 0, 0, 0, err
+		}
+		if w, err = intDim(dims[3], "width"); err != nil {
+			return 0, 0, 0, err
+		}
+		return h, w, c, nil
+	case 2: // N, C (flattened features)
+		if dims[0] > 1 {
+			return 0, 0, 0, errf(ErrUnsupportedOp, path, "batch dimension %d; only batch 1 is supported", dims[0])
+		}
+		if c, err = intDim(dims[1], "feature"); err != nil {
+			return 0, 0, 0, err
+		}
+		return 1, 1, c, nil
+	default:
+		return 0, 0, 0, errf(ErrUnsupportedOp, path, "tensor rank %d; want NCHW (4) or NC (2)", len(dims))
+	}
+}
+
+// dataInput resolves a node input that must be a tensor produced by the
+// graph (the input or an earlier node), not an initializer.
+func dataInput(og *onnxGraph, tensors map[string]string, ref, path string) (string, error) {
+	if src, ok := tensors[ref]; ok {
+		return src, nil
+	}
+	if _, isInit := og.initializers[ref]; isInit {
+		return "", errf(ErrBadGraph, path, "input %q is an initializer where a tensor is required", ref)
+	}
+	return "", errf(ErrBadGraph, path, "unknown input tensor %q", ref)
+}
+
+// initInput resolves a node input that must be an initializer.
+func initInput(og *onnxGraph, ref, path string) (*onnxTensor, error) {
+	t, ok := og.initializers[ref]
+	if !ok {
+		return nil, errf(ErrBadGraph, path, "input %q must be an initializer (graph-computed weights are not supported)", ref)
+	}
+	return t, nil
+}
+
+// wantOnnxInputs checks the node's input count against the allowed set.
+func wantOnnxInputs(n *onnxNode, path string, allowed ...int) error {
+	for _, a := range allowed {
+		if len(n.inputs) == a {
+			return nil
+		}
+	}
+	return errf(ErrBadGraph, path, "%s with %d inputs, want %v", n.opType, len(n.inputs), allowed)
+}
+
+// onnxPad lowers the pads/auto_pad attributes to the schema's
+// [top, bottom, left, right] order (ONNX pads order is
+// [top, left, bottom, right]). Only explicit padding and VALID are
+// supported; SAME_* would need shape propagation during lowering.
+func onnxPad(n *onnxNode, path string) ([]int, error) {
+	autoPad := n.attrString("auto_pad", "NOTSET")
+	switch autoPad {
+	case "NOTSET":
+	case "VALID":
+		return nil, nil
+	default:
+		return nil, errf(ErrUnsupportedOp, path, "auto_pad %q; use explicit pads or VALID", autoPad)
+	}
+	pads := n.attrInts("pads")
+	if pads == nil {
+		return nil, nil
+	}
+	if len(pads) != 4 {
+		return nil, errf(ErrBadGraph, path, "pads needs 4 values, got %d", len(pads))
+	}
+	out := make([]int, 4)
+	for i, src := range [4]int{0, 2, 1, 3} { // t, l, b, r -> t, b, l, r
+		v := pads[src]
+		if v < 0 || v > maxDim {
+			return nil, errf(ErrBadGraph, path, "pads value %d outside [0, %d]", v, maxDim)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+// onnxStrides reads the strides attribute (default 1x1).
+func onnxStrides(n *onnxNode, path string) (sh, sw int, err error) {
+	st := n.attrInts("strides")
+	if st == nil {
+		return 1, 1, nil
+	}
+	if len(st) != 2 {
+		return 0, 0, errf(ErrBadGraph, path, "strides needs 2 values, got %d", len(st))
+	}
+	for _, v := range st {
+		if v < 1 || v > maxDim {
+			return 0, 0, errf(ErrBadGraph, path, "stride %d outside [1, %d]", v, maxDim)
+		}
+	}
+	return int(st[0]), int(st[1]), nil
+}
+
+// noDilation rejects dilated windows (not modeled).
+func noDilation(n *onnxNode, path string) error {
+	for _, d := range n.attrInts("dilations") {
+		if d != 1 {
+			return errf(ErrUnsupportedOp, path, "dilation %d; only dilation 1 is supported", d)
+		}
+	}
+	return nil
+}
+
+// lowerNode translates one ONNX node to its schema node.
+func lowerNode(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	switch n.opType {
+	case "Conv":
+		return lowerConv(og, n, tensors, path)
+	case "Gemm", "MatMul":
+		return lowerGemm(og, n, tensors, path)
+	case "BatchNormalization":
+		return lowerBatchNorm(og, n, tensors, path)
+	case "MaxPool":
+		return lowerMaxPool(og, n, tensors, path)
+	case "Relu", "LeakyRelu":
+		if err := wantOnnxInputs(n, path, 1); err != nil {
+			return nil, err
+		}
+		x, err := dataInput(og, tensors, n.inputs[0], path)
+		if err != nil {
+			return nil, err
+		}
+		attrs := &jsonAttrs{Act: "relu"}
+		if n.opType == "LeakyRelu" {
+			attrs.Act = "leaky"
+			attrs.Alpha = n.attrFloat("alpha", 0.01)
+		}
+		return &jsonNode{Op: "Activation", Inputs: []string{x}, Attrs: attrs}, nil
+	case "Add":
+		return lowerAdd(og, n, tensors, path)
+	case "Concat":
+		return lowerConcat(og, n, tensors, path)
+	case "Flatten":
+		if err := wantOnnxInputs(n, path, 1); err != nil {
+			return nil, err
+		}
+		if axis := n.attrInt("axis", 1); axis != 1 {
+			return nil, errf(ErrUnsupportedOp, path, "flatten axis %d; only axis 1 is supported", axis)
+		}
+		x, err := dataInput(og, tensors, n.inputs[0], path)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{Op: "Flatten", Inputs: []string{x}}, nil
+	default:
+		return nil, errf(ErrUnsupportedOp, path, "op %q", n.opType)
+	}
+}
+
+// lowerConv translates Conv. The ONNX kernel layout is
+// (KO, KI/group, KH, KW); group 1 becomes Conv2D, group == channels a
+// DepthwiseConv2D, anything else is unsupported.
+func lowerConv(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	if err := wantOnnxInputs(n, path, 2, 3); err != nil {
+		return nil, err
+	}
+	x, err := dataInput(og, tensors, n.inputs[0], path)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := initInput(og, n.inputs[1], path)
+	if err != nil {
+		return nil, err
+	}
+	if len(wt.dims) != 4 {
+		return nil, errf(ErrBadGraph, path, "Conv weight %q has rank %d, want 4 (KO, KI, KH, KW)", wt.name, len(wt.dims))
+	}
+	wdata, err := wt.floatData(path)
+	if err != nil {
+		return nil, err
+	}
+	ko, kiG, kh, kw := int(wt.dims[0]), int(wt.dims[1]), int(wt.dims[2]), int(wt.dims[3])
+	if ks := n.attrInts("kernel_shape"); ks != nil {
+		if len(ks) != 2 || int(ks[0]) != kh || int(ks[1]) != kw {
+			return nil, errf(ErrShapeMismatch, path, "kernel_shape %v != weight spatial dims (%d, %d)", ks, kh, kw)
+		}
+	}
+	if err := noDilation(n, path); err != nil {
+		return nil, err
+	}
+	sh, sw, err := onnxStrides(n, path)
+	if err != nil {
+		return nil, err
+	}
+	pad, err := onnxPad(n, path)
+	if err != nil {
+		return nil, err
+	}
+	var bias []float32
+	if len(n.inputs) == 3 {
+		bt, err := initInput(og, n.inputs[2], path)
+		if err != nil {
+			return nil, err
+		}
+		if bias, err = bt.floatData(path); err != nil {
+			return nil, err
+		}
+	}
+	group := n.attrInt("group", 1)
+	switch {
+	case group == 1:
+		// (KO, KI, KH, KW) -> (KH, KW, KI, KO)
+		weights := make([]float32, len(wdata))
+		for o := 0; o < ko; o++ {
+			for i := 0; i < kiG; i++ {
+				for h := 0; h < kh; h++ {
+					for w := 0; w < kw; w++ {
+						weights[((h*kw+w)*kiG+i)*ko+o] = wdata[((o*kiG+i)*kh+h)*kw+w]
+					}
+				}
+			}
+		}
+		return &jsonNode{Op: "Conv2D", Inputs: []string{x},
+			Attrs:   &jsonAttrs{KH: kh, KW: kw, SH: sh, SW: sw, Pad: pad, KI: kiG, KO: ko},
+			Weights: weights, Bias: bias}, nil
+	case group == int64(ko) && kiG == 1:
+		// Depthwise: (C, 1, KH, KW) -> (KH, KW, C, 1)
+		weights := make([]float32, len(wdata))
+		for c := 0; c < ko; c++ {
+			for h := 0; h < kh; h++ {
+				for w := 0; w < kw; w++ {
+					weights[(h*kw+w)*ko+c] = wdata[(c*kh+h)*kw+w]
+				}
+			}
+		}
+		return &jsonNode{Op: "DepthwiseConv2D", Inputs: []string{x},
+			Attrs:   &jsonAttrs{KH: kh, KW: kw, SH: sh, SW: sw, Pad: pad, C: ko},
+			Weights: weights, Bias: bias}, nil
+	default:
+		return nil, errf(ErrUnsupportedOp, path, "Conv group %d (want 1, or depthwise group == channels)", group)
+	}
+}
+
+// lowerGemm translates Gemm/MatMul to Dense. The ONNX weight layout
+// (K, N) matches the internal (1, 1, KI, KO) order directly; transB
+// needs a transpose.
+func lowerGemm(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	want := []int{2}
+	if n.opType == "Gemm" {
+		want = []int{2, 3}
+		if a := n.attrFloat("alpha", 1); a != 1 {
+			return nil, errf(ErrUnsupportedOp, path, "Gemm alpha %v; only 1 is supported", a)
+		}
+		if b := n.attrFloat("beta", 1); b != 1 {
+			return nil, errf(ErrUnsupportedOp, path, "Gemm beta %v; only 1 is supported", b)
+		}
+		if ta := n.attrInt("transA", 0); ta != 0 {
+			return nil, errf(ErrUnsupportedOp, path, "Gemm transA %d; only 0 is supported", ta)
+		}
+	}
+	if err := wantOnnxInputs(n, path, want...); err != nil {
+		return nil, err
+	}
+	x, err := dataInput(og, tensors, n.inputs[0], path)
+	if err != nil {
+		return nil, err
+	}
+	wt, err := initInput(og, n.inputs[1], path)
+	if err != nil {
+		return nil, err
+	}
+	if len(wt.dims) != 2 {
+		return nil, errf(ErrBadGraph, path, "%s weight %q has rank %d, want 2", n.opType, wt.name, len(wt.dims))
+	}
+	wdata, err := wt.floatData(path)
+	if err != nil {
+		return nil, err
+	}
+	ki, ko := int(wt.dims[0]), int(wt.dims[1])
+	weights := wdata
+	if n.opType == "Gemm" && n.attrInt("transB", 0) != 0 {
+		// Dims are (N, K) when transB is set.
+		ko, ki = int(wt.dims[0]), int(wt.dims[1])
+		weights = make([]float32, len(wdata))
+		for i := 0; i < ki; i++ {
+			for o := 0; o < ko; o++ {
+				weights[i*ko+o] = wdata[o*ki+i]
+			}
+		}
+	}
+	var bias []float32
+	if len(n.inputs) == 3 {
+		bt, err := initInput(og, n.inputs[2], path)
+		if err != nil {
+			return nil, err
+		}
+		if bias, err = bt.floatData(path); err != nil {
+			return nil, err
+		}
+	}
+	return &jsonNode{Op: "Dense", Inputs: []string{x},
+		Attrs: &jsonAttrs{KI: ki, KO: ko}, Weights: weights, Bias: bias}, nil
+}
+
+// lowerBatchNorm translates BatchNormalization (inference form: inputs
+// X, scale, B, mean, var).
+func lowerBatchNorm(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	if err := wantOnnxInputs(n, path, 5); err != nil {
+		return nil, err
+	}
+	x, err := dataInput(og, tensors, n.inputs[0], path)
+	if err != nil {
+		return nil, err
+	}
+	params := make([][]float32, 4)
+	for i, ref := range n.inputs[1:] {
+		t, err := initInput(og, ref, path)
+		if err != nil {
+			return nil, err
+		}
+		if params[i], err = t.floatData(path); err != nil {
+			return nil, err
+		}
+	}
+	return &jsonNode{Op: "BatchNorm", Inputs: []string{x},
+		Attrs: &jsonAttrs{Eps: n.attrFloat("epsilon", 1e-5)},
+		Gamma: params[0], Beta: params[1], Mean: params[2], Variance: params[3]}, nil
+}
+
+// lowerMaxPool translates MaxPool.
+func lowerMaxPool(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	if err := wantOnnxInputs(n, path, 1); err != nil {
+		return nil, err
+	}
+	x, err := dataInput(og, tensors, n.inputs[0], path)
+	if err != nil {
+		return nil, err
+	}
+	if cm := n.attrInt("ceil_mode", 0); cm != 0 {
+		return nil, errf(ErrUnsupportedOp, path, "MaxPool ceil_mode %d; only 0 is supported", cm)
+	}
+	if err := noDilation(n, path); err != nil {
+		return nil, err
+	}
+	ks := n.attrInts("kernel_shape")
+	if len(ks) != 2 {
+		return nil, errf(ErrBadGraph, path, "MaxPool kernel_shape needs 2 values, got %d", len(ks))
+	}
+	for _, v := range ks {
+		if v < 1 || v > maxDim {
+			return nil, errf(ErrBadGraph, path, "kernel extent %d outside [1, %d]", v, maxDim)
+		}
+	}
+	sh, sw, err := onnxStrides(n, path)
+	if err != nil {
+		return nil, err
+	}
+	pad, err := onnxPad(n, path)
+	if err != nil {
+		return nil, err
+	}
+	return &jsonNode{Op: "MaxPool", Inputs: []string{x},
+		Attrs: &jsonAttrs{KH: int(ks[0]), KW: int(ks[1]), SH: sh, SW: sw, Pad: pad}}, nil
+}
+
+// lowerAdd translates Add: tensor + tensor becomes the Add op; tensor +
+// initializer vector (either order) becomes BiasAdd.
+func lowerAdd(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	if err := wantOnnxInputs(n, path, 2); err != nil {
+		return nil, err
+	}
+	aInit := og.initializers[n.inputs[0]]
+	bInit := og.initializers[n.inputs[1]]
+	switch {
+	case aInit == nil && bInit == nil:
+		a, err := dataInput(og, tensors, n.inputs[0], path)
+		if err != nil {
+			return nil, err
+		}
+		b, err := dataInput(og, tensors, n.inputs[1], path)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{Op: "Add", Inputs: []string{a, b}}, nil
+	case aInit != nil && bInit != nil:
+		return nil, errf(ErrBadGraph, path, "Add of two initializers")
+	default:
+		ref, init := n.inputs[0], bInit
+		if aInit != nil {
+			ref, init = n.inputs[1], aInit
+		}
+		x, err := dataInput(og, tensors, ref, path)
+		if err != nil {
+			return nil, err
+		}
+		bias, err := init.floatData(path)
+		if err != nil {
+			return nil, err
+		}
+		return &jsonNode{Op: "BiasAdd", Inputs: []string{x}, Bias: bias}, nil
+	}
+}
+
+// lowerConcat translates Concat, mapping the NCHW axis index to the
+// internal axis name (1 -> C, 2 -> H, 3 -> W).
+func lowerConcat(og *onnxGraph, n *onnxNode, tensors map[string]string, path string) (*jsonNode, error) {
+	if len(n.inputs) < 2 {
+		return nil, errf(ErrBadGraph, path, "Concat with %d inputs, want >= 2", len(n.inputs))
+	}
+	a, ok := n.attrs["axis"]
+	if !ok || !a.hasI {
+		return nil, errf(ErrBadGraph, path, "Concat requires an axis attribute")
+	}
+	axis := a.i
+	if axis < 0 {
+		axis += 4
+	}
+	var name string
+	switch axis {
+	case 1:
+		name = "C"
+	case 2:
+		name = "H"
+	case 3:
+		name = "W"
+	default:
+		return nil, errf(ErrUnsupportedOp, path, "Concat axis %d; want a C/H/W axis of an NCHW tensor", a.i)
+	}
+	ins := make([]string, len(n.inputs))
+	for i, ref := range n.inputs {
+		x, err := dataInput(og, tensors, ref, path)
+		if err != nil {
+			return nil, err
+		}
+		ins[i] = x
+	}
+	return &jsonNode{Op: "Concat", Inputs: ins, Attrs: &jsonAttrs{Axis: name}}, nil
+}

@@ -1,0 +1,272 @@
+package importer
+
+import (
+	"bytes"
+	"testing"
+
+	"clsacim/internal/nn"
+)
+
+func TestONNXSmallCNNMatchesJSONPath(t *testing.T) {
+	res, err := Import(bytes.NewReader(smallCNNONNX(t)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Format != FormatONNX {
+		t.Fatalf("format %v, want onnx", res.Format)
+	}
+	if res.Name != "smallcnn" {
+		t.Errorf("name %q, want smallcnn", res.Name)
+	}
+	// The ONNX model uses the same node names and (transposed) weights
+	// as the reference network, so lowering must reconstruct it exactly.
+	assertGraphsEqual(t, smallCNNGraph(t), res.Graph)
+}
+
+// onnxOneNode builds a model with the given single node plus
+// initializers, an NCHW input, and one declared output tensor.
+func onnxOneNode(node []byte, inits [][]byte, inDims []int64, outTensor string) []byte {
+	return encModel(encGraph("t",
+		[][]byte{node},
+		inits,
+		[][]byte{encValueInfo("input", inDims)},
+		[][]byte{encValueInfo(outTensor, nil)},
+	))
+}
+
+func importONNXGraph(t *testing.T, model []byte) *nn.Graph {
+	t.Helper()
+	res, err := Import(bytes.NewReader(model), Options{Format: FormatONNX})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func TestONNXLeakyReluDefaultAlpha(t *testing.T) {
+	g := importONNXGraph(t, onnxOneNode(
+		encNode("LeakyRelu", "lr", []string{"input"}, []string{"out"}),
+		nil, []int64{1, 3, 4, 4}, "out"))
+	op := g.ByName("lr").Op.(*nn.Activation)
+	if op.Func != nn.ActLeakyReLU || op.Alpha != 0.01 {
+		t.Errorf("lowered activation %+v, want leaky alpha 0.01", op)
+	}
+}
+
+func TestONNXDepthwiseConv(t *testing.T) {
+	// 3-channel depthwise 2x2: ONNX weight layout (C, 1, KH, KW).
+	w := testWeights(3*2*2, 0)
+	g := importONNXGraph(t, onnxOneNode(
+		encNode("Conv", "dw", []string{"input", "w"}, []string{"out"},
+			encAttrInt("group", 3)),
+		[][]byte{encTensor("w", []int64{3, 1, 2, 2}, w)},
+		[]int64{1, 3, 5, 5}, "out"))
+	op := g.ByName("dw").Op.(*nn.DepthwiseConv2D)
+	if op.C != 3 || op.KH != 2 || op.KW != 2 {
+		t.Fatalf("lowered depthwise %+v", op)
+	}
+	// ours[(h*KW+w)*C+c] == onnx[(c*KH+h)*KW+w]
+	for c := 0; c < 3; c++ {
+		for h := 0; h < 2; h++ {
+			for x := 0; x < 2; x++ {
+				if got, want := op.W.Data[(h*2+x)*3+c], w[(c*2+h)*2+x]; got != want {
+					t.Fatalf("weight (c=%d,h=%d,w=%d) = %v, want %v", c, h, x, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestONNXGemmTransB(t *testing.T) {
+	// (N, K) = (4, 6) with transB: lowered Dense must be KI=6, KO=4
+	// with ours[i*KO+o] == onnx[o*KI+i].
+	w := testWeights(24, 0)
+	g := importONNXGraph(t, onnxOneNode(
+		encNode("Gemm", "fc", []string{"input", "w"}, []string{"out"},
+			encAttrInt("transB", 1)),
+		[][]byte{encTensor("w", []int64{4, 6}, w)},
+		[]int64{1, 6}, "out"))
+	op := g.ByName("fc").Op.(*nn.Dense)
+	if op.KI != 6 || op.KO != 4 {
+		t.Fatalf("lowered dense KI=%d KO=%d, want 6, 4", op.KI, op.KO)
+	}
+	for i := 0; i < 6; i++ {
+		for o := 0; o < 4; o++ {
+			if got, want := op.W.Data[i*4+o], w[o*6+i]; got != want {
+				t.Fatalf("weight (i=%d,o=%d) = %v, want %v", i, o, got, want)
+			}
+		}
+	}
+}
+
+func TestONNXMatMul(t *testing.T) {
+	w := testWeights(12, 0)
+	g := importONNXGraph(t, onnxOneNode(
+		encNode("MatMul", "mm", []string{"input", "w"}, []string{"out"}),
+		[][]byte{encTensor("w", []int64{3, 4}, w)},
+		[]int64{1, 3}, "out"))
+	op := g.ByName("mm").Op.(*nn.Dense)
+	if op.KI != 3 || op.KO != 4 {
+		t.Fatalf("lowered dense KI=%d KO=%d, want 3, 4", op.KI, op.KO)
+	}
+	for i, v := range w { // (K, N) is already the internal layout
+		if op.W.Data[i] != v {
+			t.Fatalf("weight %d = %v, want %v", i, op.W.Data[i], v)
+		}
+	}
+}
+
+func TestONNXAddLowersToBiasAddForInitializer(t *testing.T) {
+	bias := testWeights(3, 0)
+	for name, inputs := range map[string][]string{
+		"tensor+init": {"input", "b"},
+		"init+tensor": {"b", "input"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			g := importONNXGraph(t, onnxOneNode(
+				encNode("Add", "add", inputs, []string{"out"}),
+				[][]byte{encTensor("b", []int64{3}, bias)},
+				[]int64{1, 3, 4, 4}, "out"))
+			op := g.ByName("add").Op.(*nn.BiasAdd)
+			if len(op.B) != 3 {
+				t.Fatalf("bias length %d, want 3", len(op.B))
+			}
+		})
+	}
+}
+
+func TestONNXResidualAddAndConcat(t *testing.T) {
+	// input -> relu twice, Add them, then Concat on the channel axis
+	// (negative axis index exercises the +4 normalization).
+	model := encModel(encGraph("t",
+		[][]byte{
+			encNode("Relu", "r1", []string{"input"}, []string{"r1_out"}),
+			encNode("Relu", "r2", []string{"input"}, []string{"r2_out"}),
+			encNode("Add", "add", []string{"r1_out", "r2_out"}, []string{"add_out"}),
+			encNode("Concat", "cat", []string{"add_out", "r1_out"}, []string{"cat_out"},
+				encAttrInt("axis", -3)),
+		},
+		nil,
+		[][]byte{encValueInfo("input", []int64{1, 3, 4, 4})},
+		[][]byte{encValueInfo("cat_out", nil)},
+	))
+	g := importONNXGraph(t, model)
+	if _, ok := g.ByName("add").Op.(*nn.Add); !ok {
+		t.Fatalf("add lowered to %T", g.ByName("add").Op)
+	}
+	cat, ok := g.ByName("cat").Op.(*nn.Concat)
+	if !ok || cat.Axis != nn.AxisC {
+		t.Fatalf("concat lowered to %T axis %v, want Concat on C", g.ByName("cat").Op, cat)
+	}
+	if s := g.ByName("cat").OutShape; s.C != 6 {
+		t.Fatalf("concat output %v, want 6 channels", s)
+	}
+}
+
+// TestONNXErrorPaths pins the typed errors and node paths of the ONNX
+// reader.
+func TestONNXErrorPaths(t *testing.T) {
+	in4 := []int64{1, 3, 4, 4}
+	cases := []struct {
+		name  string
+		model []byte
+		kind  error
+		msg   string
+	}{
+		{
+			name:  "truncated protobuf",
+			model: []byte{0x3a, 0xff},
+			kind:  ErrBadGraph,
+			msg:   "importer: onnx: bad graph: truncated varint at byte 2",
+		},
+		{
+			name:  "no graph",
+			model: func() []byte { var p pw; p.intField(1, 8); return p.Bytes() }(),
+			kind:  ErrBadGraph,
+			msg:   "importer: onnx: bad graph: model has no graph",
+		},
+		{
+			name: "unsupported op",
+			model: onnxOneNode(encNode("Softmax", "sm", []string{"input"}, []string{"out"}),
+				nil, in4, "out"),
+			kind: ErrUnsupportedOp,
+			msg:  `importer: node[0] (Softmax "sm"): unsupported op: op "Softmax"`,
+		},
+		{
+			name: "grouped conv",
+			model: onnxOneNode(
+				encNode("Conv", "c", []string{"input", "w"}, []string{"out"},
+					encAttrInt("group", 2)),
+				[][]byte{encTensor("w", []int64{4, 2, 1, 1}, testWeights(8, 0))},
+				[]int64{1, 4, 4, 4}, "out"),
+			kind: ErrUnsupportedOp,
+			msg:  `importer: node[0] (Conv "c"): unsupported op: Conv group 2 (want 1, or depthwise group == channels)`,
+		},
+		{
+			name: "graph-computed weights",
+			model: onnxOneNode(
+				encNode("Conv", "c", []string{"input", "notinit"}, []string{"out"}),
+				nil, in4, "out"),
+			kind: ErrBadGraph,
+			msg:  `importer: node[0] (Conv "c"): bad graph: input "notinit" must be an initializer (graph-computed weights are not supported)`,
+		},
+		{
+			name: "same auto_pad",
+			model: onnxOneNode(
+				encNode("Conv", "c", []string{"input", "w"}, []string{"out"},
+					encAttrString("auto_pad", "SAME_UPPER")),
+				[][]byte{encTensor("w", []int64{4, 3, 1, 1}, testWeights(12, 0))},
+				in4, "out"),
+			kind: ErrUnsupportedOp,
+			msg:  `importer: node[0] (Conv "c"): unsupported op: auto_pad "SAME_UPPER"; use explicit pads or VALID`,
+		},
+		{
+			name: "flatten axis",
+			model: onnxOneNode(
+				encNode("Flatten", "f", []string{"input"}, []string{"out"},
+					encAttrInt("axis", 2)),
+				nil, in4, "out"),
+			kind: ErrUnsupportedOp,
+			msg:  `importer: node[0] (Flatten "f"): unsupported op: flatten axis 2; only axis 1 is supported`,
+		},
+		{
+			name: "batch dimension",
+			model: onnxOneNode(encNode("Relu", "r", []string{"input"}, []string{"out"}),
+				nil, []int64{2, 3, 4, 4}, "out"),
+			kind: ErrUnsupportedOp,
+			msg:  "importer: onnx input input: unsupported op: batch dimension 2; only batch 1 is supported",
+		},
+		{
+			name: "unknown output tensor",
+			model: onnxOneNode(encNode("Relu", "r", []string{"input"}, []string{"out"}),
+				nil, in4, "ghost"),
+			kind: ErrBadGraph,
+			msg:  `importer: onnx: bad graph: graph output "ghost" is not produced by any node`,
+		},
+		{
+			name: "dangling tensor ref",
+			model: onnxOneNode(encNode("Relu", "r", []string{"ghost"}, []string{"out"}),
+				nil, in4, "out"),
+			kind: ErrBadGraph,
+			msg:  `importer: node[0] (Relu "r"): bad graph: unknown input tensor "ghost"`,
+		},
+		{
+			name: "initializer length mismatch",
+			model: onnxOneNode(
+				encNode("Conv", "c", []string{"input", "w"}, []string{"out"}),
+				[][]byte{encTensor("w", []int64{4, 3, 2, 2}, testWeights(7, 0))},
+				in4, "out"),
+			kind: ErrShapeMismatch,
+			msg:  `importer: node[0] (Conv "c"): shape mismatch: initializer "w" has 7 values, dims [4 3 2 2] need 48`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Import(bytes.NewReader(tc.model), Options{Format: FormatONNX})
+			ie := importError(t, err, tc.kind)
+			if ie.Error() != tc.msg {
+				t.Errorf("message\n got %q\nwant %q", ie.Error(), tc.msg)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+package importer
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// pw is a minimal protobuf wire-format writer: just enough to encode
+// the ONNX ModelProto subset the reader consumes, so tests (and the
+// checked-in testdata/smallcnn.onnx) need no protobuf dependency.
+type pw struct{ bytes.Buffer }
+
+func (p *pw) uvarint(v uint64) {
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], v)
+	p.Write(tmp[:n])
+}
+
+func (p *pw) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+func (p *pw) bytesField(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.uvarint(uint64(len(b)))
+	p.Write(b)
+}
+
+func (p *pw) strField(field int, s string) { p.bytesField(field, []byte(s)) }
+
+func (p *pw) intField(field int, v int64) {
+	p.tag(field, wireVarint)
+	p.uvarint(uint64(v))
+}
+
+func (p *pw) floatField(field int, f float32) {
+	p.tag(field, wireFixed32)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(f))
+	p.Write(tmp[:])
+}
+
+// packedInts encodes a packed repeated-int64 field.
+func (p *pw) packedInts(field int, vals []int64) {
+	var inner pw
+	for _, v := range vals {
+		inner.uvarint(uint64(v))
+	}
+	p.bytesField(field, inner.Bytes())
+}
+
+// AttributeProto.type values (only the ones the tests emit).
+const (
+	onnxAttrFloat  = 1
+	onnxAttrInt    = 2
+	onnxAttrString = 3
+	onnxAttrInts   = 7
+)
+
+// encAttrInt encodes AttributeProto{name, i}.
+func encAttrInt(name string, v int64) []byte {
+	var p pw
+	p.strField(1, name)
+	p.intField(3, v)
+	p.intField(20, onnxAttrInt)
+	return p.Bytes()
+}
+
+// encAttrFloat encodes AttributeProto{name, f}.
+func encAttrFloat(name string, v float32) []byte {
+	var p pw
+	p.strField(1, name)
+	p.floatField(2, v)
+	p.intField(20, onnxAttrFloat)
+	return p.Bytes()
+}
+
+// encAttrString encodes AttributeProto{name, s}.
+func encAttrString(name, v string) []byte {
+	var p pw
+	p.strField(1, name)
+	p.strField(4, v)
+	p.intField(20, onnxAttrString)
+	return p.Bytes()
+}
+
+// encAttrInts encodes AttributeProto{name, ints} (packed).
+func encAttrInts(name string, vals []int64) []byte {
+	var p pw
+	p.strField(1, name)
+	p.packedInts(8, vals)
+	p.intField(20, onnxAttrInts)
+	return p.Bytes()
+}
+
+// encTensor encodes TensorProto{dims, FLOAT, name, raw_data}.
+func encTensor(name string, dims []int64, data []float32) []byte {
+	var p pw
+	p.packedInts(1, dims)
+	p.intField(2, onnxFloat)
+	raw := make([]byte, 4*len(data))
+	for i, f := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(f))
+	}
+	p.strField(8, name)
+	p.bytesField(9, raw)
+	return p.Bytes()
+}
+
+// encTensorFloatData is encTensor with the float_data encoding instead
+// of raw_data (both are legal ONNX; the reader must accept both).
+func encTensorFloatData(name string, dims []int64, data []float32) []byte {
+	var p pw
+	p.packedInts(1, dims)
+	p.intField(2, onnxFloat)
+	var inner pw
+	for _, f := range data {
+		var tmp [4]byte
+		binary.LittleEndian.PutUint32(tmp[:], math.Float32bits(f))
+		inner.Write(tmp[:])
+	}
+	p.bytesField(4, inner.Bytes())
+	p.strField(8, name)
+	return p.Bytes()
+}
+
+// encValueInfo encodes ValueInfoProto{name, tensor type with dims}.
+func encValueInfo(name string, dims []int64) []byte {
+	var shape pw
+	for _, d := range dims {
+		var dim pw
+		dim.intField(1, d) // Dimension.dim_value
+		shape.bytesField(1, dim.Bytes())
+	}
+	var tt pw
+	tt.intField(1, onnxFloat) // elem_type
+	tt.bytesField(2, shape.Bytes())
+	var ty pw
+	ty.bytesField(1, tt.Bytes()) // TypeProto.tensor_type
+	var p pw
+	p.strField(1, name)
+	p.bytesField(2, ty.Bytes())
+	return p.Bytes()
+}
+
+// encNode encodes NodeProto{inputs, outputs, name, op_type, attributes}.
+func encNode(opType, name string, inputs, outputs []string, attrs ...[]byte) []byte {
+	var p pw
+	for _, in := range inputs {
+		p.strField(1, in)
+	}
+	for _, out := range outputs {
+		p.strField(2, out)
+	}
+	p.strField(3, name)
+	p.strField(4, opType)
+	for _, a := range attrs {
+		p.bytesField(5, a)
+	}
+	return p.Bytes()
+}
+
+// encGraph encodes GraphProto.
+func encGraph(name string, nodes, inits, inputs, outputs [][]byte) []byte {
+	var p pw
+	for _, n := range nodes {
+		p.bytesField(1, n)
+	}
+	p.strField(2, name)
+	for _, t := range inits {
+		p.bytesField(5, t)
+	}
+	for _, vi := range inputs {
+		p.bytesField(11, vi)
+	}
+	for _, vi := range outputs {
+		p.bytesField(12, vi)
+	}
+	return p.Bytes()
+}
+
+// encModel wraps a GraphProto in a ModelProto.
+func encModel(graph []byte) []byte {
+	var p pw
+	p.intField(1, 8) // ir_version
+	p.bytesField(7, graph)
+	return p.Bytes()
+}
+
+// toONNXConvLayout transposes internal (KH, KW, KI, KO) weights to the
+// ONNX Conv layout (KO, KI, KH, KW).
+func toONNXConvLayout(data []float32, kh, kw, ki, ko int) []float32 {
+	out := make([]float32, len(data))
+	for h := 0; h < kh; h++ {
+		for w := 0; w < kw; w++ {
+			for i := 0; i < ki; i++ {
+				for o := 0; o < ko; o++ {
+					out[((o*ki+i)*kh+h)*kw+w] = data[((h*kw+w)*ki+i)*ko+o]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// smallCNNONNX encodes the smallCNNGraph network as an ONNX model with
+// identical node names and weights, so importing it must reconstruct
+// the same graph the JSON path produces.
+func smallCNNONNX(t testing.TB) []byte {
+	t.Helper()
+	conv1W := toONNXConvLayout(testWeights(3*3*3*8, 0.25), 3, 3, 3, 8)
+	conv2W := toONNXConvLayout(testWeights(3*3*8*16, 0.75), 3, 3, 8, 16)
+	graph := encGraph("smallcnn",
+		[][]byte{
+			encNode("Conv", "conv1", []string{"input", "conv1_w", "conv1_b"}, []string{"conv1_out"},
+				encAttrInts("kernel_shape", []int64{3, 3}),
+				encAttrInts("strides", []int64{1, 1}),
+				encAttrInts("pads", []int64{1, 1, 1, 1}), // t, l, b, r
+				encAttrInt("group", 1)),
+			encNode("BatchNormalization", "bn1",
+				[]string{"conv1_out", "bn1_scale", "bn1_b", "bn1_mean", "bn1_var"}, []string{"bn1_out"},
+				encAttrFloat("epsilon", 1e-5)),
+			encNode("Relu", "relu1", []string{"bn1_out"}, []string{"relu1_out"}),
+			encNode("MaxPool", "pool1", []string{"relu1_out"}, []string{"pool1_out"},
+				encAttrInts("kernel_shape", []int64{2, 2}),
+				encAttrInts("strides", []int64{2, 2})),
+			encNode("Conv", "conv2", []string{"pool1_out", "conv2_w"}, []string{"conv2_out"},
+				encAttrInts("kernel_shape", []int64{3, 3})),
+			encNode("Relu", "relu2", []string{"conv2_out"}, []string{"relu2_out"}),
+			encNode("Flatten", "flatten", []string{"relu2_out"}, []string{"flatten_out"},
+				encAttrInt("axis", 1)),
+			encNode("Gemm", "head", []string{"flatten_out", "head_w", "head_b"}, []string{"head_out"}),
+		},
+		[][]byte{
+			encTensor("conv1_w", []int64{8, 3, 3, 3}, conv1W),
+			encTensor("conv1_b", []int64{8}, testWeights(8, 1.5)),
+			encTensorFloatData("bn1_scale", []int64{8}, testWeights(8, 2)),
+			encTensor("bn1_b", []int64{8}, testWeights(8, 3)),
+			encTensor("bn1_mean", []int64{8}, testWeights(8, 4)),
+			encTensor("bn1_var", []int64{8}, testWeights(8, 5)),
+			encTensor("conv2_w", []int64{16, 8, 3, 3}, conv2W),
+			encTensor("head_w", []int64{64, 10}, testWeights(64*10, 0.5)),
+			encTensor("head_b", []int64{10}, testWeights(10, 6)),
+		},
+		[][]byte{encValueInfo("input", []int64{1, 3, 8, 8})},
+		[][]byte{encValueInfo("head_out", []int64{1, 10})},
+	)
+	return encModel(graph)
+}

@@ -1,0 +1,52 @@
+package importer
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"clsacim/internal/models"
+)
+
+// TestExportImportRoundTripRandomCNN is the exporter/importer property
+// test: any graph the random generator produces (full operator mix,
+// with weights) must survive graph -> JSON -> graph with identical
+// structure, shapes, and payloads.
+func TestExportImportRoundTripRandomCNN(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			src, err := models.RandomCNN(models.RandomOptions{Seed: int64(seed), WithWeights: seed%2 == 0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := ExportJSON(src, fmt.Sprintf("random-%d", seed), &buf); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Import(bytes.NewReader(buf.Bytes()), Options{})
+			if err != nil {
+				t.Fatalf("re-importing exported graph: %v\n%s", err, buf.Bytes())
+			}
+			if res.Name != fmt.Sprintf("random-%d", seed) {
+				t.Errorf("name %q", res.Name)
+			}
+			assertGraphsEqual(t, src, res.Graph)
+
+			// Second generation pass: the round trip must be a fixed point
+			// (export of the import is byte-identical).
+			var buf2 bytes.Buffer
+			if err := ExportJSON(res.Graph, res.Name, &buf2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+				t.Error("export -> import -> export is not a fixed point")
+			}
+		})
+	}
+}

@@ -1,0 +1,91 @@
+package importer
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestCheckedInSmallCNN pins the checked-in graph files to the
+// reference network: testdata/smallcnn.json and testdata/smallcnn.onnx
+// must stay byte-identical to what the test encoders produce (so the
+// fixtures can't drift from the code), and importing either must
+// reconstruct the reference graph exactly.
+//
+// Regenerate after an intentional schema or network change with
+//
+//	go test ./internal/importer -run TestCheckedInSmallCNN -update
+func TestCheckedInSmallCNN(t *testing.T) {
+	want := smallCNNGraph(t)
+	var jsonBuf bytes.Buffer
+	if err := ExportJSON(want, "smallcnn", &jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	onnxBytes := smallCNNONNX(t)
+
+	jsonPath := filepath.Join("testdata", "smallcnn.json")
+	onnxPath := filepath.Join("testdata", "smallcnn.onnx")
+	if *update {
+		writeFile(t, jsonPath, jsonBuf.Bytes())
+		writeFile(t, onnxPath, onnxBytes)
+		writeSeedCorpora(t, jsonBuf.Bytes(), onnxBytes)
+	}
+
+	for _, tc := range []struct {
+		path    string
+		current []byte
+	}{
+		{jsonPath, jsonBuf.Bytes()},
+		{onnxPath, onnxBytes},
+	} {
+		onDisk, err := os.ReadFile(tc.path)
+		if err != nil {
+			t.Fatalf("%v (run with -update to generate)", err)
+		}
+		if !bytes.Equal(onDisk, tc.current) {
+			t.Errorf("%s is stale; regenerate with -update", tc.path)
+		}
+		res, err := ImportFile(tc.path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Name != "smallcnn" {
+			t.Errorf("%s: imported name %q, want smallcnn", tc.path, res.Name)
+		}
+		assertGraphsEqual(t, want, res.Graph)
+	}
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeSeedCorpora regenerates the fuzz seed-corpus files under
+// testdata/fuzz in the native "go test fuzz v1" encoding.
+func writeSeedCorpora(t *testing.T, jsonDoc, onnxDoc []byte) {
+	t.Helper()
+	seeds := map[string][]byte{
+		"FuzzImportJSON/seed_smallcnn": jsonDoc,
+		"FuzzImportJSON/seed_minimal": []byte(`{"schema": "clsacim-graph/v1", "input": {"name": "in", "shape": [4, 4, 1]}, ` +
+			`"nodes": [{"name": "f", "op": "Flatten", "inputs": ["in"]}], "outputs": ["f"]}`),
+		"FuzzImportJSON/seed_truncated":  []byte(`{"schema": "clsacim-graph/v1", "nodes": [{"na`),
+		"FuzzImportONNX/seed_smallcnn":   onnxDoc,
+		"FuzzImportONNX/seed_empty":      {},
+		"FuzzImportONNX/seed_badfield":   {0x3a, 0xff},
+		"FuzzImportONNX/seed_modelonly":  {0x08, 0x08},
+		"FuzzImportONNX/seed_relu_graph": onnxOneNode(encNode("Relu", "r", []string{"input"}, []string{"out"}), nil, []int64{1, 3, 4, 4}, "out"),
+	}
+	for name, data := range seeds {
+		path := filepath.Join("testdata", "fuzz", name)
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n"
+		writeFile(t, path, []byte(body))
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"clsacim"
+)
+
+// TestImportedModelIsServable covers the daemon-startup import flow
+// (clsaserved -import): a model registered from a graph file must be
+// listed by GET /v1/models and evaluable via POST /v1/evaluate, and a
+// misspelled import name must fall through to the unknown_model 404.
+func TestImportedModelIsServable(t *testing.T) {
+	// clsacim-graph/v1 source for a small servable network. The model
+	// registry is process-global with no unregister, so the registered
+	// name is unique to this test.
+	const name = "served-imported-cnn"
+	doc := `{
+	  "schema": "clsacim-graph/v1",
+	  "name": "` + name + `",
+	  "input": {"name": "in", "shape": [16, 16, 3]},
+	  "nodes": [
+	    {"name": "conv1", "op": "Conv2D", "inputs": ["in"],
+	     "attrs": {"kh": 3, "kw": 3, "sh": 1, "sw": 1, "pad": [1, 1, 1, 1], "ki": 3, "ko": 8}},
+	    {"name": "relu1", "op": "Activation", "inputs": ["conv1"], "attrs": {"act": "relu"}},
+	    {"name": "pool1", "op": "MaxPool", "inputs": ["relu1"],
+	     "attrs": {"kh": 2, "kw": 2, "sh": 2, "sw": 2}},
+	    {"name": "conv2", "op": "Conv2D", "inputs": ["pool1"],
+	     "attrs": {"kh": 3, "kw": 3, "sh": 1, "sw": 1, "ki": 8, "ko": 8}}
+	  ],
+	  "outputs": ["conv2"]
+	}`
+	m, err := clsacim.ImportModelReader("", strings.NewReader(doc), clsacim.ModelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != name {
+		t.Fatalf("imported name %q, want %q (declared in the file)", m.Name, name)
+	}
+	if err := clsacim.RegisterModel(m.Name, m); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := newTestServer(t, nil)
+	var models ModelsResponse
+	if rec := doJSON(t, s, http.MethodGet, "/v1/models", "", &models); rec.Code != http.StatusOK {
+		t.Fatalf("models status = %d", rec.Code)
+	}
+	if !contains(models.Models, name) {
+		t.Fatalf("models = %v, want %q listed", models.Models, name)
+	}
+
+	var ev Evaluation
+	rec := doJSON(t, s, http.MethodPost, "/v1/evaluate",
+		fmt.Sprintf(`{"model": %q, "mode": "xinf"}`, name), &ev)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("evaluate status = %d, body %s", rec.Code, rec.Body)
+	}
+	if ev.Result.Model != name || ev.Result.MakespanCycles <= 0 {
+		t.Errorf("evaluation result %+v, want model %q with a positive makespan", ev.Result, name)
+	}
+
+	// A bad import name is just an unknown model to the daemon.
+	var er ErrorResponse
+	rec = doJSON(t, s, http.MethodPost, "/v1/evaluate", `{"model": "served-imported-cnn-typo"}`, &er)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("bad import name status = %d, want 404 (body %s)", rec.Code, rec.Body)
+	}
+	if er.Code != CodeUnknownModel {
+		t.Errorf("code = %q, want %q", er.Code, CodeUnknownModel)
+	}
+}
